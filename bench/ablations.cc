@@ -1,0 +1,132 @@
+// Ablation benches for the design choices DESIGN.md calls out:
+//   1. x2APIC multicast vs sequential unicast IPIs (the §2.3.2 caveat about
+//      RadixVM/LATR evaluations);
+//   2. the in-context flush-merge threshold (Linux's 33-entry ceiling);
+//   3. the §3.4 (4a) interplay: flush-user-PTEs-until-first-ack vs defer-all.
+#include <cstdio>
+
+#include "src/workloads/microbench.h"
+#include "src/workloads/sysbench.h"
+
+namespace tlbsim {
+namespace {
+
+void MulticastAblation() {
+  std::printf("== Ablation 1: multicast vs unicast IPIs (the §2.3.2 caveat) ==\n");
+  // Protocol-level comparison with many responder threads.
+  for (bool multicast : {true, false}) {
+    SystemConfig cfg;
+    cfg.kernel.pti = true;
+    cfg.kernel.opts = OptimizationSet::AllGeneral();
+    cfg.machine.seed = 5;
+    System sys(cfg);
+    sys.machine().apic().set_use_multicast(multicast);
+    Process* p = sys.kernel().CreateProcess();
+    Thread* ti = sys.kernel().CreateThread(p, 0);
+    // 20 responder threads spread over both sockets.
+    bool stop = false;
+    for (int i = 1; i <= 20; ++i) {
+      int cpu = i < 11 ? i : 17 + i;
+      sys.kernel().CreateThread(p, cpu);
+      SimCpu& c = sys.machine().cpu(cpu);
+      c.Spawn([](SimCpu& cc, const bool* s) -> SimTask {
+        while (!*s) {
+          co_await cc.Execute(500);
+        }
+      }(c, &stop));
+    }
+    Cycles dur = 0;
+    sys.machine().cpu(0).Spawn([](System& s, Thread& t, Cycles* out, bool* st) -> SimTask {
+      Kernel& k = s.kernel();
+      uint64_t a = co_await k.SysMmap(t, 10 * kPageSize4K, true, false);
+      RunningStat stat;
+      for (int it = 0; it < 100; ++it) {
+        for (int i = 0; i < 10; ++i) {
+          co_await k.UserAccess(t, a + static_cast<uint64_t>(i) * kPageSize4K, true);
+        }
+        Cycles t0 = s.machine().cpu(0).now();
+        co_await k.SysMadviseDontneed(t, a, 10 * kPageSize4K);
+        stat.Add(static_cast<double>(s.machine().cpu(0).now() - t0));
+      }
+      *out = static_cast<Cycles>(stat.mean());
+      *st = true;
+    }(sys, *ti, &dur, &stop));
+    sys.machine().engine().Run();
+    std::printf("  %-10s madvise over 20 remote CPUs: %lld cycles, ICR writes: %llu\n",
+                multicast ? "multicast:" : "unicast:", static_cast<long long>(dur),
+                static_cast<unsigned long long>(sys.machine().apic().stats().icr_writes));
+  }
+  std::printf("\n");
+}
+
+void ThresholdAblation() {
+  std::printf("== Ablation 2: full-flush threshold (tlb_single_page_flush_ceiling) ==\n");
+  std::printf("  madvise of 24 PTEs, cross-socket responder, all-general opts, safe\n");
+  for (uint64_t threshold : {4ULL, 8ULL, 16ULL, 33ULL, 64ULL}) {
+    SystemConfig cfg;
+    cfg.kernel.pti = true;
+    cfg.kernel.opts = OptimizationSet::AllGeneral();
+    cfg.kernel.flush_full_threshold = threshold;
+    cfg.machine.seed = 5;
+    System sys(cfg);
+    Process* p = sys.kernel().CreateProcess();
+    Thread* ti = sys.kernel().CreateThread(p, 0);
+    sys.kernel().CreateThread(p, 30);
+    bool stop = false;
+    SimCpu& rc = sys.machine().cpu(30);
+    rc.Spawn([](SimCpu& cc, const bool* s) -> SimTask {
+      while (!*s) {
+        co_await cc.Execute(500);
+      }
+    }(rc, &stop));
+    Cycles dur = 0;
+    sys.machine().cpu(0).Spawn([](System& s, Thread& t, Cycles* out, bool* st) -> SimTask {
+      Kernel& k = s.kernel();
+      uint64_t a = co_await k.SysMmap(t, 24 * kPageSize4K, true, false);
+      RunningStat stat;
+      for (int it = 0; it < 100; ++it) {
+        for (int i = 0; i < 24; ++i) {
+          co_await k.UserAccess(t, a + static_cast<uint64_t>(i) * kPageSize4K, true);
+        }
+        Cycles t0 = s.machine().cpu(0).now();
+        co_await k.SysMadviseDontneed(t, a, 24 * kPageSize4K);
+        stat.Add(static_cast<double>(s.machine().cpu(0).now() - t0));
+      }
+      *out = static_cast<Cycles>(stat.mean());
+      *st = true;
+    }(sys, *ti, &dur, &stop));
+    sys.machine().engine().Run();
+    std::printf("  threshold %2llu: madvise %lld cycles (%s)\n",
+                static_cast<unsigned long long>(threshold), static_cast<long long>(dur),
+                threshold < 24 ? "full flushes" : "selective");
+  }
+  std::printf("\n");
+}
+
+void FourAAblation() {
+  std::printf("== Ablation 3: in-context 4a interplay (eager-until-first-ack) ==\n");
+  for (bool concurrent : {true, false}) {
+    MicroConfig cfg;
+    cfg.pti = true;
+    cfg.pages = 10;
+    cfg.placement = Placement::kOtherSocket;
+    cfg.iterations = 300;
+    cfg.opts = OptimizationSet::AllGeneral();
+    cfg.opts.concurrent_flush = concurrent;  // off: defer-all, no spare cycles
+    cfg.seed = 9;
+    MicroResult r = RunMadviseMicrobench(cfg);
+    std::printf("  concurrent=%d: initiator %.0f cyc, responder %.0f cyc\n", concurrent,
+                r.initiator.mean(), r.responder_cycles_per_op);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace tlbsim
+
+int main() {
+  tlbsim::MulticastAblation();
+  tlbsim::ThresholdAblation();
+  tlbsim::FourAAblation();
+  return 0;
+}

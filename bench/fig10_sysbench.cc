@@ -1,0 +1,68 @@
+// Regenerates Figure 10: Sysbench-like random writes to a memory-mapped file
+// with periodic fdatasync, speedup over baseline as optimizations are added
+// cumulatively (batching last), threads 1..16 on one NUMA node.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/workloads/sysbench.h"
+
+namespace tlbsim {
+namespace {
+
+constexpr int kThreadCounts[] = {1, 2, 3, 4, 6, 8, 10, 12, 14, 16};
+
+// Cumulative columns in paper legend order; in-context exists only in safe
+// mode (PTI), batching is always last.
+std::vector<std::pair<std::string, OptimizationSet>> Columns(bool pti) {
+  std::vector<std::pair<std::string, OptimizationSet>> cols;
+  int general_levels = pti ? 4 : 3;
+  for (int level = 1; level <= general_levels; ++level) {
+    cols.emplace_back(OptimizationSet::kCumulativeNames[static_cast<size_t>(level)],
+                      OptimizationSet::Cumulative(level));
+  }
+  OptimizationSet with_batching = OptimizationSet::Cumulative(general_levels);
+  with_batching.userspace_batching = true;
+  cols.emplace_back("+batching", with_batching);
+  return cols;
+}
+
+double Throughput(bool pti, int threads, const OptimizationSet& opts) {
+  double sum = 0.0;
+  for (uint64_t seed : {7ULL, 8ULL, 9ULL, 10ULL, 11ULL}) {  // average 5 runs
+    SysbenchConfig cfg;
+    cfg.pti = pti;
+    cfg.threads = threads;
+    cfg.opts = opts;
+    cfg.seed = seed;
+    sum += RunSysbench(cfg).writes_per_mcycle;
+  }
+  return sum / 5.0;
+}
+
+}  // namespace
+}  // namespace tlbsim
+
+int main() {
+  using namespace tlbsim;
+  for (bool pti : {true, false}) {
+    std::printf("# Figure 10 (%s mode): speedup over baseline, cumulative optimizations\n",
+                pti ? "safe" : "unsafe");
+    auto cols = Columns(pti);
+    std::printf("%-8s", "threads");
+    for (auto& [name, opts] : cols) {
+      std::printf(" %12s", name.c_str());
+    }
+    std::printf("\n");
+    for (int threads : kThreadCounts) {
+      double base = Throughput(pti, threads, OptimizationSet::None());
+      std::printf("%-8d", threads);
+      for (auto& [name, opts] : cols) {
+        std::printf(" %11.2fx", Throughput(pti, threads, opts) / base);
+      }
+      std::printf("\n");
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Regenerates Figure 11: Apache mpm_event-like server, speedup in served
+// requests vs number of server cores (single socket, 1..11 cores), cumulative
+// optimizations with userspace batching last.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/workloads/apache.h"
+
+namespace tlbsim {
+namespace {
+
+std::vector<std::pair<std::string, OptimizationSet>> Columns(bool pti) {
+  std::vector<std::pair<std::string, OptimizationSet>> cols;
+  int general_levels = pti ? 4 : 3;
+  for (int level = 1; level <= general_levels; ++level) {
+    cols.emplace_back(OptimizationSet::kCumulativeNames[static_cast<size_t>(level)],
+                      OptimizationSet::Cumulative(level));
+  }
+  OptimizationSet with_batching = OptimizationSet::Cumulative(general_levels);
+  with_batching.userspace_batching = true;
+  cols.emplace_back("+batching", with_batching);
+  return cols;
+}
+
+double Throughput(bool pti, int cores, const OptimizationSet& opts) {
+  ApacheConfig cfg;
+  cfg.pti = pti;
+  cfg.server_cores = cores;
+  cfg.opts = opts;
+  cfg.seed = 11;
+  return RunApache(cfg).requests_per_mcycle;
+}
+
+}  // namespace
+}  // namespace tlbsim
+
+int main() {
+  using namespace tlbsim;
+  for (bool pti : {true, false}) {
+    std::printf("# Figure 11 (%s mode): Apache speedup vs baseline per core count\n",
+                pti ? "safe" : "unsafe");
+    auto cols = Columns(pti);
+    std::printf("%-6s %14s", "cores", "base req/Mcyc");
+    for (auto& [name, opts] : cols) {
+      std::printf(" %12s", name.c_str());
+    }
+    std::printf("\n");
+    for (int cores = 1; cores <= 11; ++cores) {
+      double base = Throughput(pti, cores, OptimizationSet::None());
+      std::printf("%-6d %14.2f", cores, base);
+      for (auto& [name, opts] : cols) {
+        std::printf(" %11.3fx", Throughput(pti, cores, opts) / base);
+      }
+      std::printf("\n");
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,4 @@
+// Regenerates Figure 5 of the paper.
+#include "bench/micro_figure.h"
+
+int main() { return tlbsim::RunMicroFigure("Figure 5", true, 1); }

@@ -1,0 +1,4 @@
+// Regenerates Figure 6 of the paper.
+#include "bench/micro_figure.h"
+
+int main() { return tlbsim::RunMicroFigure("Figure 6", true, 10); }

@@ -1,0 +1,4 @@
+// Regenerates Figure 7 of the paper.
+#include "bench/micro_figure.h"
+
+int main() { return tlbsim::RunMicroFigure("Figure 7", false, 1); }

@@ -1,0 +1,4 @@
+// Regenerates Figure 8 of the paper.
+#include "bench/micro_figure.h"
+
+int main() { return tlbsim::RunMicroFigure("Figure 8", false, 10); }

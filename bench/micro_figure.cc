@@ -1,0 +1,64 @@
+#include "bench/micro_figure.h"
+
+#include <cstdio>
+
+#include "src/sim/stats.h"
+#include "src/workloads/microbench.h"
+
+namespace tlbsim {
+
+namespace {
+constexpr int kRuns = 5;          // the paper's 5-run methodology
+constexpr int kIterations = 300;  // madvise calls per run (paper: 100k; the
+                                  // simulator's variance is far lower)
+}  // namespace
+
+int RunMicroFigure(const char* figure_name, bool pti, int pages) {
+  std::printf("# %s: madvise(DONTNEED) microbenchmark, %s mode, flush %d PTE%s\n", figure_name,
+              pti ? "safe" : "unsafe", pages, pages == 1 ? "" : "s");
+  std::printf("# cycles per operation, mean +- stddev over %d runs x %d iterations\n", kRuns,
+              kIterations);
+  std::printf("%-13s %-12s %14s %14s %10s\n", "placement", "opts", "initiator", "responder",
+              "vs-base");
+
+  // In unsafe mode there is no PTI, hence no in-context flushing bar.
+  int max_level = pti ? 4 : 3;
+  int rc = 0;
+  for (Placement place :
+       {Placement::kSameCore, Placement::kSameSocket, Placement::kOtherSocket}) {
+    double base_initiator = 0.0;
+    for (int level = 0; level <= max_level; ++level) {
+      RunningStat initiator_runs;
+      RunningStat responder_runs;
+      for (int run = 0; run < kRuns; ++run) {
+        MicroConfig cfg;
+        cfg.pti = pti;
+        cfg.opts = OptimizationSet::Cumulative(level);
+        cfg.pages = pages;
+        cfg.placement = place;
+        cfg.iterations = kIterations;
+        cfg.seed = 1000 + static_cast<uint64_t>(run);
+        MicroResult r = RunMadviseMicrobench(cfg);
+        initiator_runs.Add(r.initiator.mean());
+        responder_runs.Add(r.responder_cycles_per_op);
+      }
+      if (level == 0) {
+        base_initiator = initiator_runs.mean();
+      }
+      double speed = base_initiator > 0 ? (1.0 - initiator_runs.mean() / base_initiator) : 0.0;
+      std::printf("%-13s %-12s %8.0f +-%4.0f %8.0f +-%4.0f %9.1f%%\n", PlacementName(place),
+                  OptimizationSet::kCumulativeNames[static_cast<size_t>(level)],
+                  initiator_runs.mean(), initiator_runs.stddev(), responder_runs.mean(),
+                  responder_runs.stddev(), 100.0 * speed);
+      // Sanity: optimizations must not regress the initiator by > 5%.
+      if (initiator_runs.mean() > base_initiator * 1.05) {
+        std::printf("!! regression at level %d\n", level);
+        rc = 1;
+      }
+    }
+    std::printf("\n");
+  }
+  return rc;
+}
+
+}  // namespace tlbsim

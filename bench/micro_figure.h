@@ -1,0 +1,15 @@
+// Shared driver for Figures 5-8: runs the madvise microbenchmark across
+// placements and cumulative optimization levels, 5 seeds each, and prints
+// paper-style rows.
+#ifndef TLBSIM_BENCH_MICRO_FIGURE_H_
+#define TLBSIM_BENCH_MICRO_FIGURE_H_
+
+namespace tlbsim {
+
+// `pti` selects safe (true) vs unsafe mode; `pages` the PTEs per flush.
+// Returns 0 on success (sanity checks passed).
+int RunMicroFigure(const char* figure_name, bool pti, int pages);
+
+}  // namespace tlbsim
+
+#endif  // TLBSIM_BENCH_MICRO_FIGURE_H_

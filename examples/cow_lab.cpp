@@ -1,0 +1,89 @@
+// Example: copy-on-write laboratory.
+//
+// Maps a file privately, reads it (populating read-only CoW translations),
+// then writes each page and shows what the CoW flush-avoidance optimization
+// (§4.1) changes: no INVLPG, the stale translation is displaced by an atomic
+// kernel access, and the fresh PTE is already cached when userspace retries.
+//
+//   $ ./build/examples/cow_lab
+#include <cstdio>
+
+#include "src/core/system.h"
+
+using namespace tlbsim;
+
+namespace {
+
+constexpr int kPages = 32;
+
+struct Result {
+  Cycles cycles_per_write;
+  uint64_t selective_flushes;
+  uint64_t cow_faults;
+  uint64_t flush_avoided;
+};
+
+SimTask Lab(System& sys, Thread& t, Result* out) {
+  Kernel& kernel = sys.kernel();
+  SimCpu& cpu = sys.machine().cpu(t.cpu);
+  File* file = kernel.CreateFile(kPages * kPageSize4K);
+  uint64_t addr = co_await kernel.SysMmap(t, kPages * kPageSize4K, /*writable=*/true,
+                                          /*shared=*/false, file);
+  // Phase 1: read everything; each page maps the page-cache frame read-only
+  // with the software CoW bit.
+  for (int i = 0; i < kPages; ++i) {
+    co_await kernel.UserAccess(t, addr + static_cast<uint64_t>(i) * kPageSize4K, false);
+  }
+  uint64_t flushes_before = cpu.tlb().stats().selective_flushes;
+  // Phase 2: write everything; each write breaks CoW.
+  Cycles t0 = cpu.now();
+  for (int i = 0; i < kPages; ++i) {
+    co_await kernel.UserAccess(t, addr + static_cast<uint64_t>(i) * kPageSize4K, true);
+  }
+  out->cycles_per_write = (cpu.now() - t0) / kPages;
+  out->selective_flushes = cpu.tlb().stats().selective_flushes - flushes_before;
+  out->cow_faults = kernel.stats().cow_faults;
+  out->flush_avoided = sys.shootdown().stats().cow_flush_avoided;
+  // Phase 3: verify every page reads back through the private copy.
+  for (int i = 0; i < kPages; ++i) {
+    bool ok = co_await kernel.UserAccess(t, addr + static_cast<uint64_t>(i) * kPageSize4K, false);
+    if (!ok) {
+      std::printf("!! page %d unreadable after CoW break\n", i);
+    }
+  }
+}
+
+Result Run(bool avoid) {
+  SystemConfig cfg;
+  cfg.kernel.pti = true;
+  cfg.kernel.opts.cow_avoidance = avoid;
+  System sys(cfg);
+  Process* proc = sys.kernel().CreateProcess();
+  Thread* t = sys.kernel().CreateThread(proc, 0);
+  Result out{};
+  sys.machine().cpu(0).Spawn(Lab(sys, *t, &out));
+  sys.machine().engine().Run();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("CoW lab: %d private file pages, read then written (safe mode)\n\n", kPages);
+  Result base = Run(false);
+  Result avoid = Run(true);
+  std::printf("%-24s %16s %18s %12s\n", "config", "cycles/CoW write", "selective flushes",
+              "avoided");
+  std::printf("%-24s %16lld %18llu %12llu\n", "baseline (flush)",
+              static_cast<long long>(base.cycles_per_write),
+              static_cast<unsigned long long>(base.selective_flushes),
+              static_cast<unsigned long long>(base.flush_avoided));
+  std::printf("%-24s %16lld %18llu %12llu\n", "cow avoidance (4.1)",
+              static_cast<long long>(avoid.cycles_per_write),
+              static_cast<unsigned long long>(avoid.selective_flushes),
+              static_cast<unsigned long long>(avoid.flush_avoided));
+  std::printf("\nsaved %lld cycles per CoW write; TLB stays coherent via the\n",
+              static_cast<long long>(base.cycles_per_write - avoid.cycles_per_write));
+  std::printf("permission-mismatch re-walk plus the kernel's atomic fixup access.\n");
+  return avoid.cycles_per_write < base.cycles_per_write ? 0 : 1;
+}

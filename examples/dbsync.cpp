@@ -1,0 +1,102 @@
+// Example: a database-style workload (random writes to a memory-mapped file
+// with periodic fdatasync), showing how userspace-safe batching (§4.2)
+// collapses the per-page TLB flushes of the sync path.
+//
+//   $ ./build/examples/dbsync
+#include <algorithm>
+#include <cstdio>
+
+#include "src/core/system.h"
+
+using namespace tlbsim;
+
+namespace {
+
+constexpr int kThreads = 4;
+constexpr int kFilePages = 1024;
+constexpr int kWritesPerThread = 128;
+constexpr int kSyncEvery = 16;
+
+struct SharedState {
+  uint64_t addr = 0;
+};
+
+SimTask DbWorker(System& sys, Thread& t, SharedState* sh, uint64_t seed) {
+  Kernel& kernel = sys.kernel();
+  SimCpu& cpu = sys.machine().cpu(t.cpu);
+  Rng rng(seed);
+  for (int op = 0; op < kWritesPerThread; ++op) {
+    co_await cpu.Execute(rng.Jitter(5000, 0.05));  // transaction bookkeeping
+    uint64_t page = static_cast<uint64_t>(rng.UniformInt(0, kFilePages - 1));
+    co_await kernel.UserAccess(t, sh->addr + page * kPageSize4K, /*write=*/true);
+    if ((op + 1) % kSyncEvery == 0) {
+      // fdatasync-equivalent: write-protect + clean + write back dirty pages.
+      co_await kernel.SysMsyncClean(t, sh->addr, kFilePages * kPageSize4K);
+    }
+  }
+}
+
+struct RunStats {
+  double writes_per_mcycle;
+  uint64_t shootdowns;
+  uint64_t ipis;
+};
+
+RunStats Run(OptimizationSet opts) {
+  SystemConfig cfg;
+  cfg.kernel.pti = true;
+  cfg.kernel.opts = opts;
+  System sys(cfg);
+  Process* proc = sys.kernel().CreateProcess();
+  File* file = sys.kernel().CreateFile(kFilePages * kPageSize4K);
+  SharedState sh;
+  std::vector<Thread*> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.push_back(sys.kernel().CreateThread(proc, i));
+  }
+  Rng seeder(5);
+  sys.machine().cpu(0).Spawn([](System& s, Thread& t0, File* f, SharedState* shared,
+                                std::vector<Thread*> ts, Rng sdr) -> SimTask {
+    shared->addr = co_await s.kernel().SysMmap(t0, kFilePages * kPageSize4K, true,
+                                               /*shared=*/true, f);
+    for (Thread* t : ts) {
+      s.machine().cpu(t->cpu).Spawn(DbWorker(s, *t, shared, sdr.UniformU64()));
+    }
+  }(sys, *threads[0], file, &sh, threads, seeder.Fork()));
+  sys.machine().engine().Run();
+
+  Cycles end = 0;
+  for (int i = 0; i < kThreads; ++i) {
+    end = std::max(end, sys.machine().cpu(i).now());
+  }
+  RunStats out;
+  out.writes_per_mcycle =
+      static_cast<double>(kThreads) * kWritesPerThread / (static_cast<double>(end) / 1e6);
+  out.shootdowns =
+      sys.shootdown().stats().shootdowns + sys.shootdown().stats().batch_shootdowns;
+  out.ipis = sys.machine().apic().stats().ipis_sent;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("database sync workload: %d threads, fdatasync every %d writes\n\n", kThreads,
+              kSyncEvery);
+  OptimizationSet base = OptimizationSet::AllGeneral();
+  OptimizationSet batched = base;
+  batched.userspace_batching = true;
+  RunStats b = Run(base);
+  RunStats w = Run(batched);
+  std::printf("%-22s %14s %12s %8s\n", "config", "writes/Mcycle", "shootdowns", "IPIs");
+  std::printf("%-22s %14.2f %12llu %8llu\n", "general opts only", b.writes_per_mcycle,
+              static_cast<unsigned long long>(b.shootdowns),
+              static_cast<unsigned long long>(b.ipis));
+  std::printf("%-22s %14.2f %12llu %8llu\n", "+ userspace batching", w.writes_per_mcycle,
+              static_cast<unsigned long long>(w.shootdowns),
+              static_cast<unsigned long long>(w.ipis));
+  std::printf("\nbatching speedup: %.3fx (IPIs reduced %.1fx)\n",
+              w.writes_per_mcycle / b.writes_per_mcycle,
+              static_cast<double>(b.ipis) / static_cast<double>(std::max<uint64_t>(w.ipis, 1)));
+  return w.writes_per_mcycle > b.writes_per_mcycle * 0.95 ? 0 : 1;
+}

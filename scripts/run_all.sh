@@ -1,0 +1,12 @@
+#!/bin/sh
+# Build, test, and regenerate every paper table/figure.
+set -e
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo "===== $b ====="
+  "$b"
+done

@@ -1,0 +1,154 @@
+#include "src/cache/coherence.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace tlbsim {
+
+LineId CoherenceModel::AllocateLine(std::string name) {
+  LineId id = next_named_++;
+  names_.emplace(id, std::move(name));
+  return id;
+}
+
+Topology::Distance CoherenceModel::NearestHolder(int cpu, const LineState& s) const {
+  Topology::Distance best = Topology::Distance::kCrossSocket;
+  bool found = false;
+  auto consider = [&](int holder) {
+    Topology::Distance d = topo_.Between(cpu, holder);
+    if (!found || static_cast<int>(d) < static_cast<int>(best)) {
+      best = d;
+      found = true;
+    }
+  };
+  if (s.owner >= 0) {
+    consider(s.owner);
+  }
+  for (int sh : s.sharers) {
+    consider(sh);
+  }
+  return best;
+}
+
+Cycles CoherenceModel::TransferCost(Topology::Distance d) const {
+  switch (d) {
+    case Topology::Distance::kSelf:
+      return costs_.l1_hit;
+    case Topology::Distance::kSmtSibling:
+      return costs_.smt_transfer;
+    case Topology::Distance::kSameSocket:
+      return costs_.same_socket_transfer;
+    case Topology::Distance::kCrossSocket:
+      return costs_.cross_socket_transfer;
+  }
+  return costs_.memory_fill;
+}
+
+Cycles CoherenceModel::Access(int cpu, LineId line, AccessType type) {
+  Entry& e = lines_[line];
+  LineState& s = e.state;
+  ++e.stats.accesses;
+  ++global_.accesses;
+
+  bool is_write = type != AccessType::kRead;
+  bool cpu_is_owner = s.owner == cpu;
+  bool cpu_is_sharer = std::find(s.sharers.begin(), s.sharers.end(), cpu) != s.sharers.end();
+
+  if (!s.valid_anywhere) {
+    // Cold miss: fill from memory; requester becomes exclusive owner.
+    s.valid_anywhere = true;
+    s.owner = cpu;
+    s.sharers.clear();
+    ++global_.memory_fills;
+    return costs_.memory_fill;
+  }
+
+  if (!is_write) {
+    if (cpu_is_owner || cpu_is_sharer) {
+      ++e.stats.hits;
+      ++global_.hits;
+      return costs_.l1_hit;
+    }
+    // Read miss: fetch from nearest holder; owner (if any) downgrades M->S.
+    Topology::Distance d = NearestHolder(cpu, s);
+    Cycles cost = TransferCost(d);
+    ++e.stats.transfers;
+    ++global_.transfers;
+    if (d == Topology::Distance::kCrossSocket) {
+      ++e.stats.cross_socket_transfers;
+      ++global_.cross_socket_transfers;
+    }
+    if (s.owner >= 0) {
+      s.sharers.push_back(s.owner);
+      s.owner = -1;
+    }
+    s.sharers.push_back(cpu);
+    return cost;
+  }
+
+  // Write / atomic RMW.
+  if (cpu_is_owner && s.sharers.empty()) {
+    ++e.stats.hits;
+    ++global_.hits;
+    return costs_.l1_hit;
+  }
+  // Need exclusive ownership: invalidate every other copy; cost dominated by
+  // the farthest current holder we must reach.
+  Topology::Distance farthest = Topology::Distance::kSelf;
+  uint64_t invalidated = 0;
+  auto consider = [&](int holder) {
+    if (holder == cpu) {
+      return;
+    }
+    ++invalidated;
+    Topology::Distance d = topo_.Between(cpu, holder);
+    if (static_cast<int>(d) > static_cast<int>(farthest)) {
+      farthest = d;
+    }
+  };
+  if (s.owner >= 0) {
+    consider(s.owner);
+  }
+  for (int sh : s.sharers) {
+    consider(sh);
+  }
+  Cycles cost = cpu_is_owner || cpu_is_sharer
+                    ? TransferCost(farthest)  // upgrade: invalidate others
+                    : TransferCost(NearestHolder(cpu, s));
+  if (invalidated > 0) {
+    ++e.stats.transfers;
+    ++global_.transfers;
+    if (farthest == Topology::Distance::kCrossSocket) {
+      ++e.stats.cross_socket_transfers;
+      ++global_.cross_socket_transfers;
+    }
+  } else {
+    ++e.stats.hits;
+    ++global_.hits;
+  }
+  e.stats.invalidations += invalidated;
+  global_.invalidations += invalidated;
+  s.owner = cpu;
+  s.sharers.clear();
+  return cost;
+}
+
+void CoherenceModel::ResetStats() {
+  global_ = GlobalStats{};
+  for (auto& [id, e] : lines_) {
+    e.stats = LineStats{};
+  }
+}
+
+CoherenceModel::LineStats CoherenceModel::StatsFor(LineId line) const {
+  auto it = lines_.find(line);
+  return it == lines_.end() ? LineStats{} : it->second.stats;
+}
+
+const std::string& CoherenceModel::NameOf(LineId line) const {
+  static const std::string kUnnamed = "<data>";
+  auto it = names_.find(line);
+  return it == names_.end() ? kUnnamed : it->second;
+}
+
+}  // namespace tlbsim

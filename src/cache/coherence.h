@@ -1,0 +1,115 @@
+// MESI-style cacheline coherence cost model.
+//
+// The simulator does not move real bytes; it tracks, per 64-byte line, which
+// CPUs hold it and in what state, and charges each access the cycle cost of
+// the coherence action it would trigger on real hardware (L1 hit, sibling/
+// same-socket/cross-socket cache-to-cache transfer, or memory fill). This is
+// the substrate for the paper's cacheline-consolidation optimization (§3.3):
+// fewer distinct contended lines => fewer cross-core transfers per shootdown.
+//
+// Lines are identified by opaque LineIds. Kernel data structures allocate
+// named lines via AllocateLine(); data memory derives LineIds from physical
+// addresses via LineOfAddress().
+#ifndef TLBSIM_SRC_CACHE_COHERENCE_H_
+#define TLBSIM_SRC_CACHE_COHERENCE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cache/topology.h"
+#include "src/sim/time.h"
+
+namespace tlbsim {
+
+using LineId = uint64_t;
+
+enum class AccessType {
+  kRead,
+  kWrite,
+  kAtomicRmw,  // locked read-modify-write; coherence-wise like a write
+};
+
+// Cycle costs of coherence actions. Defaults approximate a Skylake-era Xeon.
+struct CacheCosts {
+  Cycles l1_hit = 4;
+  Cycles smt_transfer = 20;           // sibling thread, same L1/L2
+  Cycles same_socket_transfer = 70;   // via shared L3 / snoop
+  Cycles cross_socket_transfer = 140; // across the interconnect
+  Cycles memory_fill = 220;           // no cached copy anywhere
+};
+
+class CoherenceModel {
+ public:
+  struct LineState {
+    int owner = -1;                // CPU holding Modified/Exclusive, or -1
+    std::vector<int> sharers;      // CPUs holding Shared (excludes owner)
+    bool valid_anywhere = false;   // false until first access (memory fill)
+  };
+
+  struct LineStats {
+    uint64_t accesses = 0;
+    uint64_t hits = 0;
+    uint64_t transfers = 0;              // cache-to-cache transfers
+    uint64_t cross_socket_transfers = 0;
+    uint64_t invalidations = 0;          // remote copies invalidated by writes
+  };
+
+  struct GlobalStats {
+    uint64_t accesses = 0;
+    uint64_t hits = 0;
+    uint64_t transfers = 0;
+    uint64_t cross_socket_transfers = 0;
+    uint64_t invalidations = 0;
+    uint64_t memory_fills = 0;
+  };
+
+  CoherenceModel(const Topology& topo, const CacheCosts& costs)
+      : topo_(topo), costs_(costs) {}
+
+  // Allocates a fresh LineId for a named kernel object (name kept for
+  // diagnostics / the Figure-4 harness).
+  LineId AllocateLine(std::string name);
+
+  // Derives a LineId for a physical data address (separate id space from
+  // named lines).
+  static LineId LineOfAddress(uint64_t phys_addr) {
+    return (phys_addr >> 6) | (1ULL << 63);
+  }
+
+  // Performs the access, updates MESI state and counters, and returns the
+  // cycle cost charged to `cpu`.
+  Cycles Access(int cpu, LineId line, AccessType type);
+
+  // Drops a line from every cache (e.g. clflush); free for accounting.
+  void EvictAll(LineId line) { lines_.erase(line); }
+
+  const GlobalStats& global_stats() const { return global_; }
+  void ResetStats();
+
+  // Per-line statistics (zero-initialized for untouched lines).
+  LineStats StatsFor(LineId line) const;
+  const std::string& NameOf(LineId line) const;
+
+ private:
+  struct Entry {
+    LineState state;
+    LineStats stats;
+  };
+
+  // Distance from `cpu` to the nearest current holder of `e`.
+  Topology::Distance NearestHolder(int cpu, const LineState& s) const;
+  Cycles TransferCost(Topology::Distance d) const;
+
+  const Topology topo_;
+  const CacheCosts costs_;
+  std::unordered_map<LineId, Entry> lines_;
+  std::unordered_map<LineId, std::string> names_;
+  GlobalStats global_;
+  LineId next_named_ = 1;
+};
+
+}  // namespace tlbsim
+
+#endif  // TLBSIM_SRC_CACHE_COHERENCE_H_

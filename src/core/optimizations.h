@@ -1,0 +1,68 @@
+// The six optimizations of the paper (Table 1), as independent feature flags.
+//
+// Figures 5-8/10/11 activate them cumulatively in legend order; helpers below
+// produce those presets.
+#ifndef TLBSIM_SRC_CORE_OPTIMIZATIONS_H_
+#define TLBSIM_SRC_CORE_OPTIMIZATIONS_H_
+
+#include <array>
+#include <string>
+
+namespace tlbsim {
+
+struct OptimizationSet {
+  bool concurrent_flush = false;        // §3.1: flush local TLB while waiting for acks
+  bool early_ack = false;               // §3.2: responders ack at handler entry
+  bool cacheline_consolidation = false; // §3.3: inline flush info, colocate lazy bit
+  bool in_context_flush = false;        // §3.4: defer user-PCID flushes to kernel exit
+  bool cow_avoidance = false;           // §4.1: no local flush on CoW faults
+  bool userspace_batching = false;      // §4.2: batch flushes in msync/munmap-style calls
+
+  static OptimizationSet None() { return OptimizationSet{}; }
+  static OptimizationSet All() {
+    return OptimizationSet{true, true, true, true, true, true};
+  }
+  // The four general techniques of §3 (used for Table 3).
+  static OptimizationSet AllGeneral() {
+    return OptimizationSet{true, true, true, true, false, false};
+  }
+
+  // Cumulative presets in the paper's legend order:
+  //   0 = baseline, 1 = +concurrent, 2 = +cacheline consolidation,
+  //   3 = +early ack, 4 = +in-context, 5 = +CoW, 6 = +userspace batching.
+  static OptimizationSet Cumulative(int level) {
+    OptimizationSet s;
+    s.concurrent_flush = level >= 1;
+    s.cacheline_consolidation = level >= 2;
+    s.early_ack = level >= 3;
+    s.in_context_flush = level >= 4;
+    s.cow_avoidance = level >= 5;
+    s.userspace_batching = level >= 6;
+    return s;
+  }
+
+  static constexpr std::array<const char*, 7> kCumulativeNames = {
+      "baseline",     "+concurrent", "+cacheline", "+early-ack",
+      "+in-context",  "+cow",        "+batching",
+  };
+
+  std::string Describe() const {
+    std::string out;
+    auto add = [&out](bool on, const char* name) {
+      if (on) {
+        out += out.empty() ? name : std::string(",") + name;
+      }
+    };
+    add(concurrent_flush, "concurrent");
+    add(early_ack, "early-ack");
+    add(cacheline_consolidation, "cacheline");
+    add(in_context_flush, "in-context");
+    add(cow_avoidance, "cow");
+    add(userspace_batching, "batching");
+    return out.empty() ? "baseline" : out;
+  }
+};
+
+}  // namespace tlbsim
+
+#endif  // TLBSIM_SRC_CORE_OPTIMIZATIONS_H_

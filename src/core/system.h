@@ -1,0 +1,45 @@
+// Convenience wiring: one object owning a Machine + Kernel + ShootdownEngine.
+//
+// This is the main entry point of the library:
+//
+//   tlbsim::SystemConfig cfg;
+//   cfg.kernel.opts = tlbsim::OptimizationSet::All();
+//   tlbsim::System sys(cfg);
+//   auto* p = sys.kernel().CreateProcess();
+//   auto* t = sys.kernel().CreateThread(p, /*cpu=*/0);
+//   sys.machine().engine().Spawn(0, MyProgram(sys, *t));
+//   sys.machine().engine().Run();
+#ifndef TLBSIM_SRC_CORE_SYSTEM_H_
+#define TLBSIM_SRC_CORE_SYSTEM_H_
+
+#include "src/core/shootdown.h"
+#include "src/hw/machine.h"
+#include "src/kernel/kernel.h"
+
+namespace tlbsim {
+
+struct SystemConfig {
+  MachineConfig machine;
+  KernelConfig kernel;
+};
+
+class System {
+ public:
+  explicit System(const SystemConfig& config = SystemConfig{})
+      : machine_(config.machine), kernel_(&machine_, config.kernel), shootdown_(&kernel_) {}
+  System(const System&) = delete;
+  System& operator=(const System&) = delete;
+
+  Machine& machine() { return machine_; }
+  Kernel& kernel() { return kernel_; }
+  ShootdownEngine& shootdown() { return shootdown_; }
+
+ private:
+  Machine machine_;
+  Kernel kernel_;
+  ShootdownEngine shootdown_;
+};
+
+}  // namespace tlbsim
+
+#endif  // TLBSIM_SRC_CORE_SYSTEM_H_

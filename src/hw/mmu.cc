@@ -1,0 +1,101 @@
+#include "src/hw/mmu.h"
+
+namespace tlbsim {
+
+bool Mmu::PermsOk(uint64_t flags, const AccessIntent& intent, FaultKind* fault) {
+  Pte p(flags);
+  if (intent.user && !p.user()) {
+    *fault = FaultKind::kProtUser;
+    return false;
+  }
+  if (intent.write && !p.writable()) {
+    *fault = FaultKind::kProtWrite;
+    return false;
+  }
+  if (intent.exec && !p.executable()) {
+    *fault = FaultKind::kProtExec;
+    return false;
+  }
+  return true;
+}
+
+XlateResult Mmu::Translate(SimCpu& cpu, uint64_t va, AccessIntent intent) {
+  XlateResult r;
+  PageTable* pt = cpu.active_pt();
+  if (pt == nullptr) {
+    r.fault = FaultKind::kNotPresent;
+    return r;
+  }
+  const CostModel& costs = cpu.costs();
+  uint16_t pcid = cpu.active_pcid();
+  // Instruction fetches translate through the ITLB; everything else through
+  // the DTLB.
+  Tlb& tlb = intent.exec ? cpu.itlb() : cpu.tlb();
+
+  auto hit = tlb.Lookup(pcid, va);
+  if (hit.has_value()) {
+    FaultKind fault = FaultKind::kNone;
+    bool needs_ad_assist = intent.write && !Pte(hit->flags).dirty();
+    if (PermsOk(hit->flags, intent, &fault) && !needs_ad_assist) {
+      r.ok = true;
+      r.tlb_hit = true;
+      r.pte = Pte::Make(hit->pfn, hit->flags);
+      r.size = hit->size;
+      uint64_t offset = va & (BytesOf(hit->size) - 1);
+      r.pa = (hit->pfn << kPageShift) + offset;
+      return r;
+    }
+    // Permission mismatch or D-bit assist: the CPU drops the stale entry and
+    // re-walks before raising a fault or setting A/D (this is what makes CoW
+    // flush avoidance sound, §4.1).
+    tlb.DropTranslation(pcid, va);
+  }
+
+  // Hardware page walk.
+  bool pwc_hit = cpu.pwc().Lookup(pcid, va);
+  Cycles walk_cost =
+      pwc_hit ? costs.walk_pwc_hit : static_cast<Cycles>(costs.walk_levels) * costs.walk_step;
+  cpu.AdvanceInline(walk_cost);
+
+  PageTable::WalkResult walk = pt->Walk(va);
+  if (!walk.present) {
+    r.fault = FaultKind::kNotPresent;
+    return r;
+  }
+  FaultKind fault = FaultKind::kNone;
+  if (!PermsOk(walk.pte.raw(), intent, &fault)) {
+    r.fault = fault;
+    return r;
+  }
+
+  // Hardware sets Accessed (and Dirty, for writes) atomically in the live
+  // PTE during the walk.
+  uint64_t ad = PteFlags::kAccessed | (intent.write ? PteFlags::kDirty : 0);
+  if ((walk.pte.raw() & ad) != ad) {
+    Pte updated = walk.pte.WithFlags(ad);
+    pt->SetPte(PageAlignDown(va, walk.size), updated);
+    cpu.AdvanceInline(cpu.costs().pte_update);
+    walk.pte = updated;
+  }
+
+  TlbEntry e;
+  e.vpn = va >> ShiftOf(walk.size);
+  e.pcid = pcid;
+  e.pfn = walk.pte.pfn();
+  e.flags = walk.pte.raw();
+  e.size = walk.size;
+  e.global = walk.pte.global();
+  e.fractured = false;
+  tlb.Insert(e);
+  cpu.pwc().Insert(pcid, va);
+
+  r.ok = true;
+  r.tlb_hit = false;
+  r.pte = walk.pte;
+  r.size = walk.size;
+  uint64_t offset = va & (BytesOf(walk.size) - 1);
+  r.pa = (walk.pte.pfn() << kPageShift) + offset;
+  return r;
+}
+
+}  // namespace tlbsim

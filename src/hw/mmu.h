@@ -1,0 +1,62 @@
+// MMU front-end: translation through the TLB with hardware page walks.
+//
+// Models the behaviours the paper's CoW optimization (§4.1) depends on:
+//   - a page fault does NOT reliably invalidate the faulting TLB entry (the
+//     stale entry may stay cached);
+//   - on a permission mismatch (e.g. a write through a cached read-only
+//     entry) the CPU drops the stale entry and re-walks the page tables
+//     before deciding to fault — so an explicit write access after a PTE
+//     upgrade removes the stale entry and caches the fresh one without any
+//     INVLPG;
+//   - a write through a cached entry with D=0 triggers the A/D microcode
+//     assist: re-walk, re-check write permission against the live PTE, set
+//     A/D atomically in memory. (A cached-flags write-back would let a stale
+//     TLB entry clobber a concurrent write-protect.)
+// Walk costs are charged inline on the CPU's local clock.
+#ifndef TLBSIM_SRC_HW_MMU_H_
+#define TLBSIM_SRC_HW_MMU_H_
+
+#include <cstdint>
+
+#include "src/hw/cpu.h"
+#include "src/mm/page_table.h"
+
+namespace tlbsim {
+
+struct AccessIntent {
+  bool write = false;
+  bool exec = false;
+  bool user = true;  // false: kernel-initiated access to a user address
+};
+
+enum class FaultKind {
+  kNone,
+  kNotPresent,
+  kProtWrite,  // write to a non-writable page
+  kProtUser,   // user access to a supervisor page
+  kProtExec,   // instruction fetch from NX page
+};
+
+struct XlateResult {
+  bool ok = false;
+  FaultKind fault = FaultKind::kNone;
+  Pte pte;                    // leaf entry used (valid when ok)
+  PageSize size = PageSize::k4K;
+  uint64_t pa = 0;
+  bool tlb_hit = false;
+};
+
+class Mmu {
+ public:
+  // Translates `va` on `cpu`'s active address space, filling the TLB on a
+  // successful walk. Charges walk cycles inline. Does not deliver the fault;
+  // callers (the kernel's fault path / user memory accessors) do that.
+  static XlateResult Translate(SimCpu& cpu, uint64_t va, AccessIntent intent);
+
+ private:
+  static bool PermsOk(uint64_t flags, const AccessIntent& intent, FaultKind* fault);
+};
+
+}  // namespace tlbsim
+
+#endif  // TLBSIM_SRC_HW_MMU_H_

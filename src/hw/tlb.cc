@@ -1,0 +1,249 @@
+#include "src/hw/tlb.h"
+
+#include <algorithm>
+
+namespace tlbsim {
+
+Tlb::Tlb(const TlbGeometry& geo) : geo_(geo) {
+  slots_4k_.resize(static_cast<size_t>(geo_.sets_4k) * geo_.ways_4k);
+  slots_2m_.resize(static_cast<size_t>(geo_.sets_2m) * geo_.ways_2m);
+}
+
+namespace {
+uint64_t VpnOf(uint64_t va, PageSize s) { return va >> ShiftOf(s); }
+}  // namespace
+
+std::optional<TlbEntry> Tlb::Lookup(uint16_t pcid, uint64_t va) {
+  ++stats_.lookups;
+  auto r = Probe(pcid, va);
+  if (r.has_value()) {
+    ++stats_.hits;
+    // Refresh LRU stamp.
+    for (PageSize s : {PageSize::k4K, PageSize::k2M}) {
+      uint64_t vpn = VpnOf(va, s);
+      int set = static_cast<int>(vpn % static_cast<uint64_t>(SetsFor(s)));
+      auto& arr = ArrayFor(s);
+      for (int w = 0; w < WaysFor(s); ++w) {
+        Slot& slot = arr[static_cast<size_t>(set) * WaysFor(s) + w];
+        if (slot.valid && slot.entry.vpn == vpn && slot.entry.size == s &&
+            (slot.entry.global || slot.entry.pcid == pcid)) {
+          slot.stamp = ++clock_;
+        }
+      }
+    }
+  } else {
+    ++stats_.misses;
+  }
+  return r;
+}
+
+std::optional<TlbEntry> Tlb::Probe(uint16_t pcid, uint64_t va) const {
+  for (PageSize s : {PageSize::k4K, PageSize::k2M}) {
+    uint64_t vpn = VpnOf(va, s);
+    int set = static_cast<int>(vpn % static_cast<uint64_t>(SetsFor(s)));
+    const auto& arr = ArrayFor(s);
+    for (int w = 0; w < WaysFor(s); ++w) {
+      const Slot& slot = arr[static_cast<size_t>(set) * WaysFor(s) + w];
+      if (slot.valid && slot.entry.vpn == vpn && slot.entry.size == s &&
+          (slot.entry.global || slot.entry.pcid == pcid)) {
+        return slot.entry;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+void Tlb::Insert(const TlbEntry& e) {
+  ++stats_.inserts;
+  auto& arr = ArrayFor(e.size);
+  int ways = WaysFor(e.size);
+  int set = static_cast<int>(e.vpn % static_cast<uint64_t>(SetsFor(e.size)));
+  Slot* victim = nullptr;
+  for (int w = 0; w < ways; ++w) {
+    Slot& slot = arr[static_cast<size_t>(set) * ways + w];
+    if (slot.valid && slot.entry.vpn == e.vpn && slot.entry.pcid == e.pcid &&
+        slot.entry.size == e.size) {
+      victim = &slot;  // overwrite stale duplicate
+      break;
+    }
+    if (!slot.valid) {
+      if (victim == nullptr || victim->valid) {
+        victim = &slot;
+      }
+    } else if (victim == nullptr || (victim->valid && slot.stamp < victim->stamp)) {
+      victim = &slot;
+    }
+  }
+  if (victim->valid) {
+    ++stats_.evictions;
+  }
+  victim->valid = true;
+  victim->entry = e;
+  victim->stamp = ++clock_;
+  if (e.fractured) {
+    fractured_resident_ = true;
+  }
+}
+
+int Tlb::DropMatching(PageSize s, uint16_t pcid, uint64_t va, bool match_globals) {
+  uint64_t vpn = VpnOf(va, s);
+  int set = static_cast<int>(vpn % static_cast<uint64_t>(SetsFor(s)));
+  auto& arr = ArrayFor(s);
+  int ways = WaysFor(s);
+  int dropped = 0;
+  for (int w = 0; w < ways; ++w) {
+    Slot& slot = arr[static_cast<size_t>(set) * ways + w];
+    if (!slot.valid || slot.entry.vpn != vpn || slot.entry.size != s) {
+      continue;
+    }
+    bool pcid_match = slot.entry.pcid == pcid;
+    bool global_match = match_globals && slot.entry.global;
+    if (pcid_match || global_match) {
+      slot.valid = false;
+      ++dropped;
+    }
+  }
+  return dropped;
+}
+
+bool Tlb::InvlPg(uint16_t current_pcid, uint64_t va) {
+  ++stats_.selective_flushes;
+  if (fractured_resident_ && fracture_degrade_) {
+    ++stats_.fracture_forced_full;
+    FlushAll(/*keep_globals=*/false);
+    return true;
+  }
+  DropMatching(PageSize::k4K, current_pcid, va, /*match_globals=*/true);
+  DropMatching(PageSize::k2M, current_pcid, va, /*match_globals=*/true);
+  return false;
+}
+
+bool Tlb::InvPcidAddr(uint16_t pcid, uint64_t va) {
+  ++stats_.selective_flushes;
+  if (fractured_resident_ && fracture_degrade_) {
+    ++stats_.fracture_forced_full;
+    FlushAll(/*keep_globals=*/false);
+    return true;
+  }
+  DropMatching(PageSize::k4K, pcid, va, /*match_globals=*/false);
+  DropMatching(PageSize::k2M, pcid, va, /*match_globals=*/false);
+  return false;
+}
+
+void Tlb::DropTranslation(uint16_t pcid, uint64_t va) {
+  DropMatching(PageSize::k4K, pcid, va, /*match_globals=*/true);
+  DropMatching(PageSize::k2M, pcid, va, /*match_globals=*/true);
+}
+
+void Tlb::FlushPcid(uint16_t pcid) {
+  ++stats_.full_flushes;
+  for (auto* arr : {&slots_4k_, &slots_2m_}) {
+    for (Slot& slot : *arr) {
+      if (slot.valid && !slot.entry.global && slot.entry.pcid == pcid) {
+        slot.valid = false;
+      }
+    }
+  }
+  RecomputeFractured();
+}
+
+void Tlb::FlushAll(bool keep_globals) {
+  ++stats_.full_flushes;
+  for (auto* arr : {&slots_4k_, &slots_2m_}) {
+    for (Slot& slot : *arr) {
+      if (slot.valid && (!keep_globals || !slot.entry.global)) {
+        slot.valid = false;
+      }
+    }
+  }
+  RecomputeFractured();
+}
+
+void Tlb::RecomputeFractured() {
+  fractured_resident_ = false;
+  for (const auto* arr : {&slots_4k_, &slots_2m_}) {
+    for (const Slot& slot : *arr) {
+      if (slot.valid && slot.entry.fractured) {
+        fractured_resident_ = true;
+        return;
+      }
+    }
+  }
+}
+
+size_t Tlb::Occupancy() const {
+  size_t n = 0;
+  for (const auto* arr : {&slots_4k_, &slots_2m_}) {
+    for (const Slot& slot : *arr) {
+      if (slot.valid) {
+        ++n;
+      }
+    }
+  }
+  return n;
+}
+
+std::vector<TlbEntry> Tlb::Entries() const {
+  std::vector<TlbEntry> out;
+  for (const auto* arr : {&slots_4k_, &slots_2m_}) {
+    for (const Slot& slot : *arr) {
+      if (slot.valid) {
+        out.push_back(slot.entry);
+      }
+    }
+  }
+  return out;
+}
+
+bool PageWalkCache::Lookup(uint16_t pcid, uint64_t va) {
+  ++stats_.lookups;
+  uint64_t region = va >> kHugeShift;
+  for (Entry& e : entries_) {
+    if (e.pcid == pcid && e.region == region) {
+      e.stamp = ++clock_;
+      ++stats_.hits;
+      return true;
+    }
+  }
+  return false;
+}
+
+void PageWalkCache::Insert(uint16_t pcid, uint64_t va) {
+  uint64_t region = va >> kHugeShift;
+  for (Entry& e : entries_) {
+    if (e.pcid == pcid && e.region == region) {
+      e.stamp = ++clock_;
+      return;
+    }
+  }
+  if (entries_.size() < static_cast<size_t>(capacity_)) {
+    entries_.push_back(Entry{pcid, region, ++clock_});
+    return;
+  }
+  auto victim = std::min_element(entries_.begin(), entries_.end(),
+                                 [](const Entry& a, const Entry& b) { return a.stamp < b.stamp; });
+  *victim = Entry{pcid, region, ++clock_};
+}
+
+void PageWalkCache::FlushAll() {
+  ++stats_.full_flushes;
+  entries_.clear();
+}
+
+void PageWalkCache::FlushAddress(uint16_t pcid, uint64_t va) {
+  uint64_t region = va >> kHugeShift;
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [&](const Entry& e) {
+                                  return e.pcid == pcid && e.region == region;
+                                }),
+                 entries_.end());
+}
+
+void PageWalkCache::FlushPcid(uint16_t pcid) {
+  entries_.erase(
+      std::remove_if(entries_.begin(), entries_.end(),
+                     [&](const Entry& e) { return e.pcid == pcid; }),
+      entries_.end());
+}
+
+}  // namespace tlbsim

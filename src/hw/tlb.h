@@ -1,0 +1,167 @@
+// Set-associative, PCID-tagged TLB model plus page-walk cache.
+//
+// Models the x86 semantics the paper depends on:
+//   - entries are tagged with a PCID; global (G-bit) entries match any PCID;
+//   - INVLPG invalidates one address in the *current* PCID (plus globals) and
+//     drops the whole page-walk cache;
+//   - INVPCID individual-address invalidates one (pcid, address) pair without
+//     touching unrelated page-walk-cache entries (paper §3.4);
+//   - a CR3 write without NOFLUSH drops all non-global entries of the loaded
+//     PCID;
+//   - "page fracturing" (paper §7): when any cached translation came from a
+//     guest 2MB page backed by host 4KB pages, a *selective* flush degrades
+//     to a full TLB flush.
+#ifndef TLBSIM_SRC_HW_TLB_H_
+#define TLBSIM_SRC_HW_TLB_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/mm/pte.h"
+
+namespace tlbsim {
+
+struct TlbEntry {
+  uint64_t vpn = 0;  // virtual page number in units of the entry's page size
+  uint16_t pcid = 0;
+  uint64_t pfn = 0;
+  uint64_t flags = 0;  // PteFlags bits
+  PageSize size = PageSize::k4K;
+  bool global = false;
+  bool fractured = false;  // guest-2M translation backed by host-4K pieces
+};
+
+// Sizes loosely follow Skylake's combined DTLB+STLB capacity.
+struct TlbGeometry {
+  int sets_4k = 128;
+  int ways_4k = 12;
+  int sets_2m = 8;
+  int ways_2m = 4;
+};
+
+class Tlb {
+ public:
+  struct Stats {
+    uint64_t lookups = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t inserts = 0;
+    uint64_t evictions = 0;
+    uint64_t selective_flushes = 0;
+    uint64_t full_flushes = 0;
+    uint64_t fracture_forced_full = 0;  // selective flushes degraded to full
+  };
+
+  explicit Tlb(const TlbGeometry& geo = TlbGeometry{});
+
+  // Looks up `va` under `pcid` (global entries match any pcid).
+  std::optional<TlbEntry> Lookup(uint16_t pcid, uint64_t va);
+
+  // Non-counting probe (for invariant checks in tests).
+  std::optional<TlbEntry> Probe(uint16_t pcid, uint64_t va) const;
+
+  void Insert(const TlbEntry& e);
+
+  // INVLPG: drop translations of `va` for `current_pcid` and global ones.
+  // Degrades to a full flush when fracturing applies. Returns true if the
+  // flush was degraded (caller charges full-flush side effects).
+  bool InvlPg(uint16_t current_pcid, uint64_t va);
+
+  // INVPCID individual-address mode.
+  bool InvPcidAddr(uint16_t pcid, uint64_t va);
+
+  // Hardware-internal drop of one translation (e.g. on a permission-mismatch
+  // re-walk). No fracture degrade, not counted as a software flush.
+  void DropTranslation(uint16_t pcid, uint64_t va);
+
+  // INVPCID single-context: drop all non-global entries of `pcid`.
+  void FlushPcid(uint16_t pcid);
+
+  // CR3 write (no NOFLUSH): drop all non-global entries of `pcid`.
+  void FlushOnCr3Write(uint16_t pcid) { FlushPcid(pcid); }
+
+  // Drop everything, optionally keeping G-bit entries (INVPCID all-context
+  // keeps nothing; "full flush" via CR3 keeps globals).
+  void FlushAll(bool keep_globals);
+
+  // True if any resident entry is marked fractured.
+  bool has_fractured() const { return fractured_resident_; }
+
+  // Table-4 paravirtual mitigation switch: when false, selective flushes do
+  // not degrade even with fractured entries (models the proposed ISA fix).
+  void set_fracture_degrade_enabled(bool on) { fracture_degrade_ = on; }
+
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats{}; }
+
+  // Number of valid entries (both page sizes).
+  size_t Occupancy() const;
+
+  // Enumerates valid entries (for coherence property checks).
+  std::vector<TlbEntry> Entries() const;
+
+ private:
+  struct Slot {
+    TlbEntry entry;
+    uint64_t stamp = 0;
+    bool valid = false;
+  };
+
+  std::vector<Slot>& ArrayFor(PageSize s) { return s == PageSize::k4K ? slots_4k_ : slots_2m_; }
+  const std::vector<Slot>& ArrayFor(PageSize s) const {
+    return s == PageSize::k4K ? slots_4k_ : slots_2m_;
+  }
+  int SetsFor(PageSize s) const { return s == PageSize::k4K ? geo_.sets_4k : geo_.sets_2m; }
+  int WaysFor(PageSize s) const { return s == PageSize::k4K ? geo_.ways_4k : geo_.ways_2m; }
+
+  // Drops matching entries of one page size; returns count dropped.
+  int DropMatching(PageSize s, uint16_t pcid, uint64_t va, bool match_globals);
+
+  void RecomputeFractured();
+
+  TlbGeometry geo_;
+  std::vector<Slot> slots_4k_;
+  std::vector<Slot> slots_2m_;
+  uint64_t clock_ = 0;
+  bool fractured_resident_ = false;
+  bool fracture_degrade_ = true;
+  Stats stats_;
+};
+
+// Page-walk cache: caches PD-level lookups (one entry covers a 2MB region of
+// one PCID). INVLPG drops the whole structure; INVPCID-addr drops only the
+// entry covering that address.
+class PageWalkCache {
+ public:
+  explicit PageWalkCache(int capacity = 32) : capacity_(capacity) {}
+
+  bool Lookup(uint16_t pcid, uint64_t va);
+  void Insert(uint16_t pcid, uint64_t va);
+  void FlushAll();
+  void FlushAddress(uint16_t pcid, uint64_t va);
+  void FlushPcid(uint16_t pcid);
+
+  struct Stats {
+    uint64_t lookups = 0;
+    uint64_t hits = 0;
+    uint64_t full_flushes = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    uint16_t pcid;
+    uint64_t region;  // va >> 21
+    uint64_t stamp;
+  };
+  int capacity_;
+  uint64_t clock_ = 0;
+  std::vector<Entry> entries_;
+  Stats stats_;
+};
+
+}  // namespace tlbsim
+
+#endif  // TLBSIM_SRC_HW_TLB_H_

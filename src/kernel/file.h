@@ -1,0 +1,57 @@
+// Minimal page-cache-backed file object.
+//
+// Pages are allocated lazily on first access (the page cache holds one
+// reference). Dirty state is tracked through PTE dirty bits by the kernel;
+// Writeback() is a no-op except for cost accounting in callers.
+#ifndef TLBSIM_SRC_KERNEL_FILE_H_
+#define TLBSIM_SRC_KERNEL_FILE_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/mm/phys.h"
+#include "src/mm/pte.h"
+
+namespace tlbsim {
+
+class File {
+ public:
+  File(FrameAllocator* frames, uint64_t id, uint64_t size_bytes)
+      : frames_(frames), id_(id), size_(size_bytes) {}
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+  ~File() {
+    for (auto& [off, pfn] : pages_) {
+      frames_->Unref(pfn);
+    }
+  }
+
+  uint64_t id() const { return id_; }
+  uint64_t size() const { return size_; }
+
+  // Returns the frame backing file offset `offset` (page aligned),
+  // allocating it on first touch.
+  uint64_t GetPage(uint64_t offset) {
+    offset = PageAlignDown(offset);
+    auto it = pages_.find(offset);
+    if (it != pages_.end()) {
+      return it->second;
+    }
+    uint64_t pfn = frames_->Alloc();
+    pages_.emplace(offset, pfn);
+    return pfn;
+  }
+
+  bool HasPage(uint64_t offset) const { return pages_.count(PageAlignDown(offset)) != 0; }
+  size_t cached_pages() const { return pages_.size(); }
+
+ private:
+  FrameAllocator* frames_;
+  uint64_t id_;
+  uint64_t size_;
+  std::unordered_map<uint64_t, uint64_t> pages_;  // offset -> pfn
+};
+
+}  // namespace tlbsim
+
+#endif  // TLBSIM_SRC_KERNEL_FILE_H_

@@ -1,0 +1,172 @@
+// The mini-kernel: processes, threads, VMAs, demand paging, CoW, the
+// mm syscalls the paper's workloads exercise, lazy-TLB context switching and
+// PTI-aware kernel entry/exit.
+//
+// All TLB-synchronization policy is delegated to a TlbFlushBackend
+// (src/core/shootdown.h) at exactly the points Linux calls its tlbflush
+// entry points.
+#ifndef TLBSIM_SRC_KERNEL_KERNEL_H_
+#define TLBSIM_SRC_KERNEL_KERNEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/core/optimizations.h"
+#include "src/hw/machine.h"
+#include "src/hw/mmu.h"
+#include "src/kernel/file.h"
+#include "src/kernel/flush_backend.h"
+#include "src/kernel/mm_struct.h"
+#include "src/kernel/percpu.h"
+#include "src/mm/phys.h"
+
+namespace tlbsim {
+
+struct KernelConfig {
+  // "Safe" mode: PTI on, dual PCIDs per mm, doubled flush work (paper §5).
+  bool pti = true;
+  OptimizationSet opts;
+  // Linux's tlb_single_page_flush_ceiling: selective flushes above this many
+  // entries become full flushes (paper §2.1/§3.4).
+  uint64_t flush_full_threshold = 33;
+};
+
+struct Process;
+
+struct Thread {
+  uint64_t id = 0;
+  Process* process = nullptr;
+  int cpu = -1;
+  // 32-bit compatibility task: returns to userspace via IRET, where no stack
+  // is available for the in-context flush loop — deferred selective flushes
+  // are promoted to a full flush (paper §3.4 caveat).
+  bool compat32 = false;
+};
+
+struct Process {
+  uint64_t id = 0;
+  std::unique_ptr<MmStruct> mm;
+  std::vector<std::unique_ptr<Thread>> threads;
+};
+
+class Kernel {
+ public:
+  struct Stats {
+    uint64_t syscalls = 0;
+    uint64_t page_faults = 0;
+    uint64_t cow_faults = 0;
+    uint64_t demand_faults = 0;
+    uint64_t flush_requests = 0;   // FlushRange invocations
+    uint64_t context_switches = 0;
+    uint64_t lazy_entries = 0;
+    uint64_t compat_iret_full_flushes = 0;  // §3.4 IRET caveat promotions
+  };
+
+  Kernel(Machine* machine, KernelConfig config);
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  // Must be called once before any syscalls; registers interrupt handlers
+  // and transition hooks.
+  void SetFlushBackend(TlbFlushBackend* backend);
+
+  Machine& machine() { return *machine_; }
+  const KernelConfig& config() const { return config_; }
+  // Experiment harnesses adjust optimization flags between runs.
+  KernelConfig& mutable_config() { return config_; }
+  FrameAllocator& frames() { return frames_; }
+  PerCpu& percpu(int cpu) { return *percpu_.at(static_cast<size_t>(cpu)); }
+  TlbFlushBackend& backend() { return *backend_; }
+  Stats& stats() { return stats_; }
+
+  // --- process / thread management ---
+  Process* CreateProcess();
+  // Creates a thread pinned to `cpu` and context-switches the CPU to the
+  // process's address space (synchronously, zero-cost setup; use SwitchTo
+  // for costed switches mid-experiment).
+  Thread* CreateThread(Process* p, int cpu);
+  File* CreateFile(uint64_t size_bytes);
+
+  // --- syscalls; call on the thread's CPU from a simulated program ---
+  // Maps `len` bytes; returns the chosen address.
+  Co<uint64_t> SysMmap(Thread& t, uint64_t len, bool writable, bool shared, File* file = nullptr,
+                       uint64_t file_offset = 0, PageSize page_size = PageSize::k4K);
+  Co<void> SysMunmap(Thread& t, uint64_t addr, uint64_t len);
+  Co<void> SysMadviseDontneed(Thread& t, uint64_t addr, uint64_t len);
+  // msync/fdatasync-style cleaning: write-protect + clear dirty on every
+  // dirty page of [addr, addr+len); one flush per page in baseline Linux
+  // (clear_page_dirty_for_io), batched under §4.2.
+  Co<void> SysMsyncClean(Thread& t, uint64_t addr, uint64_t len);
+  Co<void> SysMprotect(Thread& t, uint64_t addr, uint64_t len, bool writable);
+  // read(2)-style syscall: the kernel copies `len` bytes from `file` INTO the
+  // user buffer at `buf`. The kernel access to userspace memory is why §4.2
+  // restricts batching to syscalls that never touch userspace: a deferred
+  // remote flush would let this copy walk through stale translations.
+  // Returns false on EFAULT.
+  Co<bool> SysRead(Thread& t, File* file, uint64_t offset, uint64_t buf, uint64_t len);
+
+  // fork(2): duplicates the address space copy-on-write. Every writable
+  // private page is write-protected in the PARENT too, which requires a TLB
+  // flush/shootdown on the parent's CPUs — fork is itself a shootdown
+  // source, and the classic producer of CoW faults (§4.1). The child gets a
+  // thread on `child_cpu`.
+  Co<Process*> SysFork(Thread& t, int child_cpu);
+
+  // --- user memory access (demand paging, CoW) ---
+  // Performs one user-mode load/store at `va`, handling any fault. Returns
+  // false if the address is unmapped (SIGSEGV-equivalent).
+  Co<bool> UserAccess(Thread& t, uint64_t va, bool write);
+
+  // Executes one instruction fetch at `va` (fills the ITLB). Returns false
+  // on SIGSEGV / NX.
+  Co<bool> UserExec(Thread& t, uint64_t va);
+
+  // --- context switching / lazy TLB ---
+  Co<void> SwitchTo(int cpu, MmStruct* mm);      // full context switch
+  Co<void> EnterLazyMode(int cpu);               // switch to a kernel thread
+  Co<void> LeaveLazyMode(int cpu);               // resume the user thread
+
+  // NMI-safe user access check (nmi_uaccess_okay, §3.2).
+  bool NmiUaccessOkay(int cpu) const;
+
+  // Exposed for the protocol layer and tests.
+  Co<void> SyscallEnter(Thread& t);
+  Co<void> SyscallExit(Thread& t);
+
+  // Charges the PTE-update cost incl. the page-table cacheline (8 PTEs/line).
+  void ChargePteUpdate(SimCpu& cpu, MmStruct& mm, uint64_t va);
+
+  // True if `opts.userspace_batching` applies to the given syscall class.
+  bool BatchingEnabled() const { return config_.opts.userspace_batching; }
+
+ private:
+  // Zaps present PTEs in [addr, addr+len): clears them, collects frames to
+  // release after the flush completes. Returns [#pages zapped].
+  struct ZapResult {
+    uint64_t pages = 0;
+    std::vector<uint64_t> frames;
+  };
+  Co<ZapResult> ZapRange(SimCpu& cpu, MmStruct& mm, uint64_t addr, uint64_t len);
+
+  Co<void> HandlePageFault(Thread& t, uint64_t va, bool write, FaultKind kind);
+
+  Machine* machine_;
+  KernelConfig config_;
+  FrameAllocator frames_;
+  // Shared persistent-memory write channel: writebacks serialize on it,
+  // modelling bandwidth saturation under many concurrent fdatasyncs.
+  Cycles pmem_channel_free_at_ = 0;
+  TlbFlushBackend* backend_ = nullptr;
+  std::vector<std::unique_ptr<PerCpu>> percpu_;
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::vector<std::unique_ptr<File>> files_;
+  uint64_t next_process_id_ = 1;
+  uint64_t next_thread_id_ = 1;
+  uint64_t next_file_id_ = 1;
+  Stats stats_;
+};
+
+}  // namespace tlbsim
+
+#endif  // TLBSIM_SRC_KERNEL_KERNEL_H_

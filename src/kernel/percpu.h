@@ -1,0 +1,136 @@
+// Per-CPU kernel state: cpu_tlbstate, the SMP call-function queue, and the
+// deferred-flush bookkeeping used by the paper's optimizations.
+//
+// Cacheline layout is explicit because it *is* the experiment (§3.3):
+//   Split layout (baseline Linux, Figure 4a):
+//     - tlbstate_line: loaded_mm / generations / lazy flag (false sharing);
+//     - csq_line:      call-single-queue head;
+//     - each CFD has its own line holding {func, info*, flags};
+//     - flush_tlb_info lives on the initiator's *stack* line (extra TLB
+//       pressure: stacks are 4KB-mapped, globals 2MB-mapped).
+//   Consolidated layout (Figure 4b):
+//     - the lazy flag is colocated with the csq head (read together);
+//     - flush_tlb_info is inlined into the CFD (one line carries everything).
+#ifndef TLBSIM_SRC_KERNEL_PERCPU_H_
+#define TLBSIM_SRC_KERNEL_PERCPU_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "src/cache/coherence.h"
+#include "src/kernel/flush_info.h"
+#include "src/sim/flag.h"
+
+namespace tlbsim {
+
+struct MmStruct;
+
+// Call-function data: one entry per (initiator, target) pair, like Linux's
+// per-cpu cfd_data. The `done` flag models the csd lock/flags word the
+// initiator spins on.
+struct Cfd {
+  explicit Cfd(Engine* engine) : done(engine) {}
+
+  LineId line = 0;  // the CFD cacheline
+  SimFlag done;     // acknowledgement (csd flags)
+  // The shootdown work. With cacheline consolidation and a single info, the
+  // info travels inside the CFD line; otherwise the responder additionally
+  // reads the initiator's stack flush_tlb_info line (split layout).
+  std::vector<FlushTlbInfo> work;
+  int initiator = -1;
+  bool in_flight = false;
+};
+
+// The deferred user-address-space flush state (paper §3.4): either a merged
+// selective range or a full-flush indication, consumed on return to user.
+struct DeferredUserFlush {
+  bool full = false;
+  bool any = false;
+  uint64_t start = UINT64_MAX;
+  uint64_t end = 0;
+  int stride_shift = static_cast<int>(kPageShift);
+  uint64_t pages = 0;
+
+  void Reset() { *this = DeferredUserFlush{}; }
+
+  void MergeRange(uint64_t s, uint64_t e, int stride, uint64_t threshold) {
+    any = true;
+    if (full) {
+      return;
+    }
+    if (s < start) {
+      start = s;
+    }
+    if (e > end) {
+      end = e;
+    }
+    if (stride > stride_shift) {
+      stride_shift = stride;
+    }
+    pages = (end - start + (1ULL << stride_shift) - 1) >> stride_shift;
+    if (pages > threshold) {
+      full = true;
+    }
+  }
+
+  void MarkFull() {
+    any = true;
+    full = true;
+  }
+};
+
+struct PerCpu {
+  PerCpu(Engine* engine, CoherenceModel* coherence, int cpu, int num_cpus) {
+    tlbstate_line = coherence->AllocateLine("cpu" + std::to_string(cpu) + ".tlbstate");
+    csq_line = coherence->AllocateLine("cpu" + std::to_string(cpu) + ".call_single_queue");
+    stack_info_line = coherence->AllocateLine("cpu" + std::to_string(cpu) + ".stack_flush_info");
+    cfd_for_target.reserve(static_cast<size_t>(num_cpus));
+    for (int t = 0; t < num_cpus; ++t) {
+      auto cfd = std::make_unique<Cfd>(engine);
+      cfd->line = coherence->AllocateLine("cpu" + std::to_string(cpu) + ".cfd[" +
+                                          std::to_string(t) + "]");
+      cfd_for_target.push_back(std::move(cfd));
+    }
+  }
+  PerCpu(const PerCpu&) = delete;
+  PerCpu& operator=(const PerCpu&) = delete;
+
+  // --- cpu_tlbstate ---
+  MmStruct* loaded_mm = nullptr;
+  uint64_t loaded_mm_tlb_gen = 0;  // generation this CPU's TLB is sync'd to
+  bool is_lazy = false;            // running a kernel thread on a borrowed mm
+
+  // --- deferred flushes (PTI / §3.4) ---
+  DeferredUserFlush deferred_user;
+
+  // NMI-safety: count of flushes accepted (acked) but not yet applied on this
+  // CPU; nmi_uaccess_okay() must fail while nonzero (paper §3.2).
+  int unfinished_flushes = 0;
+
+  // --- batching (§4.2) ---
+  bool batched_mode = false;
+  // The paper's munmap-only extension (§5.3): this CPU advertises that it is
+  // inside a batching-safe syscall and initiators may skip its IPI; it
+  // catches up at the mmap_sem-release barrier. msync/fdatasync batching
+  // defers its own flushes but does NOT set this.
+  bool ipi_defer_mode = false;
+  std::vector<FlushTlbInfo> batched;  // up to kBatchSlots pending infos
+  static constexpr size_t kBatchSlots = 4;
+
+  // --- SMP layer ---
+  std::deque<Cfd*> csq;  // call single queue (llist of pending CFDs)
+  // Initiator-owned flush info used by the split layout ("on the stack").
+  FlushTlbInfo stack_info;
+  std::vector<std::unique_ptr<Cfd>> cfd_for_target;
+
+  // --- cachelines ---
+  LineId tlbstate_line;
+  LineId csq_line;
+  LineId stack_info_line;
+};
+
+}  // namespace tlbsim
+
+#endif  // TLBSIM_SRC_KERNEL_PERCPU_H_

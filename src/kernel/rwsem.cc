@@ -1,0 +1,38 @@
+#include "src/kernel/rwsem.h"
+
+namespace tlbsim {
+
+Co<void> RwSem::Lock(SimCpu& cpu, bool write) {
+  if (TryLock(write)) {
+    co_return;
+  }
+  if (write) {
+    ++waiting_writers_;
+  }
+  while (true) {
+    // Writers bypass the anti-starvation check for themselves.
+    if (write) {
+      if (!writer_ && readers_ == 0) {
+        writer_ = true;
+        --waiting_writers_;
+        co_return;
+      }
+    } else if (TryLock(false)) {
+      co_return;
+    }
+    co_await cpu.WaitFlag(release_);  // spurious wakes are fine; we re-check
+  }
+}
+
+void RwSem::Unlock(SimCpu& cpu, bool write) {
+  if (write) {
+    writer_ = false;
+  } else {
+    --readers_;
+  }
+  // Pulse the release flag: wake every waiter to re-contend, then re-arm.
+  release_.Set(cpu.now());
+  release_.Clear();
+}
+
+}  // namespace tlbsim

@@ -1,0 +1,30 @@
+// Virtual memory areas.
+#ifndef TLBSIM_SRC_KERNEL_VMA_H_
+#define TLBSIM_SRC_KERNEL_VMA_H_
+
+#include <cstdint>
+
+#include "src/mm/pte.h"
+
+namespace tlbsim {
+
+class File;
+
+struct Vma {
+  uint64_t start = 0;  // inclusive, page aligned
+  uint64_t end = 0;    // exclusive, page aligned
+
+  bool writable = true;
+  bool executable = false;
+  bool shared = false;      // MAP_SHARED vs MAP_PRIVATE
+  File* file = nullptr;     // nullptr: anonymous
+  uint64_t file_offset = 0; // offset of `start` within the file
+  PageSize page_size = PageSize::k4K;
+
+  bool Contains(uint64_t va) const { return va >= start && va < end; }
+  uint64_t OffsetOf(uint64_t va) const { return file_offset + (va - start); }
+};
+
+}  // namespace tlbsim
+
+#endif  // TLBSIM_SRC_KERNEL_VMA_H_

@@ -1,0 +1,169 @@
+#include "src/mm/page_table.h"
+
+#include <cassert>
+
+namespace tlbsim {
+
+namespace {
+uint64_t NextRootId() {
+  static uint64_t next = 1;
+  return next++;
+}
+
+// Virtual-address span covered by one entry at `level`.
+constexpr uint64_t SpanAt(int level) { return 1ULL << (kPageShift + kPtIndexBits * level); }
+}  // namespace
+
+PageTable::PageTable() : root_(std::make_unique<Node>()), root_id_(NextRootId()) {}
+
+PageTable::Node* PageTable::NodeFor(uint64_t va, PageSize size, bool create) {
+  int leaf_level = size == PageSize::k4K ? 0 : 1;
+  Node* node = root_.get();
+  for (int level = kPtLevels - 1; level > leaf_level; --level) {
+    uint64_t idx = PtIndex(va, level);
+    if (!node->children[idx]) {
+      if (!create) {
+        return nullptr;
+      }
+      node->children[idx] = std::make_unique<Node>();
+      node->entries[idx] =
+          Pte(PteFlags::kPresent | PteFlags::kWrite | PteFlags::kUser);  // table entry
+      ++node_count_;
+    }
+    node = node->children[idx].get();
+  }
+  return node;
+}
+
+void PageTable::Map(uint64_t va, uint64_t pfn, uint64_t flags, PageSize size) {
+  assert((flags & PteFlags::kPresent) != 0);
+  assert(va % BytesOf(size) == 0 && "unaligned mapping");
+  Node* node = NodeFor(va, size, /*create=*/true);
+  int leaf_level = size == PageSize::k4K ? 0 : 1;
+  uint64_t idx = PtIndex(va, leaf_level);
+  if (size == PageSize::k2M) {
+    assert(!node->children[idx] && "2M mapping over existing page table");
+    flags |= PteFlags::kHuge;
+  }
+  node->entries[idx] = Pte::Make(pfn, flags);
+}
+
+Pte PageTable::SetPte(uint64_t va, Pte new_pte) {
+  WalkResult r = Walk(va);
+  assert(r.present && "SetPte on unmapped address");
+  Node* node = NodeFor(va, r.size, /*create=*/false);
+  assert(node != nullptr);
+  int leaf_level = r.size == PageSize::k4K ? 0 : 1;
+  uint64_t idx = PtIndex(va, leaf_level);
+  Pte old = node->entries[idx];
+  node->entries[idx] = new_pte;
+  return old;
+}
+
+Pte PageTable::Unmap(uint64_t va) {
+  WalkResult r = Walk(va);
+  if (!r.present) {
+    return Pte();
+  }
+  Node* node = NodeFor(va, r.size, /*create=*/false);
+  int leaf_level = r.size == PageSize::k4K ? 0 : 1;
+  uint64_t idx = PtIndex(va, leaf_level);
+  Pte old = node->entries[idx];
+  node->entries[idx] = Pte();
+  return old;
+}
+
+PageTable::WalkResult PageTable::Walk(uint64_t va) const {
+  WalkResult r;
+  const Node* node = root_.get();
+  for (int level = kPtLevels - 1; level >= 0; --level) {
+    ++r.levels_visited;
+    uint64_t idx = PtIndex(va, level);
+    const Pte& e = node->entries[idx];
+    if (!e.present()) {
+      return r;
+    }
+    if (level == 1 && e.huge()) {
+      r.pte = e;
+      r.size = PageSize::k2M;
+      r.present = true;
+      return r;
+    }
+    if (level == 0) {
+      r.pte = e;
+      r.size = PageSize::k4K;
+      r.present = true;
+      return r;
+    }
+    if (!node->children[idx]) {
+      return r;
+    }
+    node = node->children[idx].get();
+  }
+  return r;
+}
+
+void PageTable::ForEachPresent(uint64_t lo, uint64_t hi,
+                               const std::function<void(uint64_t, Pte, PageSize)>& fn) const {
+  // Recursive descent over the radix tree, pruned to [lo, hi).
+  struct Rec {
+    const std::function<void(uint64_t, Pte, PageSize)>& fn;
+    uint64_t lo, hi;
+    void Visit(const Node& node, int level, uint64_t base) {
+      uint64_t span = SpanAt(level);
+      for (uint64_t i = 0; i < kPtEntries; ++i) {
+        uint64_t va = base + i * span;
+        if (va >= hi || va + span <= lo) {
+          continue;
+        }
+        const Pte& e = node.entries[i];
+        if (level == 0) {
+          if (e.present()) {
+            fn(va, e, PageSize::k4K);
+          }
+        } else if (level == 1 && e.present() && e.huge()) {
+          fn(va, e, PageSize::k2M);
+        } else if (node.children[i]) {
+          Visit(*node.children[i], level - 1, va);
+        }
+      }
+    }
+  };
+  Rec rec{fn, lo, hi};
+  rec.Visit(*root_, kPtLevels - 1, 0);
+}
+
+bool PageTable::PruneNode(Node& node, int level, uint64_t base, uint64_t lo, uint64_t hi) {
+  bool freed = false;
+  uint64_t span = SpanAt(level);
+  for (uint64_t i = 0; i < kPtEntries; ++i) {
+    uint64_t va = base + i * span;
+    if (va >= hi || va + span <= lo || !node.children[i]) {
+      continue;
+    }
+    Node& child = *node.children[i];
+    if (level > 1) {
+      freed |= PruneNode(child, level - 1, va, lo, hi);
+    }
+    bool empty = true;
+    for (uint64_t j = 0; j < kPtEntries; ++j) {
+      if (child.entries[j].present() || child.children[j]) {
+        empty = false;
+        break;
+      }
+    }
+    if (empty) {
+      node.children[i] = nullptr;
+      node.entries[i] = Pte();
+      --node_count_;
+      freed = true;
+    }
+  }
+  return freed;
+}
+
+bool PageTable::PruneEmpty(uint64_t lo, uint64_t hi) {
+  return PruneNode(*root_, kPtLevels - 1, 0, lo, hi);
+}
+
+}  // namespace tlbsim

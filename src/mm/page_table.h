@@ -1,0 +1,81 @@
+// Software x86-64 4-level page tables (PML4 -> PDPT -> PD -> PT).
+//
+// Pure data structure: no virtual-time costs here. The hardware walker
+// (src/hw/mmu.h) charges walk cycles and models the page-walk cache; the
+// kernel charges PTE-update costs.
+//
+// 2MB huge pages are leaf entries at the PD level (PS bit set).
+#ifndef TLBSIM_SRC_MM_PAGE_TABLE_H_
+#define TLBSIM_SRC_MM_PAGE_TABLE_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "src/mm/pte.h"
+
+namespace tlbsim {
+
+class PageTable {
+ public:
+  PageTable();
+  PageTable(const PageTable&) = delete;
+  PageTable& operator=(const PageTable&) = delete;
+
+  struct WalkResult {
+    Pte pte;             // leaf entry (raw 0 if not present)
+    PageSize size = PageSize::k4K;
+    int levels_visited = 0;  // paging-structure levels touched by the walk
+    bool present = false;
+  };
+
+  // Installs a leaf mapping. Intermediate tables are created on demand.
+  // Precondition: `va` aligned to `size`; flags include kPresent.
+  void Map(uint64_t va, uint64_t pfn, uint64_t flags, PageSize size = PageSize::k4K);
+
+  // Replaces an existing leaf entry (mprotect / CoW break / clean). Returns
+  // the previous entry. Precondition: a leaf exists at `va`.
+  Pte SetPte(uint64_t va, Pte new_pte);
+
+  // Removes the leaf mapping covering `va` if present; returns the old entry.
+  Pte Unmap(uint64_t va);
+
+  // Full software walk (no cost accounting).
+  WalkResult Walk(uint64_t va) const;
+
+  // Invokes `fn(va, pte, size)` for every present leaf in [lo, hi).
+  void ForEachPresent(uint64_t lo, uint64_t hi,
+                      const std::function<void(uint64_t, Pte, PageSize)>& fn) const;
+
+  // Frees empty intermediate tables under [lo, hi). Returns true if any
+  // paging-structure page was freed (drives the freed-tables flag that gates
+  // early acknowledgement, paper §3.2).
+  bool PruneEmpty(uint64_t lo, uint64_t hi);
+
+  // Unique id standing in for the root's physical address (CR3 target).
+  uint64_t root_id() const { return root_id_; }
+
+  // Number of live paging-structure pages (root included).
+  uint64_t node_count() const { return node_count_; }
+
+ private:
+  struct Node {
+    std::array<Pte, kPtEntries> entries{};
+    std::array<std::unique_ptr<Node>, kPtEntries> children;
+  };
+
+  // Walks down to the node holding the leaf for (va, size), creating
+  // intermediate nodes if `create`.
+  Node* NodeFor(uint64_t va, PageSize size, bool create);
+
+  bool PruneNode(Node& node, int level, uint64_t base, uint64_t lo, uint64_t hi);
+
+  std::unique_ptr<Node> root_;
+  uint64_t root_id_;
+  uint64_t node_count_ = 1;
+};
+
+}  // namespace tlbsim
+
+#endif  // TLBSIM_SRC_MM_PAGE_TABLE_H_

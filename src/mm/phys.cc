@@ -1,0 +1,56 @@
+#include "src/mm/phys.h"
+
+#include <cassert>
+#include <cstddef>
+
+namespace tlbsim {
+
+uint64_t FrameAllocator::Alloc(uint64_t count) {
+  assert(count >= 1);
+  ++total_allocs_;
+  for (std::size_t i = 0; i < free_.size(); ++i) {
+    if (free_[i].second == count) {
+      uint64_t pfn = free_[i].first;
+      free_[i] = free_.back();
+      free_.pop_back();
+      refs_.emplace(pfn, Record{1, count});
+      return pfn;
+    }
+  }
+  uint64_t pfn = next_pfn_;
+  next_pfn_ += count;
+  refs_.emplace(pfn, Record{1, count});
+  return pfn;
+}
+
+void FrameAllocator::Ref(uint64_t pfn) {
+  auto it = refs_.find(pfn);
+  assert(it != refs_.end() && "Ref of unallocated frame");
+  ++it->second.refs;
+}
+
+uint64_t FrameAllocator::Unref(uint64_t pfn) {
+  auto it = refs_.find(pfn);
+  assert(it != refs_.end() && "Unref of unallocated frame");
+  if (--it->second.refs == 0) {
+    free_.emplace_back(pfn, it->second.count);
+    refs_.erase(it);
+    return 0;
+  }
+  return it->second.refs;
+}
+
+uint64_t FrameAllocator::RefCount(uint64_t pfn) const {
+  auto it = refs_.find(pfn);
+  return it == refs_.end() ? 0 : it->second.refs;
+}
+
+uint64_t FrameAllocator::allocated_frames() const {
+  uint64_t n = 0;
+  for (const auto& [pfn, rec] : refs_) {
+    n += rec.count;
+  }
+  return n;
+}
+
+}  // namespace tlbsim

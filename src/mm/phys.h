@@ -1,0 +1,49 @@
+// Physical frame allocator with reference counting (for CoW sharing).
+//
+// Frames carry no data; the simulator only needs identity + refcounts.
+#ifndef TLBSIM_SRC_MM_PHYS_H_
+#define TLBSIM_SRC_MM_PHYS_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace tlbsim {
+
+class FrameAllocator {
+ public:
+  // `first_pfn` reserves a low range (e.g. for "kernel image" frames).
+  explicit FrameAllocator(uint64_t first_pfn = 0x1000) : next_pfn_(first_pfn) {}
+
+  // Allocates one frame with refcount 1. `count` contiguous frames for huge
+  // pages (returns the first pfn; all share one refcount record keyed by the
+  // head pfn).
+  uint64_t Alloc(uint64_t count = 1);
+
+  // Increments the sharing count (fork/CoW).
+  void Ref(uint64_t pfn);
+
+  // Drops a reference; frees the frame when it reaches zero. Returns the
+  // refcount after the drop.
+  uint64_t Unref(uint64_t pfn);
+
+  uint64_t RefCount(uint64_t pfn) const;
+  bool IsAllocated(uint64_t pfn) const { return refs_.count(pfn) != 0; }
+
+  uint64_t allocated_frames() const;
+  uint64_t total_allocs() const { return total_allocs_; }
+
+ private:
+  struct Record {
+    uint64_t refs;
+    uint64_t count;  // frames in this allocation
+  };
+  std::unordered_map<uint64_t, Record> refs_;
+  std::vector<std::pair<uint64_t, uint64_t>> free_;  // (pfn, count) free list
+  uint64_t next_pfn_;
+  uint64_t total_allocs_ = 0;
+};
+
+}  // namespace tlbsim
+
+#endif  // TLBSIM_SRC_MM_PHYS_H_

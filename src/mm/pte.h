@@ -1,0 +1,94 @@
+// x86-64 page-table entry encoding (the subset the simulator models).
+#ifndef TLBSIM_SRC_MM_PTE_H_
+#define TLBSIM_SRC_MM_PTE_H_
+
+#include <cstdint>
+
+namespace tlbsim {
+
+inline constexpr uint64_t kPageShift = 12;
+inline constexpr uint64_t kPageSize4K = 1ULL << kPageShift;
+inline constexpr uint64_t kHugeShift = 21;
+inline constexpr uint64_t kPageSize2M = 1ULL << kHugeShift;
+inline constexpr int kPtLevels = 4;     // PML4, PDPT, PD, PT
+inline constexpr int kPtIndexBits = 9;  // 512 entries per table
+inline constexpr uint64_t kPtEntries = 1ULL << kPtIndexBits;
+
+enum class PageSize : uint8_t {
+  k4K,
+  k2M,
+};
+
+inline constexpr uint64_t BytesOf(PageSize s) {
+  return s == PageSize::k4K ? kPageSize4K : kPageSize2M;
+}
+
+inline constexpr uint64_t ShiftOf(PageSize s) {
+  return s == PageSize::k4K ? kPageShift : kHugeShift;
+}
+
+// PTE flag bits (matching the x86-64 layout where it matters).
+struct PteFlags {
+  static constexpr uint64_t kPresent = 1ULL << 0;
+  static constexpr uint64_t kWrite = 1ULL << 1;
+  static constexpr uint64_t kUser = 1ULL << 2;
+  static constexpr uint64_t kAccessed = 1ULL << 5;
+  static constexpr uint64_t kDirty = 1ULL << 6;
+  static constexpr uint64_t kHuge = 1ULL << 7;   // PS bit (in PD entries)
+  static constexpr uint64_t kGlobal = 1ULL << 8;
+  static constexpr uint64_t kCow = 1ULL << 9;    // software bit: copy-on-write
+  static constexpr uint64_t kNx = 1ULL << 63;
+};
+
+inline constexpr uint64_t kPfnMask = 0x000FFFFFFFFFF000ULL;
+
+class Pte {
+ public:
+  constexpr Pte() = default;
+  constexpr explicit Pte(uint64_t raw) : raw_(raw) {}
+
+  static constexpr Pte Make(uint64_t pfn, uint64_t flags) {
+    return Pte((pfn << kPageShift) | flags);
+  }
+
+  constexpr uint64_t raw() const { return raw_; }
+  constexpr bool present() const { return raw_ & PteFlags::kPresent; }
+  constexpr bool writable() const { return raw_ & PteFlags::kWrite; }
+  constexpr bool user() const { return raw_ & PteFlags::kUser; }
+  constexpr bool accessed() const { return raw_ & PteFlags::kAccessed; }
+  constexpr bool dirty() const { return raw_ & PteFlags::kDirty; }
+  constexpr bool huge() const { return raw_ & PteFlags::kHuge; }
+  constexpr bool global() const { return raw_ & PteFlags::kGlobal; }
+  constexpr bool cow() const { return raw_ & PteFlags::kCow; }
+  constexpr bool executable() const { return !(raw_ & PteFlags::kNx); }
+
+  constexpr uint64_t pfn() const { return (raw_ & kPfnMask) >> kPageShift; }
+
+  constexpr Pte WithFlags(uint64_t set, uint64_t clear = 0) const {
+    return Pte((raw_ & ~clear) | set);
+  }
+  constexpr Pte WithPfn(uint64_t pfn) const {
+    return Pte((raw_ & ~kPfnMask) | ((pfn << kPageShift) & kPfnMask));
+  }
+
+  friend constexpr bool operator==(Pte a, Pte b) { return a.raw_ == b.raw_; }
+
+ private:
+  uint64_t raw_ = 0;
+};
+
+// Index of `va` at paging level `level` (level 3 = PML4 ... level 0 = PT).
+inline constexpr uint64_t PtIndex(uint64_t va, int level) {
+  return (va >> (kPageShift + kPtIndexBits * level)) & (kPtEntries - 1);
+}
+
+inline constexpr uint64_t PageAlignDown(uint64_t va, PageSize s = PageSize::k4K) {
+  return va & ~(BytesOf(s) - 1);
+}
+inline constexpr uint64_t PageAlignUp(uint64_t va, PageSize s = PageSize::k4K) {
+  return (va + BytesOf(s) - 1) & ~(BytesOf(s) - 1);
+}
+
+}  // namespace tlbsim
+
+#endif  // TLBSIM_SRC_MM_PTE_H_

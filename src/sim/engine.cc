@@ -1,0 +1,73 @@
+#include "src/sim/engine.h"
+
+#include <cassert>
+#include <utility>
+
+namespace tlbsim {
+
+Engine::EventId Engine::Schedule(Cycles at, std::function<void()> fn) {
+  assert(at >= now_ && "scheduling into the past");
+  EventId id = next_id_++;
+  queue_.push(Event{at, id, std::move(fn)});
+  return id;
+}
+
+void Engine::Cancel(EventId id) {
+  if (id == kInvalidEvent) {
+    return;
+  }
+  cancelled_.insert(id);
+}
+
+void Engine::Spawn(Cycles at, SimTask task) {
+  auto handle = task.Release();
+  Schedule(at, [handle] { handle.resume(); });
+}
+
+void Engine::PurgeCancelledHead() {
+  while (!queue_.empty()) {
+    auto it = cancelled_.find(queue_.top().id);
+    if (it == cancelled_.end()) {
+      return;
+    }
+    cancelled_.erase(it);
+    queue_.pop();
+  }
+}
+
+void Engine::Step() {
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.at;
+  ++events_processed_;
+  ev.fn();
+}
+
+bool Engine::empty() {
+  PurgeCancelledHead();
+  return queue_.empty();
+}
+
+Cycles Engine::Run() {
+  PurgeCancelledHead();
+  while (!queue_.empty()) {
+    Step();
+    PurgeCancelledHead();
+  }
+  return now_;
+}
+
+bool Engine::RunUntil(Cycles deadline) {
+  PurgeCancelledHead();
+  while (!queue_.empty() && queue_.top().at <= deadline) {
+    Step();
+    PurgeCancelledHead();
+  }
+  if (queue_.empty()) {
+    return true;
+  }
+  now_ = deadline;
+  return false;
+}
+
+}  // namespace tlbsim

@@ -1,0 +1,34 @@
+#include "src/sim/flag.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace tlbsim {
+
+void SimFlag::Set(Cycles at) {
+  set_ = true;
+  set_time_ = at;
+  if (waiters_.empty()) {
+    return;
+  }
+  Cycles when = std::max(at, engine_->now());
+  std::map<WaiterToken, std::function<void(Cycles)>> woken;
+  woken.swap(waiters_);
+  for (auto& [token, cb] : woken) {
+    engine_->Schedule(when, [cb = std::move(cb), at] { cb(at); });
+  }
+}
+
+SimFlag::WaiterToken SimFlag::AddWaiter(std::function<void(Cycles)> cb) {
+  WaiterToken token = next_token_++;
+  if (set_) {
+    Cycles at = set_time_;
+    Cycles when = std::max(at, engine_->now());
+    engine_->Schedule(when, [cb = std::move(cb), at] { cb(at); });
+    return token;
+  }
+  waiters_.emplace(token, std::move(cb));
+  return token;
+}
+
+}  // namespace tlbsim

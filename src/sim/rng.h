@@ -1,0 +1,53 @@
+// Deterministic random number utilities for the simulation.
+//
+// Every experiment derives all randomness from one seed so runs are exactly
+// reproducible; the paper's 5-run mean/stddev methodology maps to 5 seeds.
+#ifndef TLBSIM_SRC_SIM_RNG_H_
+#define TLBSIM_SRC_SIM_RNG_H_
+
+#include <cstdint>
+#include <random>
+
+#include "src/sim/time.h"
+
+namespace tlbsim {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : gen_(seed) {}
+
+  // Uniform integer in [lo, hi].
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(gen_);
+  }
+
+  uint64_t UniformU64() { return gen_(); }
+
+  double UniformReal(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(gen_);
+  }
+
+  // Multiplies `base` by a uniform factor in [1-frac, 1+frac]; models the
+  // cycle-level jitter of real hardware (frequency ramps, bus arbitration).
+  Cycles Jitter(Cycles base, double frac) {
+    if (frac <= 0.0 || base == 0) {
+      return base;
+    }
+    double f = UniformReal(1.0 - frac, 1.0 + frac);
+    auto v = static_cast<Cycles>(static_cast<double>(base) * f);
+    return v < 0 ? 0 : v;
+  }
+
+  // Bernoulli draw.
+  bool Chance(double p) { return UniformReal(0.0, 1.0) < p; }
+
+  // Derives an independent child stream (e.g. one per simulated CPU).
+  Rng Fork() { return Rng(gen_() ^ 0x9e3779b97f4a7c15ULL); }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+}  // namespace tlbsim
+
+#endif  // TLBSIM_SRC_SIM_RNG_H_

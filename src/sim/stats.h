@@ -1,0 +1,89 @@
+// Statistics helpers: Welford running mean/stddev and simple histograms.
+#ifndef TLBSIM_SRC_SIM_STATS_H_
+#define TLBSIM_SRC_SIM_STATS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace tlbsim {
+
+// Single-pass mean / variance accumulator (Welford's algorithm).
+class RunningStat {
+ public:
+  void Add(double x) {
+    ++n_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = n_ == 1 ? x : std::min(min_, x);
+    max_ = n_ == 1 ? x : std::max(max_, x);
+  }
+
+  uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+  void Reset() { *this = RunningStat(); }
+
+ private:
+  uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Sample reservoir with exact percentiles (for modest sample counts).
+class Samples {
+ public:
+  void Add(double x) {
+    data_.push_back(x);
+    sorted_ = false;
+  }
+
+  double Percentile(double p) {
+    if (data_.empty()) {
+      return 0.0;
+    }
+    if (!sorted_) {
+      std::sort(data_.begin(), data_.end());
+      sorted_ = true;
+    }
+    double rank = p / 100.0 * static_cast<double>(data_.size() - 1);
+    auto lo = static_cast<size_t>(rank);
+    size_t hi = std::min(lo + 1, data_.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return data_[lo] * (1.0 - frac) + data_[hi] * frac;
+  }
+
+  double Mean() const {
+    if (data_.empty()) {
+      return 0.0;
+    }
+    double s = 0.0;
+    for (double x : data_) {
+      s += x;
+    }
+    return s / static_cast<double>(data_.size());
+  }
+
+  size_t size() const { return data_.size(); }
+  void Clear() {
+    data_.clear();
+    sorted_ = false;
+  }
+
+ private:
+  std::vector<double> data_;
+  bool sorted_ = false;
+};
+
+}  // namespace tlbsim
+
+#endif  // TLBSIM_SRC_SIM_STATS_H_

@@ -1,0 +1,21 @@
+// Virtual time units for the discrete-event simulation.
+//
+// The whole simulator is denominated in CPU cycles of a nominally ~2GHz part;
+// all cost-model constants (src/hw/cost_model.h) use the same unit.
+#ifndef TLBSIM_SRC_SIM_TIME_H_
+#define TLBSIM_SRC_SIM_TIME_H_
+
+#include <cstdint>
+
+namespace tlbsim {
+
+// Simulated CPU cycles. Signed so that subtraction is safe in intermediate
+// expressions; negative durations are a logic error and are asserted against
+// at the engine boundary.
+using Cycles = int64_t;
+
+inline constexpr Cycles kNever = INT64_MAX;
+
+}  // namespace tlbsim
+
+#endif  // TLBSIM_SRC_SIM_TIME_H_

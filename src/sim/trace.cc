@@ -1,0 +1,27 @@
+#include "src/sim/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+namespace tlbsim {
+
+std::string Trace::Render() const {
+  std::vector<const TraceEvent*> ordered;
+  ordered.reserve(events_.size());
+  for (const TraceEvent& e : events_) {
+    ordered.push_back(&e);
+  }
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const TraceEvent* a, const TraceEvent* b) { return a->at < b->at; });
+  std::string out;
+  char line[256];
+  for (const TraceEvent* e : ordered) {
+    std::snprintf(line, sizeof(line), "%10lld  cpu%-3d  %s\n", static_cast<long long>(e->at),
+                  e->cpu, e->tag.c_str());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace tlbsim

@@ -1,0 +1,112 @@
+#include "src/virt/ept.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tlbsim {
+
+void GuestContext::MapRange(uint64_t gva, uint64_t bytes, PageSize guest_size,
+                            PageSize host_size) {
+  guest_size_ = guest_size;
+  host_size_ = host_size;
+  uint64_t guest_gran = BytesOf(guest_size);
+  uint64_t host_gran = BytesOf(host_size);
+  assert(gva % guest_gran == 0);
+  bytes = PageAlignUp(bytes, guest_size);
+
+  for (uint64_t off = 0; off < bytes; off += guest_gran) {
+    uint64_t gpa = next_gpa_;
+    next_gpa_ += guest_gran;
+    guest_pt_.Map(gva + off, gpa >> kPageShift,
+                  PteFlags::kPresent | PteFlags::kUser | PteFlags::kWrite, guest_size);
+    // Back this guest page with host frames at `host_size` granularity.
+    for (uint64_t h = 0; h < guest_gran; h += host_gran) {
+      uint64_t hpa_frames = host_gran / kPageSize4K;
+      uint64_t pfn = host_frames_->Alloc(hpa_frames);
+      ept_.Map(gpa + h, pfn, PteFlags::kPresent | PteFlags::kUser | PteFlags::kWrite, host_size);
+    }
+  }
+}
+
+XlateResult GuestMmu::Translate(SimCpu& cpu, GuestContext& g, uint64_t gva, AccessIntent intent) {
+  XlateResult r;
+  const CostModel& costs = cpu.costs();
+
+  auto hit = cpu.tlb().Lookup(g.pcid(), gva);
+  if (hit.has_value()) {
+    Pte p(hit->flags);
+    if ((!intent.write || p.writable()) && (!intent.user || p.user())) {
+      r.ok = true;
+      r.tlb_hit = true;
+      r.pte = Pte::Make(hit->pfn, hit->flags);
+      r.size = hit->size;
+      r.pa = (hit->pfn << kPageShift) + (gva & (BytesOf(hit->size) - 1));
+      return r;
+    }
+    cpu.tlb().DropTranslation(g.pcid(), gva);
+  }
+
+  // Nested walk: guest levels x (1 + EPT levels) structure accesses. A PWC
+  // hit shortcuts most of it.
+  bool pwc_hit = cpu.pwc().Lookup(g.pcid(), gva);
+  Cycles walk_cost;
+  if (pwc_hit) {
+    walk_cost = costs.walk_pwc_hit * 2;  // still pays the leaf EPT walk
+  } else {
+    int l = costs.walk_levels;
+    walk_cost = static_cast<Cycles>((l + 1) * (l + 1) - 1) * costs.walk_step;
+  }
+  cpu.AdvanceInline(walk_cost);
+
+  PageTable::WalkResult gw = g.guest_pt().Walk(gva);
+  if (!gw.present) {
+    r.fault = FaultKind::kNotPresent;
+    return r;
+  }
+  uint64_t gpa = (gw.pte.pfn() << kPageShift) + (gva & (BytesOf(gw.size) - 1));
+  PageTable::WalkResult hw = g.ept().Walk(gpa);
+  if (!hw.present) {
+    r.fault = FaultKind::kNotPresent;  // EPT violation
+    return r;
+  }
+
+  // Cached granule: min(guest, host) page size.
+  PageSize eff = (gw.size == PageSize::k2M && hw.size == PageSize::k2M) ? PageSize::k2M
+                                                                        : PageSize::k4K;
+  bool fractured = gw.size == PageSize::k2M && hw.size == PageSize::k4K;
+
+  uint64_t hpa = (hw.pte.pfn() << kPageShift) + (gpa & (BytesOf(hw.size) - 1));
+  TlbEntry e;
+  e.vpn = gva >> ShiftOf(eff);
+  e.pcid = g.pcid();
+  e.pfn = hpa >> kPageShift;
+  // Effective permissions: intersection of guest and EPT rights.
+  uint64_t flags = PteFlags::kPresent | PteFlags::kUser;
+  if (gw.pte.writable() && hw.pte.writable()) {
+    flags |= PteFlags::kWrite;
+  }
+  e.flags = flags;
+  e.size = eff;
+  e.global = false;
+  e.fractured = fractured;
+  cpu.tlb().Insert(e);
+  cpu.pwc().Insert(g.pcid(), gva);
+
+  r.ok = true;
+  r.pte = Pte::Make(e.pfn, flags);
+  r.size = eff;
+  r.pa = hpa;
+  return r;
+}
+
+void GuestMmu::GuestInvlpg(SimCpu& cpu, GuestContext& g, uint64_t gva) {
+  cpu.ArchInvlPg(g.pcid(), gva);
+  cpu.AdvanceInline(cpu.costs().invlpg);
+}
+
+void GuestMmu::GuestFullFlush(SimCpu& cpu, GuestContext& g) {
+  cpu.ArchFlushPcid(g.pcid());
+  cpu.AdvanceInline(cpu.costs().cr3_write_flush);
+}
+
+}  // namespace tlbsim

@@ -1,0 +1,69 @@
+// Two-dimensional paging (guest page tables + host EPT) and the page
+// fracturing behaviour of paper §7 / Table 4.
+//
+// Under virtualization the TLB caches GVA->HPA translations that merge a
+// guest-page-table walk (GVA->GPA) with EPT walks (GPA->HPA). The *cached*
+// translation granule is min(guest page size, host page size): a guest 2MB
+// page backed by host 4KB pages "fractures" into 4KB TLB entries
+// ("splintering" [27]). Intel CPUs then degrade ANY selective flush to a
+// full TLB flush while such an entry may be cached — modelled by the
+// `fractured` bit on TLB entries (src/hw/tlb.h).
+#ifndef TLBSIM_SRC_VIRT_EPT_H_
+#define TLBSIM_SRC_VIRT_EPT_H_
+
+#include <cstdint>
+
+#include "src/hw/cpu.h"
+#include "src/hw/mmu.h"
+#include "src/mm/page_table.h"
+#include "src/mm/phys.h"
+
+namespace tlbsim {
+
+// One guest address space on one host: a guest page table (GVA -> GPA) and
+// the host's EPT (GPA -> HPA).
+class GuestContext {
+ public:
+  GuestContext(FrameAllocator* host_frames, uint16_t pcid)
+      : host_frames_(host_frames), pcid_(pcid) {}
+
+  // Maps [gva, gva+bytes) with `guest_size` pages in the guest page table
+  // and `host_size` pages in the EPT, allocating backing host frames.
+  void MapRange(uint64_t gva, uint64_t bytes, PageSize guest_size, PageSize host_size);
+
+  PageTable& guest_pt() { return guest_pt_; }
+  PageTable& ept() { return ept_; }
+  uint16_t pcid() const { return pcid_; }
+  PageSize guest_size() const { return guest_size_; }
+  PageSize host_size() const { return host_size_; }
+
+ private:
+  FrameAllocator* host_frames_;
+  uint16_t pcid_;
+  PageTable guest_pt_;  // GVA -> GPA
+  PageTable ept_;       // GPA -> HPA
+  PageSize guest_size_ = PageSize::k4K;
+  PageSize host_size_ = PageSize::k4K;
+  uint64_t next_gpa_ = 1ULL << 30;  // guest-physical allocation cursor
+};
+
+// MMU front-end for guest execution: nested walks, fractured TLB fills.
+class GuestMmu {
+ public:
+  // Translates a guest-virtual address, filling the TLB with a (possibly
+  // fractured) combined translation. Charges the two-dimensional walk cost:
+  // each guest level's paging-structure access itself requires an EPT walk,
+  // so a cold nested walk touches up to (L+1)^2 - 1 structures.
+  static XlateResult Translate(SimCpu& cpu, GuestContext& g, uint64_t gva, AccessIntent intent);
+
+  // Guest-initiated INVLPG: selective flush of one GVA; degrades to a full
+  // flush when fracturing applies (hardware behaviour, Table 4).
+  static void GuestInvlpg(SimCpu& cpu, GuestContext& g, uint64_t gva);
+
+  // Guest-initiated full flush (CR3 write in the guest).
+  static void GuestFullFlush(SimCpu& cpu, GuestContext& g);
+};
+
+}  // namespace tlbsim
+
+#endif  // TLBSIM_SRC_VIRT_EPT_H_

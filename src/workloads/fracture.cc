@@ -1,0 +1,65 @@
+#include "src/workloads/fracture.h"
+
+namespace tlbsim {
+
+namespace {
+constexpr uint64_t kBase = 0x600000000000ULL;
+constexpr uint64_t kUnmappedVa = 0x7f0000000000ULL;
+}  // namespace
+
+FractureResult RunFractureWorkload(const FractureConfig& cfg) {
+  MachineConfig mc;
+  mc.costs.jitter_frac = 0.0;
+  Machine machine(mc);
+  SimCpu& cpu = machine.cpu(0);
+  cpu.tlb().set_fracture_degrade_enabled(!cfg.disable_fracture_degrade);
+  FrameAllocator frames;
+  FractureResult out;
+
+  Cycles walk_begin = cpu.now();
+  if (cfg.vm) {
+    GuestContext guest(&frames, /*pcid=*/9);
+    guest.MapRange(kBase, cfg.working_set_bytes, cfg.guest_size, cfg.host_size);
+    uint64_t stride = kPageSize4K;  // access every 4K (touches each TLB granule)
+    for (int r = 0; r < cfg.rounds; ++r) {
+      for (uint64_t off = 0; off < cfg.working_set_bytes; off += stride) {
+        XlateResult xr = GuestMmu::Translate(cpu, guest, kBase + off, AccessIntent{});
+        (void)xr;
+      }
+      if (cfg.selective_flush) {
+        GuestMmu::GuestInvlpg(cpu, guest, kUnmappedVa);
+      } else {
+        GuestMmu::GuestFullFlush(cpu, guest);
+      }
+    }
+  } else {
+    PageTable pt;
+    uint64_t gran = BytesOf(cfg.host_size);
+    for (uint64_t off = 0; off < cfg.working_set_bytes; off += gran) {
+      uint64_t pfn = frames.Alloc(gran / kPageSize4K);
+      pt.Map(kBase + off, pfn, PteFlags::kPresent | PteFlags::kUser | PteFlags::kWrite,
+             cfg.host_size);
+    }
+    cpu.LoadAddressSpace(&pt, /*pcid=*/9);
+    for (int r = 0; r < cfg.rounds; ++r) {
+      for (uint64_t off = 0; off < cfg.working_set_bytes; off += kPageSize4K) {
+        XlateResult xr = Mmu::Translate(cpu, kBase + off, AccessIntent{});
+        (void)xr;
+      }
+      if (cfg.selective_flush) {
+        cpu.ArchInvlPg(9, kUnmappedVa);
+        cpu.AdvanceInline(machine.costs().invlpg);
+      } else {
+        cpu.ArchFlushPcid(9);
+        cpu.AdvanceInline(machine.costs().cr3_write_flush);
+      }
+    }
+  }
+
+  out.dtlb_misses = cpu.tlb().stats().misses;
+  out.fracture_forced_full = cpu.tlb().stats().fracture_forced_full;
+  out.walk_cycles = cpu.now() - walk_begin;
+  return out;
+}
+
+}  // namespace tlbsim

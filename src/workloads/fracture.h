@@ -1,0 +1,41 @@
+// Table-4 workload: dTLB misses after full vs selective flushes, under
+// virtualization (guest x host page-size combinations) and on bare metal.
+//
+// A working set is accessed repeatedly; between rounds, either a full TLB
+// flush or a selective flush of an UNMAPPED page (as in the paper: "the
+// flushed page was not mapped ... so it could not have been cached") is
+// issued. With guest-2MB-on-host-4KB translations resident, the selective
+// flush degrades to a full flush and the miss count explodes.
+#ifndef TLBSIM_SRC_WORKLOADS_FRACTURE_H_
+#define TLBSIM_SRC_WORKLOADS_FRACTURE_H_
+
+#include <cstdint>
+
+#include "src/core/system.h"
+#include "src/virt/ept.h"
+
+namespace tlbsim {
+
+struct FractureConfig {
+  bool vm = true;
+  PageSize guest_size = PageSize::k4K;  // ignored for bare metal
+  PageSize host_size = PageSize::k4K;
+  bool selective_flush = false;  // false: full flush between rounds
+  uint64_t working_set_bytes = 4ULL << 20;  // 4MB
+  int rounds = 50;
+  // Ablation: the paravirtual/ISA mitigation of §7 — selective flushes do
+  // not degrade even with fractured entries.
+  bool disable_fracture_degrade = false;
+};
+
+struct FractureResult {
+  uint64_t dtlb_misses = 0;
+  uint64_t fracture_forced_full = 0;
+  Cycles walk_cycles = 0;  // total cycles spent translating
+};
+
+FractureResult RunFractureWorkload(const FractureConfig& config);
+
+}  // namespace tlbsim
+
+#endif  // TLBSIM_SRC_WORKLOADS_FRACTURE_H_

@@ -1,0 +1,144 @@
+// CoherenceModel: MESI-ish state transitions, cost classes, counters.
+#include "src/cache/coherence.h"
+
+#include <gtest/gtest.h>
+
+namespace tlbsim {
+namespace {
+
+class CoherenceTest : public ::testing::Test {
+ protected:
+  Topology topo_;
+  CacheCosts costs_;
+  CoherenceModel model_{topo_, costs_};
+};
+
+TEST_F(CoherenceTest, ColdMissFillsFromMemory) {
+  LineId l = model_.AllocateLine("x");
+  EXPECT_EQ(model_.Access(0, l, AccessType::kRead), costs_.memory_fill);
+  EXPECT_EQ(model_.global_stats().memory_fills, 1u);
+}
+
+TEST_F(CoherenceTest, RepeatReadIsL1Hit) {
+  LineId l = model_.AllocateLine("x");
+  model_.Access(0, l, AccessType::kRead);
+  EXPECT_EQ(model_.Access(0, l, AccessType::kRead), costs_.l1_hit);
+}
+
+TEST_F(CoherenceTest, OwnerWriteAfterFillIsHit) {
+  LineId l = model_.AllocateLine("x");
+  model_.Access(0, l, AccessType::kWrite);
+  EXPECT_EQ(model_.Access(0, l, AccessType::kWrite), costs_.l1_hit);
+}
+
+TEST_F(CoherenceTest, CrossSocketReadTransfer) {
+  LineId l = model_.AllocateLine("x");
+  model_.Access(0, l, AccessType::kWrite);
+  // CPU 28 is on socket 1.
+  EXPECT_EQ(model_.Access(28, l, AccessType::kRead), costs_.cross_socket_transfer);
+  EXPECT_EQ(model_.global_stats().cross_socket_transfers, 1u);
+}
+
+TEST_F(CoherenceTest, SameSocketReadTransfer) {
+  LineId l = model_.AllocateLine("x");
+  model_.Access(0, l, AccessType::kWrite);
+  EXPECT_EQ(model_.Access(4, l, AccessType::kRead), costs_.same_socket_transfer);
+}
+
+TEST_F(CoherenceTest, SmtSiblingTransferIsCheapest) {
+  LineId l = model_.AllocateLine("x");
+  model_.Access(0, l, AccessType::kWrite);
+  EXPECT_EQ(model_.Access(1, l, AccessType::kRead), costs_.smt_transfer);
+}
+
+TEST_F(CoherenceTest, ReadDowngradesOwnerThenBothHit) {
+  LineId l = model_.AllocateLine("x");
+  model_.Access(0, l, AccessType::kWrite);
+  model_.Access(2, l, AccessType::kRead);
+  // Both copies now shared: reads hit everywhere.
+  EXPECT_EQ(model_.Access(0, l, AccessType::kRead), costs_.l1_hit);
+  EXPECT_EQ(model_.Access(2, l, AccessType::kRead), costs_.l1_hit);
+}
+
+TEST_F(CoherenceTest, WriteInvalidatesSharers) {
+  LineId l = model_.AllocateLine("x");
+  model_.Access(0, l, AccessType::kRead);   // fill, cpu0 owner
+  model_.Access(2, l, AccessType::kRead);   // shared 0,2
+  model_.Access(28, l, AccessType::kRead);  // shared 0,2,28
+  uint64_t inv_before = model_.global_stats().invalidations;
+  model_.Access(0, l, AccessType::kWrite);  // must invalidate 2 and 28
+  EXPECT_EQ(model_.global_stats().invalidations - inv_before, 2u);
+  // After the write, reader 2 misses again.
+  EXPECT_GT(model_.Access(2, l, AccessType::kRead), costs_.l1_hit);
+}
+
+TEST_F(CoherenceTest, AtomicRmwBehavesLikeWrite) {
+  LineId l = model_.AllocateLine("x");
+  model_.Access(0, l, AccessType::kRead);
+  model_.Access(2, l, AccessType::kRead);
+  uint64_t inv_before = model_.global_stats().invalidations;
+  model_.Access(2, l, AccessType::kAtomicRmw);
+  EXPECT_EQ(model_.global_stats().invalidations - inv_before, 1u);
+  EXPECT_EQ(model_.Access(2, l, AccessType::kWrite), costs_.l1_hit);
+}
+
+TEST_F(CoherenceTest, UpgradeCostReflectsFarthestSharer) {
+  LineId l = model_.AllocateLine("x");
+  model_.Access(0, l, AccessType::kRead);
+  model_.Access(28, l, AccessType::kRead);  // cross-socket sharer
+  EXPECT_EQ(model_.Access(0, l, AccessType::kWrite), costs_.cross_socket_transfer);
+}
+
+TEST_F(CoherenceTest, PingPongCountsTransfersPerBounce) {
+  LineId l = model_.AllocateLine("x");
+  model_.Access(0, l, AccessType::kWrite);
+  uint64_t t0 = model_.global_stats().transfers;
+  for (int i = 0; i < 10; ++i) {
+    model_.Access(28, l, AccessType::kWrite);
+    model_.Access(0, l, AccessType::kWrite);
+  }
+  EXPECT_EQ(model_.global_stats().transfers - t0, 20u);
+}
+
+TEST_F(CoherenceTest, PerLineStatsTracked) {
+  LineId a = model_.AllocateLine("a");
+  LineId b = model_.AllocateLine("b");
+  model_.Access(0, a, AccessType::kWrite);
+  model_.Access(2, a, AccessType::kWrite);
+  model_.Access(0, b, AccessType::kRead);
+  auto sa = model_.StatsFor(a);
+  auto sb = model_.StatsFor(b);
+  EXPECT_EQ(sa.accesses, 2u);
+  EXPECT_EQ(sa.transfers, 1u);
+  EXPECT_EQ(sb.accesses, 1u);
+  EXPECT_EQ(sb.transfers, 0u);
+}
+
+TEST_F(CoherenceTest, NamesRoundTrip) {
+  LineId a = model_.AllocateLine("my.line");
+  EXPECT_EQ(model_.NameOf(a), "my.line");
+  EXPECT_EQ(model_.NameOf(CoherenceModel::LineOfAddress(0x1000)), "<data>");
+}
+
+TEST_F(CoherenceTest, LineOfAddressGroups64Bytes) {
+  EXPECT_EQ(CoherenceModel::LineOfAddress(0x1000), CoherenceModel::LineOfAddress(0x103F));
+  EXPECT_NE(CoherenceModel::LineOfAddress(0x1000), CoherenceModel::LineOfAddress(0x1040));
+}
+
+TEST_F(CoherenceTest, ResetStatsClearsGlobalAndPerLine) {
+  LineId a = model_.AllocateLine("a");
+  model_.Access(0, a, AccessType::kWrite);
+  model_.ResetStats();
+  EXPECT_EQ(model_.global_stats().accesses, 0u);
+  EXPECT_EQ(model_.StatsFor(a).accesses, 0u);
+}
+
+TEST_F(CoherenceTest, EvictAllForcesMemoryFill) {
+  LineId a = model_.AllocateLine("a");
+  model_.Access(0, a, AccessType::kWrite);
+  model_.EvictAll(a);
+  EXPECT_EQ(model_.Access(0, a, AccessType::kRead), costs_.memory_fill);
+}
+
+}  // namespace
+}  // namespace tlbsim

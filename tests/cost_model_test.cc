@@ -1,0 +1,87 @@
+// Guardrails on the cost model: the orderings the paper's effects depend on.
+// If a calibration change breaks one of these, the reproduction's shape
+// claims are no longer grounded.
+#include "src/hw/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace tlbsim {
+namespace {
+
+TEST(CostModelTest, InvpcidSlowerThanInvlpg) {
+  CostModel c;
+  // §3.4 [23]: INVPCID individual-address is slower than INVLPG — the whole
+  // point of in-context flushing.
+  EXPECT_GT(c.invpcid_addr, c.invlpg);
+}
+
+TEST(CostModelTest, InvlpgMatchesPaperOrderOfMagnitude) {
+  CostModel c;
+  // §2.2 [7,17]: ~200 cycles for a local INVLPG.
+  EXPECT_GE(c.invlpg, 100);
+  EXPECT_LE(c.invlpg, 400);
+}
+
+TEST(CostModelTest, IpiDeliveryOverThousandCycles) {
+  CostModel c;
+  // §3.2: IPI delivery "potentially over 1000 cycles" — at least cross-socket.
+  EXPECT_GT(c.ipi_wire_cross_socket, 1000);
+}
+
+TEST(CostModelTest, WireLatencyOrdersByDistance) {
+  CostModel c;
+  EXPECT_LT(c.ipi_wire_smt, c.ipi_wire_same_socket);
+  EXPECT_LT(c.ipi_wire_same_socket, c.ipi_wire_cross_socket);
+}
+
+TEST(CostModelTest, CacheTransfersOrderByDistance) {
+  CostModel c;
+  EXPECT_LT(c.cache.l1_hit, c.cache.smt_transfer);
+  EXPECT_LT(c.cache.smt_transfer, c.cache.same_socket_transfer);
+  EXPECT_LT(c.cache.same_socket_transfer, c.cache.cross_socket_transfer);
+  EXPECT_LT(c.cache.cross_socket_transfer, c.cache.memory_fill);
+}
+
+TEST(CostModelTest, PtiMakesTransitionsMoreExpensive) {
+  CostModel c;
+  EXPECT_GT(c.pti_entry_extra, 0);
+  EXPECT_GT(c.pti_exit_extra, 0);
+}
+
+TEST(CostModelTest, UserIrqEntryCostsMoreThanKernel) {
+  CostModel c;
+  // The §5.2 anomaly (IPIs landing in user code dispatch slower) depends on
+  // this ordering even before the PTI extra.
+  EXPECT_GT(c.irq_entry_user, c.irq_entry_kernel);
+}
+
+TEST(CostModelTest, FullFlushCheaperThanManySelective) {
+  CostModel c;
+  // The 33-entry ceiling only makes sense if a full flush undercuts ~33
+  // selective flushes...
+  EXPECT_LT(c.cr3_write_flush, 33 * c.invlpg);
+  // ...but not a single one.
+  EXPECT_GT(c.cr3_write_flush, c.invlpg);
+}
+
+TEST(CostModelTest, WalkCheaperWithPwc) {
+  CostModel c;
+  EXPECT_LT(c.walk_pwc_hit, static_cast<Cycles>(c.walk_levels) * c.walk_step);
+}
+
+TEST(CostModelTest, NmiHeavierThanIrq) {
+  CostModel c;
+  // §3.2: "the NMI handler is already expensive" — the uaccess check rides
+  // on a path that dwarfs it.
+  EXPECT_GT(c.nmi_entry, c.irq_entry_kernel);
+  EXPECT_GT(c.nmi_entry, 10 * c.nmi_uaccess_check);
+}
+
+TEST(CostModelTest, JitterFractionSane) {
+  CostModel c;
+  EXPECT_GE(c.jitter_frac, 0.0);
+  EXPECT_LT(c.jitter_frac, 0.2);
+}
+
+}  // namespace
+}  // namespace tlbsim

@@ -1,0 +1,181 @@
+// Engine: event ordering, cancellation, spawn, RunUntil semantics.
+#include "src/sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/rng.h"
+
+namespace tlbsim {
+namespace {
+
+TEST(EngineTest, RunsEventsInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.Schedule(30, [&] { order.push_back(3); });
+  e.Schedule(10, [&] { order.push_back(1); });
+  e.Schedule(20, [&] { order.push_back(2); });
+  e.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), 30);
+}
+
+TEST(EngineTest, SameTimeEventsRunFifo) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    e.Schedule(5, [&order, i] { order.push_back(i); });
+  }
+  e.Run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(EngineTest, NowAdvancesOnlyToFiredEvents) {
+  Engine e;
+  e.Schedule(100, [] {});
+  EXPECT_EQ(e.now(), 0);
+  e.Run();
+  EXPECT_EQ(e.now(), 100);
+}
+
+TEST(EngineTest, CancelPreventsExecution) {
+  Engine e;
+  bool ran = false;
+  auto id = e.Schedule(10, [&] { ran = true; });
+  e.Cancel(id);
+  e.Run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(EngineTest, CancelInvalidIdIsNoop) {
+  Engine e;
+  e.Cancel(Engine::kInvalidEvent);
+  e.Cancel(12345);
+  bool ran = false;
+  e.Schedule(1, [&] { ran = true; });
+  e.Run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(EngineTest, CancelOneOfManyAtSameTime) {
+  Engine e;
+  std::vector<int> order;
+  e.Schedule(10, [&] { order.push_back(0); });
+  auto id = e.Schedule(10, [&] { order.push_back(1); });
+  e.Schedule(10, [&] { order.push_back(2); });
+  e.Cancel(id);
+  e.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 2}));
+}
+
+TEST(EngineTest, EventsCanScheduleMoreEvents) {
+  Engine e;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 5) {
+      e.ScheduleAfter(10, chain);
+    }
+  };
+  e.Schedule(0, chain);
+  e.Run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(e.now(), 40);
+}
+
+TEST(EngineTest, RunUntilStopsAtDeadline) {
+  Engine e;
+  int fired = 0;
+  e.Schedule(10, [&] { ++fired; });
+  e.Schedule(20, [&] { ++fired; });
+  e.Schedule(30, [&] { ++fired; });
+  bool drained = e.RunUntil(20);
+  EXPECT_FALSE(drained);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(e.now(), 20);
+  EXPECT_TRUE(e.RunUntil(100));
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(EngineTest, RunUntilDrainedReportsTrue) {
+  Engine e;
+  e.Schedule(5, [] {});
+  EXPECT_TRUE(e.RunUntil(10));
+}
+
+TEST(EngineTest, EmptyReflectsCancellation) {
+  Engine e;
+  auto id = e.Schedule(10, [] {});
+  EXPECT_FALSE(e.empty());
+  e.Cancel(id);
+  EXPECT_TRUE(e.empty());
+}
+
+TEST(EngineTest, EventsProcessedCountsOnlyLiveEvents) {
+  Engine e;
+  e.Schedule(1, [] {});
+  auto id = e.Schedule(2, [] {});
+  e.Cancel(id);
+  e.Schedule(3, [] {});
+  e.Run();
+  EXPECT_EQ(e.events_processed(), 2u);
+}
+
+TEST(EngineTest, ManyEventsStress) {
+  Engine e;
+  int64_t sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    e.Schedule(i % 997, [&sum, i] { sum += i; });
+  }
+  e.Run();
+  EXPECT_EQ(sum, 10000LL * 9999 / 2);
+}
+
+// Property: under random schedules (including events scheduling events and
+// random cancellations), observed firing times are non-decreasing and every
+// non-cancelled event fires exactly once.
+TEST(EnginePropertyTest, TimeMonotoneAndExactlyOnce) {
+  Rng rng(123);
+  Engine e;
+  std::vector<int> fired(2000, 0);
+  std::vector<Engine::EventId> ids;
+  Cycles last_seen = 0;
+  int next_tag = 0;
+  std::function<void(int)> body = [&](int tag) {
+    EXPECT_GE(e.now(), last_seen);
+    last_seen = e.now();
+    ++fired[static_cast<size_t>(tag)];
+    // Some events spawn follow-ups.
+    if (next_tag < 1500 && tag % 3 == 0) {
+      int t = next_tag++;
+      ids.push_back(e.ScheduleAfter(rng.UniformInt(0, 50), [&body, t] { body(t); }));
+    }
+  };
+  std::vector<int> cancelled;
+  for (int i = 0; i < 500; ++i) {
+    int t = next_tag++;
+    ids.push_back(e.Schedule(rng.UniformInt(0, 1000), [&body, t] { body(t); }));
+  }
+  // Cancel a random sample up front.
+  for (int i = 0; i < 100; ++i) {
+    auto idx = static_cast<size_t>(rng.UniformInt(0, 499));
+    e.Cancel(ids[idx]);
+    cancelled.push_back(static_cast<int>(idx));
+  }
+  e.Run();
+  for (int i = 0; i < next_tag; ++i) {
+    bool was_cancelled =
+        std::find(cancelled.begin(), cancelled.end(), i) != cancelled.end();
+    if (was_cancelled) {
+      EXPECT_EQ(fired[static_cast<size_t>(i)], 0) << i;
+    } else {
+      EXPECT_EQ(fired[static_cast<size_t>(i)], 1) << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tlbsim

@@ -1,0 +1,132 @@
+// GuestContext/GuestMmu: nested translation, effective page sizes, fracture
+// bit propagation, guest flush semantics (paper §7 / Table 4).
+#include "src/virt/ept.h"
+
+#include <gtest/gtest.h>
+
+#include "src/hw/machine.h"
+
+namespace tlbsim {
+namespace {
+
+constexpr uint64_t kGva = 0x600000000000ULL;
+
+class EptTest : public ::testing::Test {
+ protected:
+  EptTest() : machine_(Config()), cpu_(machine_.cpu(0)) {}
+  static MachineConfig Config() {
+    MachineConfig cfg;
+    cfg.costs.jitter_frac = 0.0;
+    return cfg;
+  }
+  Machine machine_;
+  SimCpu& cpu_;
+  FrameAllocator frames_;
+};
+
+TEST_F(EptTest, TranslatesThroughBothLevels) {
+  GuestContext g(&frames_, 9);
+  g.MapRange(kGva, 4 * kPageSize4K, PageSize::k4K, PageSize::k4K);
+  auto r = GuestMmu::Translate(cpu_, g, kGva + 0x123, AccessIntent{});
+  ASSERT_TRUE(r.ok);
+  EXPECT_FALSE(r.tlb_hit);
+  EXPECT_EQ(r.size, PageSize::k4K);
+  // Second access hits the combined GVA->HPA entry.
+  auto r2 = GuestMmu::Translate(cpu_, g, kGva, AccessIntent{});
+  EXPECT_TRUE(r2.tlb_hit);
+}
+
+TEST_F(EptTest, NestedWalkCostsMoreThanBareWalk) {
+  GuestContext g(&frames_, 9);
+  g.MapRange(kGva, kPageSize4K, PageSize::k4K, PageSize::k4K);
+  Cycles before = cpu_.now();
+  GuestMmu::Translate(cpu_, g, kGva, AccessIntent{});
+  Cycles nested = cpu_.now() - before;
+  Cycles bare = machine_.costs().walk_levels * machine_.costs().walk_step;
+  EXPECT_GT(nested, bare * 4);  // (L+1)^2 - 1 = 24 steps vs 4
+}
+
+TEST_F(EptTest, Guest2MOnHost2MCaches2MEntry) {
+  GuestContext g(&frames_, 9);
+  g.MapRange(kGva, kPageSize2M, PageSize::k2M, PageSize::k2M);
+  auto r = GuestMmu::Translate(cpu_, g, kGva + 0x12345, AccessIntent{});
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.size, PageSize::k2M);
+  EXPECT_FALSE(cpu_.tlb().has_fractured());
+}
+
+TEST_F(EptTest, Guest2MOnHost4KFractures) {
+  GuestContext g(&frames_, 9);
+  g.MapRange(kGva, kPageSize2M, PageSize::k2M, PageSize::k4K);
+  auto r = GuestMmu::Translate(cpu_, g, kGva, AccessIntent{});
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.size, PageSize::k4K);  // splintered granule
+  EXPECT_TRUE(cpu_.tlb().has_fractured());
+  // Distinct 4K pieces of the same guest 2M page translate separately.
+  auto ra = GuestMmu::Translate(cpu_, g, kGva, AccessIntent{});
+  auto rb = GuestMmu::Translate(cpu_, g, kGva + kPageSize4K, AccessIntent{});
+  EXPECT_TRUE(ra.tlb_hit);
+  EXPECT_FALSE(rb.tlb_hit);  // separate fill needed
+  EXPECT_NE(ra.pa >> kPageShift, rb.pa >> kPageShift);
+}
+
+TEST_F(EptTest, Guest4KOnHost2MDoesNotFracture) {
+  GuestContext g(&frames_, 9);
+  g.MapRange(kGva, 4 * kPageSize4K, PageSize::k4K, PageSize::k2M);
+  GuestMmu::Translate(cpu_, g, kGva, AccessIntent{});
+  EXPECT_FALSE(cpu_.tlb().has_fractured());
+}
+
+TEST_F(EptTest, SelectiveFlushOfUnmappedPageWipesFracturedTlb) {
+  GuestContext g(&frames_, 9);
+  g.MapRange(kGva, kPageSize2M, PageSize::k2M, PageSize::k4K);
+  for (int i = 0; i < 16; ++i) {
+    GuestMmu::Translate(cpu_, g, kGva + static_cast<uint64_t>(i) * kPageSize4K, AccessIntent{});
+  }
+  size_t before = cpu_.tlb().Occupancy();
+  EXPECT_GE(before, 16u);
+  GuestMmu::GuestInvlpg(cpu_, g, 0x7f0000000000ULL);  // unrelated address!
+  EXPECT_EQ(cpu_.tlb().Occupancy(), 0u);              // full flush (Table 4)
+  EXPECT_EQ(cpu_.tlb().stats().fracture_forced_full, 1u);
+}
+
+TEST_F(EptTest, SelectiveFlushWithoutFractureIsSelective) {
+  GuestContext g(&frames_, 9);
+  g.MapRange(kGva, 16 * kPageSize4K, PageSize::k4K, PageSize::k4K);
+  for (int i = 0; i < 16; ++i) {
+    GuestMmu::Translate(cpu_, g, kGva + static_cast<uint64_t>(i) * kPageSize4K, AccessIntent{});
+  }
+  GuestMmu::GuestInvlpg(cpu_, g, kGva);  // drop one
+  EXPECT_EQ(cpu_.tlb().Occupancy(), 15u);
+}
+
+TEST_F(EptTest, FullFlushResetsFractureState) {
+  GuestContext g(&frames_, 9);
+  g.MapRange(kGva, kPageSize2M, PageSize::k2M, PageSize::k4K);
+  GuestMmu::Translate(cpu_, g, kGva, AccessIntent{});
+  GuestMmu::GuestFullFlush(cpu_, g);
+  EXPECT_FALSE(cpu_.tlb().has_fractured());
+  EXPECT_EQ(cpu_.tlb().Occupancy(), 0u);
+}
+
+TEST_F(EptTest, EptPermissionsIntersect) {
+  GuestContext g(&frames_, 9);
+  g.MapRange(kGva, kPageSize4K, PageSize::k4K, PageSize::k4K);
+  // Revoke write in the EPT only.
+  uint64_t gpa = g.guest_pt().Walk(kGva).pte.pfn() << kPageShift;
+  Pte hpte = g.ept().Walk(gpa).pte;
+  g.ept().SetPte(gpa, hpte.WithFlags(0, PteFlags::kWrite));
+  auto r = GuestMmu::Translate(cpu_, g, kGva, AccessIntent{});
+  ASSERT_TRUE(r.ok);
+  EXPECT_FALSE(r.pte.writable());
+}
+
+TEST_F(EptTest, UnmappedGuestAddressFaults) {
+  GuestContext g(&frames_, 9);
+  auto r = GuestMmu::Translate(cpu_, g, kGva, AccessIntent{});
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.fault, FaultKind::kNotPresent);
+}
+
+}  // namespace
+}  // namespace tlbsim

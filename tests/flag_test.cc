@@ -1,0 +1,108 @@
+// SimFlag: set/clear semantics, waiter wakeups, time propagation.
+#include "src/sim/flag.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/engine.h"
+
+namespace tlbsim {
+namespace {
+
+TEST(FlagTest, StartsClear) {
+  Engine e;
+  SimFlag f(&e);
+  EXPECT_FALSE(f.is_set());
+}
+
+TEST(FlagTest, SetRecordsTime) {
+  Engine e;
+  SimFlag f(&e);
+  f.Set(123);
+  EXPECT_TRUE(f.is_set());
+  EXPECT_EQ(f.set_time(), 123);
+}
+
+TEST(FlagTest, WaiterWokenAtSetTime) {
+  Engine e;
+  SimFlag f(&e);
+  Cycles woke_at = -1;
+  f.AddWaiter([&](Cycles t) { woke_at = t; });
+  e.Schedule(40, [&] { f.Set(40); });
+  e.Run();
+  EXPECT_EQ(woke_at, 40);
+}
+
+TEST(FlagTest, AddWaiterOnSetFlagFiresImmediately) {
+  Engine e;
+  SimFlag f(&e);
+  f.Set(10);
+  Cycles woke_at = -1;
+  f.AddWaiter([&](Cycles t) { woke_at = t; });
+  e.Run();
+  EXPECT_EQ(woke_at, 10);
+}
+
+TEST(FlagTest, MultipleWaitersAllWokenInOrder) {
+  Engine e;
+  SimFlag f(&e);
+  std::vector<int> order;
+  f.AddWaiter([&](Cycles) { order.push_back(1); });
+  f.AddWaiter([&](Cycles) { order.push_back(2); });
+  f.AddWaiter([&](Cycles) { order.push_back(3); });
+  e.Schedule(5, [&] { f.Set(5); });
+  e.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(FlagTest, RemovedWaiterNotWoken) {
+  Engine e;
+  SimFlag f(&e);
+  bool woke = false;
+  auto token = f.AddWaiter([&](Cycles) { woke = true; });
+  f.RemoveWaiter(token);
+  e.Schedule(5, [&] { f.Set(5); });
+  e.Run();
+  EXPECT_FALSE(woke);
+}
+
+TEST(FlagTest, ClearReArms) {
+  Engine e;
+  SimFlag f(&e);
+  f.Set(5);
+  f.Clear();
+  EXPECT_FALSE(f.is_set());
+  int wakes = 0;
+  f.AddWaiter([&](Cycles) { ++wakes; });
+  e.Run();
+  EXPECT_EQ(wakes, 0);  // waiter registered after clear must not fire
+  f.Set(10);
+  e.Run();
+  EXPECT_EQ(wakes, 1);
+}
+
+TEST(FlagTest, SetWhileNoWaitersIsCheap) {
+  Engine e;
+  SimFlag f(&e);
+  f.Set(1);
+  f.Set(2);  // re-set updates the time
+  EXPECT_EQ(f.set_time(), 2);
+  EXPECT_TRUE(e.empty());
+}
+
+TEST(FlagTest, WaiterRegisteredDuringWakeupOfAnotherWaits) {
+  Engine e;
+  SimFlag f(&e);
+  int second = 0;
+  f.AddWaiter([&](Cycles) {
+    f.Clear();
+    f.AddWaiter([&](Cycles) { ++second; });
+  });
+  e.Schedule(5, [&] { f.Set(5); });
+  e.Run();
+  EXPECT_EQ(second, 0);  // re-armed; not set again
+}
+
+}  // namespace
+}  // namespace tlbsim

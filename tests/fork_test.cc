@@ -1,0 +1,173 @@
+// fork(2): CoW address-space duplication — the classic producer of the CoW
+// faults §4.1 optimizes, and itself a shootdown source (the parent's
+// writable pages are write-protected under other CPUs' noses).
+#include <gtest/gtest.h>
+
+#include "src/core/system.h"
+#include "tests/testutil.h"
+
+namespace tlbsim {
+namespace {
+
+class ForkTest : public ::testing::Test {
+ protected:
+  ForkTest() : sys_(TestConfig(OptimizationSet::All())) {
+    parent_ = sys_.kernel().CreateProcess();
+    pt_ = sys_.kernel().CreateThread(parent_, 0);
+  }
+  void Run(std::function<Co<void>()> body) {
+    sys_.machine().engine().Spawn(0, Go(std::move(body)));
+    sys_.machine().engine().Run();
+  }
+  System sys_;
+  Process* parent_;
+  Thread* pt_;
+};
+
+TEST_F(ForkTest, ChildSharesFramesCopyOnWrite) {
+  uint64_t addr = 0;
+  Process* child = nullptr;
+  Run([&]() -> Co<void> {
+    Kernel& k = sys_.kernel();
+    addr = co_await k.SysMmap(*pt_, 2 * kPageSize4K, true, false);
+    co_await k.UserAccess(*pt_, addr, true);
+    child = co_await k.SysFork(*pt_, /*child_cpu=*/4);
+  });
+  ASSERT_NE(child, nullptr);
+  auto pw = parent_->mm->pt.Walk(addr);
+  auto cw = child->mm->pt.Walk(addr);
+  ASSERT_TRUE(pw.present);
+  ASSERT_TRUE(cw.present);
+  EXPECT_EQ(pw.pte.pfn(), cw.pte.pfn());  // shared frame
+  EXPECT_FALSE(pw.pte.writable());        // both write-protected
+  EXPECT_FALSE(cw.pte.writable());
+  EXPECT_TRUE(pw.pte.cow());
+  EXPECT_TRUE(cw.pte.cow());
+  EXPECT_EQ(sys_.kernel().frames().RefCount(pw.pte.pfn()), 2u);
+  EXPECT_TRUE(TlbCoherent(sys_, *parent_->mm));
+  EXPECT_TRUE(TlbCoherent(sys_, *child->mm));
+}
+
+TEST_F(ForkTest, ParentWriteBreaksCowChildKeepsOldFrame) {
+  uint64_t addr = 0;
+  Process* child = nullptr;
+  uint64_t shared_pfn = 0;
+  Run([&]() -> Co<void> {
+    Kernel& k = sys_.kernel();
+    addr = co_await k.SysMmap(*pt_, kPageSize4K, true, false);
+    co_await k.UserAccess(*pt_, addr, true);
+    child = co_await k.SysFork(*pt_, 4);
+    shared_pfn = parent_->mm->pt.Walk(addr).pte.pfn();
+    co_await k.UserAccess(*pt_, addr, true);  // parent CoW break
+  });
+  auto pw = parent_->mm->pt.Walk(addr);
+  auto cw = child->mm->pt.Walk(addr);
+  EXPECT_NE(pw.pte.pfn(), shared_pfn);  // parent got a private copy
+  EXPECT_EQ(cw.pte.pfn(), shared_pfn);  // child keeps the original
+  EXPECT_TRUE(pw.pte.writable());
+  EXPECT_EQ(sys_.kernel().stats().cow_faults, 1u);
+  EXPECT_EQ(sys_.kernel().frames().RefCount(shared_pfn), 1u);
+  EXPECT_TRUE(TlbCoherent(sys_, *parent_->mm));
+  EXPECT_TRUE(TlbCoherent(sys_, *child->mm));
+}
+
+TEST_F(ForkTest, SoleOwnerChildWriteReusesFrame) {
+  uint64_t addr = 0;
+  Process* child = nullptr;
+  uint64_t shared_pfn = 0;
+  Run([&]() -> Co<void> {
+    Kernel& k = sys_.kernel();
+    addr = co_await k.SysMmap(*pt_, kPageSize4K, true, false);
+    co_await k.UserAccess(*pt_, addr, true);
+    child = co_await k.SysFork(*pt_, 4);
+    shared_pfn = parent_->mm->pt.Walk(addr).pte.pfn();
+    co_await k.UserAccess(*pt_, addr, true);  // parent breaks (copies)
+    // Now the child is sole owner: its write upgrades in place.
+    Thread* ct = child->threads[0].get();
+    co_await k.UserAccess(*ct, addr, true);
+  });
+  auto cw = child->mm->pt.Walk(addr);
+  EXPECT_EQ(cw.pte.pfn(), shared_pfn);  // reused, no second copy
+  EXPECT_TRUE(cw.pte.writable());
+  EXPECT_EQ(sys_.kernel().stats().cow_faults, 2u);
+}
+
+TEST_F(ForkTest, MultithreadedForkShootsDownSiblings) {
+  sys_.kernel().CreateThread(parent_, 2);  // second thread of the parent
+  sys_.machine().engine().Spawn(0, BusyLoop(sys_.machine().cpu(2), 500, 1000));
+  Run([&]() -> Co<void> {
+    Kernel& k = sys_.kernel();
+    uint64_t a = co_await k.SysMmap(*pt_, 4 * kPageSize4K, true, false);
+    for (int i = 0; i < 4; ++i) {
+      co_await k.UserAccess(*pt_, a + i * kPageSize4K, true);
+    }
+    co_await k.SysFork(*pt_, 4);
+  });
+  // The fork-time write-protection reached cpu 2.
+  EXPECT_GE(sys_.shootdown().stats().shootdowns, 1u);
+  EXPECT_GE(sys_.machine().apic().stats().ipis_sent, 1u);
+  EXPECT_TRUE(TlbCoherent(sys_, *parent_->mm));
+}
+
+TEST_F(ForkTest, SharedFileMappingStaysShared) {
+  File* f = sys_.kernel().CreateFile(1 << 16);
+  uint64_t addr = 0;
+  Process* child = nullptr;
+  Run([&]() -> Co<void> {
+    Kernel& k = sys_.kernel();
+    addr = co_await k.SysMmap(*pt_, kPageSize4K, true, /*shared=*/true, f);
+    co_await k.UserAccess(*pt_, addr, true);
+    child = co_await k.SysFork(*pt_, 4);
+  });
+  auto pw = parent_->mm->pt.Walk(addr);
+  auto cw = child->mm->pt.Walk(addr);
+  EXPECT_TRUE(pw.pte.writable());  // shared mappings are NOT write-protected
+  EXPECT_TRUE(cw.pte.writable());
+  EXPECT_EQ(pw.pte.pfn(), cw.pte.pfn());
+  EXPECT_FALSE(pw.pte.cow());
+}
+
+TEST_F(ForkTest, HugePageForkAndBreak) {
+  uint64_t addr = 0;
+  Process* child = nullptr;
+  Run([&]() -> Co<void> {
+    Kernel& k = sys_.kernel();
+    addr = co_await k.SysMmap(*pt_, kPageSize2M, true, false, nullptr, 0, PageSize::k2M);
+    co_await k.UserAccess(*pt_, addr, true);
+    child = co_await k.SysFork(*pt_, 4);
+    co_await k.UserAccess(*pt_, addr + 0x1234, true);  // parent CoW break (2MB copy)
+  });
+  auto pw = parent_->mm->pt.Walk(addr);
+  auto cw = child->mm->pt.Walk(addr);
+  ASSERT_TRUE(pw.present);
+  ASSERT_TRUE(cw.present);
+  EXPECT_EQ(pw.size, PageSize::k2M);
+  EXPECT_EQ(cw.size, PageSize::k2M);
+  EXPECT_NE(pw.pte.pfn(), cw.pte.pfn());
+  EXPECT_TRUE(TlbCoherent(sys_, *parent_->mm));
+  EXPECT_TRUE(TlbCoherent(sys_, *child->mm));
+}
+
+TEST_F(ForkTest, ForkWithCowAvoidanceStaysCoherentAcrossGenerations) {
+  // fork + CoW avoidance + repeated forks: the §4.1 write trick must stay
+  // sound when refcounts go 2 -> 1 -> 2 again.
+  Run([&]() -> Co<void> {
+    Kernel& k = sys_.kernel();
+    uint64_t a = co_await k.SysMmap(*pt_, 4 * kPageSize4K, true, false);
+    for (int i = 0; i < 4; ++i) {
+      co_await k.UserAccess(*pt_, a + i * kPageSize4K, true);
+    }
+    Process* c1 = co_await k.SysFork(*pt_, 4);
+    co_await k.UserAccess(*pt_, a, true);  // break page 0
+    Process* c2 = co_await k.SysFork(*pt_, 6);
+    co_await k.UserAccess(*pt_, a, true);          // break again vs c2
+    co_await k.UserAccess(*pt_, a + kPageSize4K, true);
+    EXPECT_TRUE(TlbCoherent(sys_, *c1->mm));
+    EXPECT_TRUE(TlbCoherent(sys_, *c2->mm));
+  });
+  EXPECT_TRUE(TlbCoherent(sys_, *parent_->mm));
+  EXPECT_GE(sys_.shootdown().stats().cow_flush_avoided, 2u);
+}
+
+}  // namespace
+}  // namespace tlbsim

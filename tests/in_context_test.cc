@@ -1,0 +1,189 @@
+// In-context flushing (§3.4) edge cases: range merging, the 33-entry
+// threshold promotion, freed-tables exclusion, the IRET/compat32 caveat,
+// and the deferred-state bookkeeping.
+#include <gtest/gtest.h>
+
+#include "src/core/system.h"
+#include "tests/testutil.h"
+
+namespace tlbsim {
+namespace {
+
+OptimizationSet InContext() {
+  OptimizationSet o;
+  o.in_context_flush = true;
+  return o;
+}
+
+TEST(DeferredUserFlushTest, MergeGrowsRange) {
+  DeferredUserFlush d;
+  d.MergeRange(0x1000, 0x2000, 12, 33);
+  EXPECT_TRUE(d.any);
+  EXPECT_FALSE(d.full);
+  EXPECT_EQ(d.start, 0x1000u);
+  EXPECT_EQ(d.end, 0x2000u);
+  d.MergeRange(0x5000, 0x6000, 12, 33);
+  EXPECT_EQ(d.start, 0x1000u);
+  EXPECT_EQ(d.end, 0x6000u);
+  EXPECT_EQ(d.pages, 5u);  // merged range covers the gap
+}
+
+TEST(DeferredUserFlushTest, ThresholdPromotesToFull) {
+  DeferredUserFlush d;
+  d.MergeRange(0, 40 * kPageSize4K, 12, 33);
+  EXPECT_TRUE(d.full);
+}
+
+TEST(DeferredUserFlushTest, MergedGapCanPromote) {
+  DeferredUserFlush d;
+  d.MergeRange(0x1000, 0x2000, 12, 33);
+  // A far-away page makes the merged range exceed the threshold.
+  d.MergeRange(0x1000 + 100 * kPageSize4K, 0x2000 + 100 * kPageSize4K, 12, 33);
+  EXPECT_TRUE(d.full);
+}
+
+TEST(DeferredUserFlushTest, MarkFullSticky) {
+  DeferredUserFlush d;
+  d.MarkFull();
+  d.MergeRange(0x1000, 0x2000, 12, 33);
+  EXPECT_TRUE(d.full);
+  d.Reset();
+  EXPECT_FALSE(d.any);
+  EXPECT_FALSE(d.full);
+}
+
+TEST(DeferredUserFlushTest, StrideUpgradesToLargest) {
+  DeferredUserFlush d;
+  d.MergeRange(0, kPageSize4K, 12, 33);
+  d.MergeRange(0, kPageSize2M, 21, 33);
+  EXPECT_EQ(d.stride_shift, 21);
+}
+
+struct Rig {
+  explicit Rig(OptimizationSet opts) : sys(TestConfig(opts)) {
+    proc = sys.kernel().CreateProcess();
+    t = sys.kernel().CreateThread(proc, 0);
+  }
+  void Run(std::function<Co<void>()> body) {
+    sys.machine().engine().Spawn(0, Go(std::move(body)));
+    sys.machine().engine().Run();
+  }
+  System sys;
+  Process* proc;
+  Thread* t;
+};
+
+TEST(InContextTest, LocalFlushDefersAndFlushesAtExit) {
+  Rig rig(InContext());
+  rig.Run([&]() -> Co<void> {
+    Kernel& k = rig.sys.kernel();
+    uint64_t a = co_await k.SysMmap(*rig.t, 4 * kPageSize4K, true, false);
+    for (int i = 0; i < 4; ++i) {
+      co_await k.UserAccess(*rig.t, a + i * kPageSize4K, true);
+    }
+    co_await k.SysMadviseDontneed(*rig.t, a, 4 * kPageSize4K);
+    // Back in user mode: the deferred flush must already be applied.
+    EXPECT_FALSE(k.percpu(0).deferred_user.any);
+  });
+  auto& st = rig.sys.shootdown().stats();
+  EXPECT_EQ(st.deferred_selective, 4u);
+  EXPECT_EQ(st.in_context_invlpg, 4u);
+  EXPECT_EQ(st.invpcid_issued, 0u);  // no INVPCID needed at all
+  EXPECT_TRUE(TlbCoherent(rig.sys, *rig.proc->mm));
+}
+
+TEST(InContextTest, MunmapDoesNotDeferFreedTables) {
+  Rig rig(InContext());
+  rig.Run([&]() -> Co<void> {
+    Kernel& k = rig.sys.kernel();
+    uint64_t a = co_await k.SysMmap(*rig.t, 4 * kPageSize4K, true, false);
+    for (int i = 0; i < 4; ++i) {
+      co_await k.UserAccess(*rig.t, a + i * kPageSize4K, true);
+    }
+    co_await k.SysMunmap(*rig.t, a, 4 * kPageSize4K);
+  });
+  auto& st = rig.sys.shootdown().stats();
+  // Page tables were freed: user flushes must be eager INVPCID, not deferred.
+  EXPECT_EQ(st.deferred_selective, 0u);
+  EXPECT_EQ(st.invpcid_issued, 4u);
+  EXPECT_TRUE(TlbCoherent(rig.sys, *rig.proc->mm));
+}
+
+TEST(InContextTest, Compat32PromotesToFullFlush) {
+  Rig rig(InContext());
+  rig.t->compat32 = true;
+  rig.Run([&]() -> Co<void> {
+    Kernel& k = rig.sys.kernel();
+    uint64_t a = co_await k.SysMmap(*rig.t, 4 * kPageSize4K, true, false);
+    for (int i = 0; i < 4; ++i) {
+      co_await k.UserAccess(*rig.t, a + i * kPageSize4K, true);
+    }
+    co_await k.SysMadviseDontneed(*rig.t, a, 4 * kPageSize4K);
+  });
+  EXPECT_GE(rig.sys.kernel().stats().compat_iret_full_flushes, 1u);
+  // The deferral happened but was consumed by a full flush, not INVLPGs.
+  EXPECT_GT(rig.sys.shootdown().stats().deferred_selective, 0u);
+  EXPECT_EQ(rig.sys.shootdown().stats().in_context_invlpg, 0u);
+  EXPECT_GE(rig.sys.shootdown().stats().in_context_full, 1u);
+  EXPECT_TRUE(TlbCoherent(rig.sys, *rig.proc->mm));
+}
+
+TEST(InContextTest, MultipleSyscallsMergeBeforeExitToUser) {
+  // Two flushes inside one fault window merge into one deferred range —
+  // exercised via the CoW path followed by madvise within one syscall is
+  // not possible from userspace, so approximate with per-call checks: the
+  // per-CPU deferred state is empty at every return to user.
+  Rig rig(InContext());
+  rig.Run([&]() -> Co<void> {
+    Kernel& k = rig.sys.kernel();
+    uint64_t a = co_await k.SysMmap(*rig.t, 8 * kPageSize4K, true, false);
+    for (int round = 0; round < 3; ++round) {
+      for (int i = 0; i < 8; ++i) {
+        co_await k.UserAccess(*rig.t, a + i * kPageSize4K, true);
+      }
+      co_await k.SysMadviseDontneed(*rig.t, a, 8 * kPageSize4K);
+      EXPECT_FALSE(k.percpu(0).deferred_user.any);
+    }
+  });
+  EXPECT_EQ(rig.sys.shootdown().stats().in_context_invlpg, 24u);
+}
+
+TEST(InContextTest, UnsafeModeHasNothingToDefer) {
+  SystemConfig cfg = TestConfig(InContext(), /*pti=*/false);
+  System sys(cfg);
+  auto* p = sys.kernel().CreateProcess();
+  auto* t = sys.kernel().CreateThread(p, 0);
+  sys.machine().engine().Spawn(0, Go([&]() -> Co<void> {
+    uint64_t a = co_await sys.kernel().SysMmap(*t, 4 * kPageSize4K, true, false);
+    for (int i = 0; i < 4; ++i) {
+      co_await sys.kernel().UserAccess(*t, a + i * kPageSize4K, true);
+    }
+    co_await sys.kernel().SysMadviseDontneed(*t, a, 4 * kPageSize4K);
+  }));
+  sys.machine().engine().Run();
+  EXPECT_EQ(sys.shootdown().stats().deferred_selective, 0u);
+  EXPECT_EQ(sys.shootdown().stats().in_context_invlpg, 0u);
+}
+
+TEST(InContextTest, ResponderDefersToIrqExit) {
+  Rig rig(InContext());
+  auto* tr = rig.sys.kernel().CreateThread(rig.proc, 30);
+  (void)tr;
+  rig.sys.machine().engine().Spawn(0, BusyLoop(rig.sys.machine().cpu(30), 400, 1000));
+  rig.Run([&]() -> Co<void> {
+    Kernel& k = rig.sys.kernel();
+    uint64_t a = co_await k.SysMmap(*rig.t, 6 * kPageSize4K, true, false);
+    for (int i = 0; i < 6; ++i) {
+      co_await k.UserAccess(*rig.t, a + i * kPageSize4K, true);
+    }
+    co_await k.SysMadviseDontneed(*rig.t, a, 6 * kPageSize4K);
+  });
+  // The responder (interrupted in user mode) flushes its user PTEs with
+  // INVLPG at IRQ exit; no deferral leaks past the interrupt.
+  EXPECT_FALSE(rig.sys.kernel().percpu(30).deferred_user.any);
+  EXPECT_TRUE(TlbCoherent(rig.sys, *rig.proc->mm));
+  EXPECT_GE(rig.sys.shootdown().stats().in_context_invlpg, 6u);
+}
+
+}  // namespace
+}  // namespace tlbsim

@@ -1,0 +1,155 @@
+// ITLB modelling and the §4.1 executable-PTE guard: a data access can
+// displace a stale DTLB entry but never an ITLB entry, so CoW flush
+// avoidance must fall back to a real flush for executable mappings.
+#include <gtest/gtest.h>
+
+#include "src/core/system.h"
+#include "tests/testutil.h"
+
+namespace tlbsim {
+namespace {
+
+constexpr uint64_t kVa = 0x500000000000ULL;
+
+TEST(ItlbTest, ExecFillsItlbNotDtlb) {
+  Machine m{MachineConfig{}};
+  PageTable pt;
+  pt.Map(kVa, 0x42, PteFlags::kPresent | PteFlags::kUser);  // executable (no NX)
+  SimCpu& cpu = m.cpu(0);
+  cpu.LoadAddressSpace(&pt, 7);
+  auto r = Mmu::Translate(cpu, kVa, AccessIntent{.exec = true});
+  ASSERT_TRUE(r.ok);
+  EXPECT_TRUE(cpu.itlb().Probe(7, kVa).has_value());
+  EXPECT_FALSE(cpu.tlb().Probe(7, kVa).has_value());
+}
+
+TEST(ItlbTest, DataAccessFillsDtlbNotItlb) {
+  Machine m{MachineConfig{}};
+  PageTable pt;
+  pt.Map(kVa, 0x42, PteFlags::kPresent | PteFlags::kUser);
+  SimCpu& cpu = m.cpu(0);
+  cpu.LoadAddressSpace(&pt, 7);
+  Mmu::Translate(cpu, kVa, AccessIntent{});
+  EXPECT_FALSE(cpu.itlb().Probe(7, kVa).has_value());
+  EXPECT_TRUE(cpu.tlb().Probe(7, kVa).has_value());
+}
+
+TEST(ItlbTest, ArchFlushesHitBothTlbs) {
+  Machine m{MachineConfig{}};
+  PageTable pt;
+  pt.Map(kVa, 0x42, PteFlags::kPresent | PteFlags::kUser);
+  SimCpu& cpu = m.cpu(0);
+  cpu.LoadAddressSpace(&pt, 7);
+  Mmu::Translate(cpu, kVa, AccessIntent{});
+  Mmu::Translate(cpu, kVa, AccessIntent{.exec = true});
+  cpu.ArchInvlPg(7, kVa);
+  EXPECT_FALSE(cpu.tlb().Probe(7, kVa).has_value());
+  EXPECT_FALSE(cpu.itlb().Probe(7, kVa).has_value());
+
+  Mmu::Translate(cpu, kVa, AccessIntent{});
+  Mmu::Translate(cpu, kVa, AccessIntent{.exec = true});
+  cpu.ArchFlushPcid(7);
+  EXPECT_FALSE(cpu.tlb().Probe(7, kVa).has_value());
+  EXPECT_FALSE(cpu.itlb().Probe(7, kVa).has_value());
+}
+
+TEST(ItlbTest, DataWriteCannotDisplaceItlbEntry) {
+  // The hardware limitation behind the §4.1 guard.
+  Machine m{MachineConfig{}};
+  PageTable pt;
+  pt.Map(kVa, 0x42, PteFlags::kPresent | PteFlags::kUser | PteFlags::kWrite);
+  SimCpu& cpu = m.cpu(0);
+  cpu.LoadAddressSpace(&pt, 7);
+  Mmu::Translate(cpu, kVa, AccessIntent{.exec = true});  // ITLB caches old pfn
+  // Change the PTE, then perform a data write (the CoW fixup trick).
+  pt.SetPte(kVa, Pte::Make(0x99, PteFlags::kPresent | PteFlags::kUser | PteFlags::kWrite |
+                                     PteFlags::kDirty));
+  Mmu::Translate(cpu, kVa, AccessIntent{.write = true});  // walks, fills DTLB
+  // The DTLB has the new frame; the ITLB still has the stale one.
+  EXPECT_EQ(cpu.tlb().Probe(7, kVa)->pfn, 0x99u);
+  EXPECT_EQ(cpu.itlb().Probe(7, kVa)->pfn, 0x42u);  // stale! needs INVLPG
+}
+
+TEST(ItlbTest, UserExecDemandFaultsAndRuns) {
+  System sys(TestConfig(OptimizationSet::All()));
+  Kernel& k = sys.kernel();
+  auto* p = k.CreateProcess();
+  auto* t = k.CreateThread(p, 0);
+  bool ok = false;
+  sys.machine().engine().Spawn(0, Go([&]() -> Co<void> {
+    uint64_t code = co_await k.SysMmap(*t, 2 * kPageSize4K, /*writable=*/false, false);
+    // Make the mapping executable.
+    p->mm->FindVma(code)->executable = true;
+    ok = co_await k.UserExec(*t, code);
+  }));
+  sys.machine().engine().Run();
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(k.stats().demand_faults, 1u);
+  EXPECT_GE(sys.machine().cpu(0).itlb().Occupancy(), 1u);
+  EXPECT_TRUE(TlbCoherent(sys, *p->mm));
+}
+
+TEST(ItlbTest, ExecOnNxMappingFails) {
+  System sys(TestConfig(OptimizationSet::All()));
+  Kernel& k = sys.kernel();
+  auto* p = k.CreateProcess();
+  auto* t = k.CreateThread(p, 0);
+  bool ok = true;
+  sys.machine().engine().Spawn(0, Go([&]() -> Co<void> {
+    uint64_t data = co_await k.SysMmap(*t, kPageSize4K, true, false);
+    co_await k.UserAccess(*t, data, true);
+    ok = co_await k.UserExec(*t, data);  // NX
+  }));
+  sys.machine().engine().Run();
+  EXPECT_FALSE(ok);
+}
+
+TEST(ItlbTest, CowOnExecutableMappingTakesFlushPath) {
+  // §4.1: "we avoid using this optimization if the PTE is executable".
+  OptimizationSet opts;
+  opts.cow_avoidance = true;
+  System sys(TestConfig(opts));
+  Kernel& k = sys.kernel();
+  auto* p = k.CreateProcess();
+  auto* t = k.CreateThread(p, 0);
+  File* f = k.CreateFile(1 << 16);
+  sys.machine().engine().Spawn(0, Go([&]() -> Co<void> {
+    // A writable+executable private file mapping (a JIT-style page).
+    uint64_t code = co_await k.SysMmap(*t, kPageSize4K, true, /*shared=*/false, f);
+    p->mm->FindVma(code)->executable = true;
+    bool fetched = co_await k.UserExec(*t, code);  // maps RO+CoW, fills ITLB
+    EXPECT_TRUE(fetched);
+    bool wrote = co_await k.UserAccess(*t, code, true);  // CoW break
+    EXPECT_TRUE(wrote);
+    // The write-trick was NOT used: the guard forced a real flush, so the
+    // stale ITLB entry (old frame) is gone and a re-fetch sees the copy.
+    EXPECT_EQ(sys.shootdown().stats().cow_flush_avoided, 0u);
+    EXPECT_EQ(sys.shootdown().stats().cow_flushes, 1u);
+    bool refetched = co_await k.UserExec(*t, code);
+    EXPECT_TRUE(refetched);
+  }));
+  sys.machine().engine().Run();
+  EXPECT_TRUE(TlbCoherent(sys, *p->mm));
+}
+
+TEST(ItlbTest, CowOnDataMappingStillAvoided) {
+  OptimizationSet opts;
+  opts.cow_avoidance = true;
+  System sys(TestConfig(opts));
+  Kernel& k = sys.kernel();
+  auto* p = k.CreateProcess();
+  auto* t = k.CreateThread(p, 0);
+  File* f = k.CreateFile(1 << 16);
+  sys.machine().engine().Spawn(0, Go([&]() -> Co<void> {
+    uint64_t a = co_await k.SysMmap(*t, kPageSize4K, true, /*shared=*/false, f);
+    co_await k.UserAccess(*t, a, false);
+    co_await k.UserAccess(*t, a, true);
+  }));
+  sys.machine().engine().Run();
+  EXPECT_EQ(sys.shootdown().stats().cow_flush_avoided, 1u);
+  EXPECT_EQ(sys.shootdown().stats().cow_flushes, 0u);
+  EXPECT_TRUE(TlbCoherent(sys, *p->mm));
+}
+
+}  // namespace
+}  // namespace tlbsim

@@ -1,0 +1,394 @@
+// Kernel: processes/threads, mmap/munmap/madvise/msync/mprotect, demand
+// paging, CoW faults, lazy TLB, PTI transitions, NMI uaccess.
+#include "src/kernel/kernel.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/system.h"
+#include "tests/testutil.h"
+
+namespace tlbsim {
+namespace {
+
+class KernelTest : public ::testing::Test {
+ protected:
+  KernelTest() : sys_(TestConfig(OptimizationSet::None())) {
+    proc_ = sys_.kernel().CreateProcess();
+    thread_ = sys_.kernel().CreateThread(proc_, 0);
+  }
+
+  void RunProgram(std::function<Co<void>()> body) {
+    sys_.machine().engine().Spawn(0, Go(std::move(body)));
+    sys_.machine().engine().Run();
+  }
+
+  System sys_;
+  Process* proc_;
+  Thread* thread_;
+};
+
+TEST_F(KernelTest, CreateProcessSetsUpMm) {
+  EXPECT_NE(proc_->mm, nullptr);
+  EXPECT_NE(proc_->mm->kernel_pcid, proc_->mm->user_pcid);
+  EXPECT_TRUE(proc_->mm->cpumask.test(0));
+}
+
+TEST_F(KernelTest, ThreadLoadsUserPcidUnderPti) {
+  EXPECT_EQ(sys_.machine().cpu(0).active_pcid(), proc_->mm->user_pcid);
+  EXPECT_TRUE(sys_.machine().cpu(0).user_mode());
+}
+
+TEST_F(KernelTest, MmapCreatesVmaNoMappings) {
+  uint64_t addr = 0;
+  RunProgram([&]() -> Co<void> {
+    addr = co_await sys_.kernel().SysMmap(*thread_, 16 * kPageSize4K, true, false);
+  });
+  ASSERT_NE(addr, 0u);
+  EXPECT_NE(proc_->mm->FindVma(addr), nullptr);
+  EXPECT_FALSE(proc_->mm->pt.Walk(addr).present);  // demand paged
+}
+
+TEST_F(KernelTest, TouchFaultsInAnonPage) {
+  uint64_t addr = 0;
+  bool ok = false;
+  RunProgram([&]() -> Co<void> {
+    addr = co_await sys_.kernel().SysMmap(*thread_, kPageSize4K, true, false);
+    ok = co_await sys_.kernel().UserAccess(*thread_, addr, true);
+  });
+  EXPECT_TRUE(ok);
+  auto walk = proc_->mm->pt.Walk(addr);
+  ASSERT_TRUE(walk.present);
+  EXPECT_TRUE(walk.pte.writable());
+  EXPECT_TRUE(walk.pte.dirty());
+  EXPECT_EQ(sys_.kernel().stats().demand_faults, 1u);
+  // Second access: no new fault.
+  RunProgram([&]() -> Co<void> {
+    ok = co_await sys_.kernel().UserAccess(*thread_, addr, true);
+  });
+  EXPECT_EQ(sys_.kernel().stats().demand_faults, 1u);
+}
+
+TEST_F(KernelTest, AccessOutsideVmaFails) {
+  bool ok = true;
+  RunProgram([&]() -> Co<void> {
+    ok = co_await sys_.kernel().UserAccess(*thread_, 0xdead0000, false);
+  });
+  EXPECT_FALSE(ok);
+}
+
+TEST_F(KernelTest, WriteToReadOnlyVmaFails) {
+  uint64_t addr = 0;
+  bool ok = true;
+  RunProgram([&]() -> Co<void> {
+    addr = co_await sys_.kernel().SysMmap(*thread_, kPageSize4K, /*writable=*/false, false);
+    ok = co_await sys_.kernel().UserAccess(*thread_, addr, true);
+  });
+  EXPECT_FALSE(ok);
+}
+
+TEST_F(KernelTest, MadviseDontneedUnmapsAndFlushes) {
+  uint64_t addr = 0;
+  RunProgram([&]() -> Co<void> {
+    addr = co_await sys_.kernel().SysMmap(*thread_, 4 * kPageSize4K, true, false);
+    for (int i = 0; i < 4; ++i) {
+      co_await sys_.kernel().UserAccess(*thread_, addr + i * kPageSize4K, true);
+    }
+    co_await sys_.kernel().SysMadviseDontneed(*thread_, addr, 4 * kPageSize4K);
+  });
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FALSE(proc_->mm->pt.Walk(addr + i * kPageSize4K).present);
+  }
+  EXPECT_TRUE(TlbCoherent(sys_, *proc_->mm));
+  EXPECT_EQ(sys_.shootdown().stats().flush_requests, 1u);
+  // Re-touch works (fresh demand fault).
+  bool ok = false;
+  RunProgram([&]() -> Co<void> {
+    ok = co_await sys_.kernel().UserAccess(*thread_, addr, true);
+  });
+  EXPECT_TRUE(ok);
+}
+
+TEST_F(KernelTest, MadviseFreesFrames) {
+  uint64_t addr = 0;
+  RunProgram([&]() -> Co<void> {
+    addr = co_await sys_.kernel().SysMmap(*thread_, 8 * kPageSize4K, true, false);
+    for (int i = 0; i < 8; ++i) {
+      co_await sys_.kernel().UserAccess(*thread_, addr + i * kPageSize4K, true);
+    }
+  });
+  uint64_t before = sys_.kernel().frames().allocated_frames();
+  RunProgram([&]() -> Co<void> {
+    co_await sys_.kernel().SysMadviseDontneed(*thread_, addr, 8 * kPageSize4K);
+  });
+  EXPECT_EQ(sys_.kernel().frames().allocated_frames(), before - 8);
+}
+
+TEST_F(KernelTest, MunmapRemovesVmaAndPrunesTables) {
+  uint64_t addr = 0;
+  RunProgram([&]() -> Co<void> {
+    addr = co_await sys_.kernel().SysMmap(*thread_, 4 * kPageSize4K, true, false);
+    co_await sys_.kernel().UserAccess(*thread_, addr, true);
+    co_await sys_.kernel().SysMunmap(*thread_, addr, 4 * kPageSize4K);
+  });
+  EXPECT_EQ(proc_->mm->FindVma(addr), nullptr);
+  EXPECT_FALSE(proc_->mm->pt.Walk(addr).present);
+  EXPECT_TRUE(TlbCoherent(sys_, *proc_->mm));
+}
+
+TEST_F(KernelTest, MunmapSplitsVma) {
+  uint64_t addr = 0;
+  RunProgram([&]() -> Co<void> {
+    addr = co_await sys_.kernel().SysMmap(*thread_, 10 * kPageSize4K, true, false);
+    co_await sys_.kernel().SysMunmap(*thread_, addr + 4 * kPageSize4K, 2 * kPageSize4K);
+  });
+  Vma* left = proc_->mm->FindVma(addr);
+  Vma* hole = proc_->mm->FindVma(addr + 4 * kPageSize4K);
+  Vma* right = proc_->mm->FindVma(addr + 6 * kPageSize4K);
+  ASSERT_NE(left, nullptr);
+  EXPECT_EQ(hole, nullptr);
+  ASSERT_NE(right, nullptr);
+  EXPECT_EQ(left->end, addr + 4 * kPageSize4K);
+  EXPECT_EQ(right->start, addr + 6 * kPageSize4K);
+}
+
+TEST_F(KernelTest, MprotectDowngradeFlushes) {
+  uint64_t addr = 0;
+  bool ok = true;
+  RunProgram([&]() -> Co<void> {
+    addr = co_await sys_.kernel().SysMmap(*thread_, 2 * kPageSize4K, true, false);
+    co_await sys_.kernel().UserAccess(*thread_, addr, true);
+    co_await sys_.kernel().SysMprotect(*thread_, addr, 2 * kPageSize4K, /*writable=*/false);
+    ok = co_await sys_.kernel().UserAccess(*thread_, addr, true);  // must fail now
+  });
+  EXPECT_FALSE(ok);
+  EXPECT_TRUE(TlbCoherent(sys_, *proc_->mm));
+  EXPECT_FALSE(proc_->mm->pt.Walk(addr).pte.writable());
+}
+
+TEST_F(KernelTest, SharedFileDirtyTracking) {
+  File* f = sys_.kernel().CreateFile(1 << 20);
+  uint64_t addr = 0;
+  RunProgram([&]() -> Co<void> {
+    addr = co_await sys_.kernel().SysMmap(*thread_, 4 * kPageSize4K, true, /*shared=*/true, f);
+    co_await sys_.kernel().UserAccess(*thread_, addr, /*write=*/false);  // read: maps RO
+    co_await sys_.kernel().UserAccess(*thread_, addr + kPageSize4K, /*write=*/true);
+  });
+  auto ro = proc_->mm->pt.Walk(addr);
+  auto rw = proc_->mm->pt.Walk(addr + kPageSize4K);
+  ASSERT_TRUE(ro.present);
+  ASSERT_TRUE(rw.present);
+  EXPECT_FALSE(ro.pte.writable());   // read fault maps clean/RO
+  EXPECT_TRUE(rw.pte.writable());
+  EXPECT_TRUE(rw.pte.dirty());
+  // Write to the RO-mapped page upgrades in place (page_mkwrite), same frame.
+  uint64_t pfn_before = ro.pte.pfn();
+  RunProgram([&]() -> Co<void> {
+    co_await sys_.kernel().UserAccess(*thread_, addr, true);
+  });
+  auto upgraded = proc_->mm->pt.Walk(addr);
+  EXPECT_TRUE(upgraded.pte.writable());
+  EXPECT_TRUE(upgraded.pte.dirty());
+  EXPECT_EQ(upgraded.pte.pfn(), pfn_before);
+}
+
+TEST_F(KernelTest, MsyncCleansDirtyPagesAndFlushesPerPage) {
+  File* f = sys_.kernel().CreateFile(1 << 20);
+  uint64_t addr = 0;
+  RunProgram([&]() -> Co<void> {
+    addr = co_await sys_.kernel().SysMmap(*thread_, 8 * kPageSize4K, true, true, f);
+    for (int i = 0; i < 5; ++i) {
+      co_await sys_.kernel().UserAccess(*thread_, addr + i * kPageSize4K, true);
+    }
+    co_await sys_.kernel().SysMsyncClean(*thread_, addr, 8 * kPageSize4K);
+  });
+  for (int i = 0; i < 5; ++i) {
+    auto walk = proc_->mm->pt.Walk(addr + i * kPageSize4K);
+    ASSERT_TRUE(walk.present);
+    EXPECT_FALSE(walk.pte.dirty());
+    EXPECT_FALSE(walk.pte.writable());
+  }
+  EXPECT_TRUE(TlbCoherent(sys_, *proc_->mm));
+  // One flush request per dirty page (clear_page_dirty_for_io behaviour).
+  EXPECT_EQ(sys_.shootdown().stats().flush_requests, 5u);
+  // Re-write redirties via a fault, not a new frame.
+  RunProgram([&]() -> Co<void> {
+    co_await sys_.kernel().UserAccess(*thread_, addr, true);
+  });
+  EXPECT_TRUE(proc_->mm->pt.Walk(addr).pte.dirty());
+}
+
+TEST_F(KernelTest, PrivateFileCowReadThenWrite) {
+  File* f = sys_.kernel().CreateFile(1 << 20);
+  uint64_t addr = 0;
+  RunProgram([&]() -> Co<void> {
+    addr = co_await sys_.kernel().SysMmap(*thread_, kPageSize4K, true, /*shared=*/false, f);
+    co_await sys_.kernel().UserAccess(*thread_, addr, false);  // map file page RO+CoW
+  });
+  auto before = proc_->mm->pt.Walk(addr);
+  ASSERT_TRUE(before.present);
+  EXPECT_TRUE(before.pte.cow());
+  EXPECT_FALSE(before.pte.writable());
+  uint64_t file_pfn = before.pte.pfn();
+  RunProgram([&]() -> Co<void> {
+    co_await sys_.kernel().UserAccess(*thread_, addr, true);  // CoW break
+  });
+  auto after = proc_->mm->pt.Walk(addr);
+  EXPECT_TRUE(after.pte.writable());
+  EXPECT_FALSE(after.pte.cow());
+  EXPECT_NE(after.pte.pfn(), file_pfn);  // private copy
+  EXPECT_EQ(sys_.kernel().stats().cow_faults, 1u);
+  EXPECT_TRUE(TlbCoherent(sys_, *proc_->mm));
+  // The file's cached page is untouched.
+  EXPECT_TRUE(f->HasPage(0));
+}
+
+TEST_F(KernelTest, SyscallEntryExitCostsIncludePti) {
+  Cycles t0 = 0;
+  Cycles t1 = 0;
+  RunProgram([&]() -> Co<void> {
+    t0 = sys_.machine().cpu(0).now();
+    co_await sys_.kernel().SysMmap(*thread_, kPageSize4K, true, false);
+    t1 = sys_.machine().cpu(0).now();
+  });
+  const CostModel& c = sys_.machine().costs();
+  Cycles minimum = c.syscall_entry + c.pti_entry_extra + c.syscall_exit + c.pti_exit_extra;
+  EXPECT_GT(t1 - t0, minimum);
+}
+
+TEST_F(KernelTest, UnsafeModeSkipsPtiCosts) {
+  System unsafe(TestConfig(OptimizationSet::None(), /*pti=*/false));
+  auto* p = unsafe.kernel().CreateProcess();
+  auto* t = unsafe.kernel().CreateThread(p, 0);
+  Cycles dur_unsafe = 0;
+  unsafe.machine().engine().Spawn(0, Go([&]() -> Co<void> {
+    Cycles t0 = unsafe.machine().cpu(0).now();
+    co_await unsafe.kernel().SysMmap(*t, kPageSize4K, true, false);
+    dur_unsafe = unsafe.machine().cpu(0).now() - t0;
+  }));
+  unsafe.machine().engine().Run();
+
+  Cycles dur_safe = 0;
+  RunProgram([&]() -> Co<void> {
+    Cycles t0 = sys_.machine().cpu(0).now();
+    co_await sys_.kernel().SysMmap(*thread_, kPageSize4K, true, false);
+    dur_safe = sys_.machine().cpu(0).now() - t0;
+  });
+  EXPECT_GT(dur_safe, dur_unsafe);
+}
+
+TEST_F(KernelTest, LazyModeSkipsIpi) {
+  auto* responder = sys_.kernel().CreateThread(proc_, 2);
+  (void)responder;
+  uint64_t addr = 0;
+  RunProgram([&]() -> Co<void> {
+    addr = co_await sys_.kernel().SysMmap(*thread_, kPageSize4K, true, false);
+    co_await sys_.kernel().UserAccess(*thread_, addr, true);
+    // cpu2 switches to a kernel thread: lazy mode.
+    co_await sys_.kernel().EnterLazyMode(2);
+    co_await sys_.kernel().SysMadviseDontneed(*thread_, addr, kPageSize4K);
+  });
+  EXPECT_EQ(sys_.shootdown().stats().lazy_skipped, 1u);
+  EXPECT_EQ(sys_.shootdown().stats().shootdowns, 0u);  // local only
+  EXPECT_EQ(sys_.machine().apic().stats().ipis_sent, 0u);
+  // Leaving lazy mode catches up via a full flush.
+  RunProgram([&]() -> Co<void> {
+    co_await sys_.kernel().LeaveLazyMode(2);
+  });
+  EXPECT_EQ(sys_.shootdown().stats().switch_in_flushes, 1u);
+  EXPECT_TRUE(TlbCoherent(sys_, *proc_->mm));
+}
+
+TEST_F(KernelTest, NmiUaccessOkayReflectsState) {
+  EXPECT_TRUE(sys_.kernel().NmiUaccessOkay(0));
+  RunProgram([&]() -> Co<void> {
+    co_await sys_.kernel().EnterLazyMode(0);
+  });
+  EXPECT_FALSE(sys_.kernel().NmiUaccessOkay(0));  // lazy: not the task's mm
+}
+
+TEST_F(KernelTest, CpumaskTracksSwitches) {
+  auto* p2 = sys_.kernel().CreateProcess();
+  RunProgram([&]() -> Co<void> {
+    co_await sys_.kernel().SwitchTo(0, p2->mm.get());
+  });
+  EXPECT_FALSE(proc_->mm->cpumask.test(0));
+  EXPECT_TRUE(p2->mm->cpumask.test(0));
+}
+
+TEST_F(KernelTest, SysReadCopiesIntoUserBuffer) {
+  File* f = sys_.kernel().CreateFile(1 << 20);
+  uint64_t addr = 0;
+  bool ok = false;
+  RunProgram([&]() -> Co<void> {
+    addr = co_await sys_.kernel().SysMmap(*thread_, 4 * kPageSize4K, true, false);
+    ok = co_await sys_.kernel().SysRead(*thread_, f, 0, addr, 3 * kPageSize4K);
+  });
+  EXPECT_TRUE(ok);
+  // The kernel's copy demand-faulted and dirtied the buffer pages.
+  for (int i = 0; i < 3; ++i) {
+    auto walk = proc_->mm->pt.Walk(addr + i * kPageSize4K);
+    ASSERT_TRUE(walk.present) << i;
+    EXPECT_TRUE(walk.pte.dirty()) << i;
+  }
+  EXPECT_FALSE(proc_->mm->pt.Walk(addr + 3 * kPageSize4K).present);
+  EXPECT_TRUE(TlbCoherent(sys_, *proc_->mm));
+}
+
+TEST_F(KernelTest, SysReadEfaultsOnUnmappedBuffer) {
+  File* f = sys_.kernel().CreateFile(1 << 20);
+  bool ok = true;
+  RunProgram([&]() -> Co<void> {
+    ok = co_await sys_.kernel().SysRead(*thread_, f, 0, 0xdead0000, kPageSize4K);
+  });
+  EXPECT_FALSE(ok);
+}
+
+TEST_F(KernelTest, SysReadEfaultsOnReadOnlyBuffer) {
+  File* f = sys_.kernel().CreateFile(1 << 20);
+  bool ok = true;
+  uint64_t addr = 0;
+  RunProgram([&]() -> Co<void> {
+    addr = co_await sys_.kernel().SysMmap(*thread_, kPageSize4K, /*writable=*/false, false);
+    ok = co_await sys_.kernel().SysRead(*thread_, f, 0, addr, kPageSize4K);
+  });
+  EXPECT_FALSE(ok);
+}
+
+TEST_F(KernelTest, SysReadNeverOpensABatchingWindow) {
+  // §4.2: read accesses userspace from the kernel, so it must not defer
+  // flushes or advertise ipi_defer_mode even with batching enabled.
+  System sys(TestConfig([] {
+    OptimizationSet o;
+    o.userspace_batching = true;
+    return o;
+  }()));
+  auto* p = sys.kernel().CreateProcess();
+  auto* t = sys.kernel().CreateThread(p, 0);
+  File* f = sys.kernel().CreateFile(1 << 20);
+  sys.machine().engine().Spawn(0, Go([&]() -> Co<void> {
+    uint64_t a = co_await sys.kernel().SysMmap(*t, 2 * kPageSize4K, true, false);
+    bool ok = co_await sys.kernel().SysRead(*t, f, 0, a, 2 * kPageSize4K);
+    EXPECT_TRUE(ok);
+  }));
+  sys.machine().engine().Run();
+  EXPECT_EQ(sys.shootdown().stats().batched_absorbed, 0u);
+  EXPECT_FALSE(sys.kernel().percpu(0).batched_mode);
+  EXPECT_FALSE(sys.kernel().percpu(0).ipi_defer_mode);
+}
+
+TEST_F(KernelTest, HugePageMmapAndFault) {
+  uint64_t addr = 0;
+  bool ok = false;
+  RunProgram([&]() -> Co<void> {
+    addr = co_await sys_.kernel().SysMmap(*thread_, kPageSize2M, true, false, nullptr, 0,
+                                          PageSize::k2M);
+    ok = co_await sys_.kernel().UserAccess(*thread_, addr + 0x12345, true);
+  });
+  EXPECT_TRUE(ok);
+  auto walk = proc_->mm->pt.Walk(addr);
+  ASSERT_TRUE(walk.present);
+  EXPECT_EQ(walk.size, PageSize::k2M);
+}
+
+}  // namespace
+}  // namespace tlbsim

@@ -1,0 +1,155 @@
+// Mmu: TLB fill on walk, permission faults, the permission-mismatch re-walk
+// that underpins CoW flush avoidance (§4.1), walk-cost accounting.
+#include "src/hw/mmu.h"
+
+#include <gtest/gtest.h>
+
+#include "src/hw/machine.h"
+
+namespace tlbsim {
+namespace {
+
+constexpr uint64_t kVa = 0x500000000000ULL;
+
+class MmuTest : public ::testing::Test {
+ protected:
+  MmuTest() : machine_(Config()), cpu_(machine_.cpu(0)) {
+    cpu_.LoadAddressSpace(&pt_, /*pcid=*/7);
+  }
+  static MachineConfig Config() {
+    MachineConfig cfg;
+    cfg.costs.jitter_frac = 0.0;
+    return cfg;
+  }
+
+  Machine machine_;
+  SimCpu& cpu_;
+  PageTable pt_;
+};
+
+TEST_F(MmuTest, MissWalksAndFills) {
+  pt_.Map(kVa, 0x42, PteFlags::kPresent | PteFlags::kUser | PteFlags::kWrite);
+  auto r = Mmu::Translate(cpu_, kVa + 0x123, AccessIntent{});
+  ASSERT_TRUE(r.ok);
+  EXPECT_FALSE(r.tlb_hit);
+  EXPECT_EQ(r.pa, (0x42ULL << kPageShift) + 0x123);
+  EXPECT_EQ(cpu_.tlb().stats().inserts, 1u);
+  // Second access hits.
+  auto r2 = Mmu::Translate(cpu_, kVa, AccessIntent{});
+  EXPECT_TRUE(r2.tlb_hit);
+}
+
+TEST_F(MmuTest, WalkCostCharged) {
+  pt_.Map(kVa, 0x42, PteFlags::kPresent | PteFlags::kUser);
+  Cycles before = cpu_.now();
+  Mmu::Translate(cpu_, kVa, AccessIntent{});
+  Cycles cold = cpu_.now() - before;
+  // Cold walk plus the hardware Accessed-bit update.
+  EXPECT_EQ(cold,
+            machine_.costs().walk_step * machine_.costs().walk_levels +
+                machine_.costs().pte_update);
+  // Hit costs nothing extra.
+  before = cpu_.now();
+  Mmu::Translate(cpu_, kVa, AccessIntent{});
+  EXPECT_EQ(cpu_.now() - before, 0);
+}
+
+TEST_F(MmuTest, PwcAcceleratesNeighbourWalk) {
+  pt_.Map(kVa, 1, PteFlags::kPresent | PteFlags::kUser);
+  pt_.Map(kVa + kPageSize4K, 2, PteFlags::kPresent | PteFlags::kUser);
+  Mmu::Translate(cpu_, kVa, AccessIntent{});
+  Cycles before = cpu_.now();
+  Mmu::Translate(cpu_, kVa + kPageSize4K, AccessIntent{});
+  EXPECT_EQ(cpu_.now() - before, machine_.costs().walk_pwc_hit + machine_.costs().pte_update);
+}
+
+TEST_F(MmuTest, NotPresentFaults) {
+  auto r = Mmu::Translate(cpu_, kVa, AccessIntent{});
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.fault, FaultKind::kNotPresent);
+  EXPECT_EQ(cpu_.tlb().stats().inserts, 0u);  // faults don't fill
+}
+
+TEST_F(MmuTest, WriteToReadOnlyFaults) {
+  pt_.Map(kVa, 0x42, PteFlags::kPresent | PteFlags::kUser);
+  auto r = Mmu::Translate(cpu_, kVa, AccessIntent{.write = true});
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.fault, FaultKind::kProtWrite);
+}
+
+TEST_F(MmuTest, UserAccessToSupervisorFaults) {
+  pt_.Map(kVa, 0x42, PteFlags::kPresent);  // no U bit
+  auto r = Mmu::Translate(cpu_, kVa, AccessIntent{.user = true});
+  EXPECT_EQ(r.fault, FaultKind::kProtUser);
+  auto rk = Mmu::Translate(cpu_, kVa, AccessIntent{.user = false});
+  EXPECT_TRUE(rk.ok);
+}
+
+TEST_F(MmuTest, NxBlocksExec) {
+  pt_.Map(kVa, 0x42, PteFlags::kPresent | PteFlags::kUser | PteFlags::kNx);
+  auto r = Mmu::Translate(cpu_, kVa, AccessIntent{.exec = true});
+  EXPECT_EQ(r.fault, FaultKind::kProtExec);
+}
+
+// The §4.1 mechanism: a stale read-only entry is dropped and re-walked on a
+// write; if the tables now allow the write, NO fault and NO INVLPG needed.
+TEST_F(MmuTest, PermissionMismatchTriggersReWalkNotFault) {
+  pt_.Map(kVa, 0x42, PteFlags::kPresent | PteFlags::kUser);
+  Mmu::Translate(cpu_, kVa, AccessIntent{});  // cache the RO entry
+  // Upgrade the PTE behind the TLB's back (what the CoW handler does).
+  pt_.SetPte(kVa, Pte::Make(0x99, PteFlags::kPresent | PteFlags::kUser | PteFlags::kWrite |
+                                      PteFlags::kDirty));
+  auto r = Mmu::Translate(cpu_, kVa, AccessIntent{.write = true});
+  ASSERT_TRUE(r.ok);
+  EXPECT_FALSE(r.tlb_hit);             // had to re-walk
+  EXPECT_EQ(r.pte.pfn(), 0x99u);       // sees the NEW frame
+  EXPECT_EQ(cpu_.tlb().stats().selective_flushes, 0u);  // no software flush
+  // And the stale entry is gone: a read now hits the new entry.
+  auto r2 = Mmu::Translate(cpu_, kVa, AccessIntent{});
+  EXPECT_TRUE(r2.tlb_hit);
+  EXPECT_EQ(r2.pte.pfn(), 0x99u);
+}
+
+TEST_F(MmuTest, StaleEntryCanServeReadsUntilFlushed) {
+  // This is WHY flushes are needed for downgrades: caching is sticky.
+  pt_.Map(kVa, 0x42, PteFlags::kPresent | PteFlags::kUser | PteFlags::kWrite);
+  Mmu::Translate(cpu_, kVa, AccessIntent{});
+  pt_.SetPte(kVa, Pte::Make(0x43, PteFlags::kPresent | PteFlags::kUser));
+  auto r = Mmu::Translate(cpu_, kVa, AccessIntent{});
+  EXPECT_TRUE(r.tlb_hit);
+  EXPECT_EQ(r.pte.pfn(), 0x42u);  // stale!
+}
+
+TEST_F(MmuTest, HugePageTranslation) {
+  pt_.Map(0x40000000, 0x4000, PteFlags::kPresent | PteFlags::kUser, PageSize::k2M);
+  auto r = Mmu::Translate(cpu_, 0x40000000 + 0x54321, AccessIntent{});
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.size, PageSize::k2M);
+  EXPECT_EQ(r.pa, (0x4000ULL << kPageShift) + 0x54321);
+}
+
+TEST_F(MmuTest, PcidSeparationBetweenAddressSpaces) {
+  pt_.Map(kVa, 1, PteFlags::kPresent | PteFlags::kUser);
+  Mmu::Translate(cpu_, kVa, AccessIntent{});
+  PageTable other;
+  other.Map(kVa, 2, PteFlags::kPresent | PteFlags::kUser);
+  cpu_.LoadAddressSpace(&other, /*pcid=*/8);
+  auto r = Mmu::Translate(cpu_, kVa, AccessIntent{});
+  ASSERT_TRUE(r.ok);
+  EXPECT_FALSE(r.tlb_hit);          // different PCID: no cross-talk
+  EXPECT_EQ(r.pte.pfn(), 2u);
+  // Switching back still hits the old entry (PCID survival).
+  cpu_.LoadAddressSpace(&pt_, 7);
+  auto r2 = Mmu::Translate(cpu_, kVa, AccessIntent{});
+  EXPECT_TRUE(r2.tlb_hit);
+  EXPECT_EQ(r2.pte.pfn(), 1u);
+}
+
+TEST_F(MmuTest, NoAddressSpaceFaults) {
+  cpu_.LoadAddressSpace(nullptr, 0);
+  auto r = Mmu::Translate(cpu_, kVa, AccessIntent{});
+  EXPECT_FALSE(r.ok);
+}
+
+}  // namespace
+}  // namespace tlbsim

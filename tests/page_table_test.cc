@@ -1,0 +1,199 @@
+// PageTable: map/walk/unmap, huge pages, iteration, pruning; plus a
+// randomized property test that Walk agrees with an independent shadow map.
+#include "src/mm/page_table.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/sim/rng.h"
+
+namespace tlbsim {
+namespace {
+
+constexpr uint64_t kBase = 0x500000000000ULL;
+
+TEST(PteTest, FlagAccessors) {
+  Pte p = Pte::Make(0x1234, PteFlags::kPresent | PteFlags::kWrite | PteFlags::kUser |
+                                PteFlags::kDirty | PteFlags::kNx);
+  EXPECT_TRUE(p.present());
+  EXPECT_TRUE(p.writable());
+  EXPECT_TRUE(p.user());
+  EXPECT_TRUE(p.dirty());
+  EXPECT_FALSE(p.executable());
+  EXPECT_FALSE(p.global());
+  EXPECT_EQ(p.pfn(), 0x1234u);
+}
+
+TEST(PteTest, WithFlagsSetAndClear) {
+  Pte p = Pte::Make(7, PteFlags::kPresent | PteFlags::kWrite);
+  Pte q = p.WithFlags(PteFlags::kCow, PteFlags::kWrite);
+  EXPECT_TRUE(q.cow());
+  EXPECT_FALSE(q.writable());
+  EXPECT_EQ(q.pfn(), 7u);
+}
+
+TEST(PteTest, WithPfnPreservesFlags) {
+  Pte p = Pte::Make(7, PteFlags::kPresent | PteFlags::kDirty);
+  Pte q = p.WithPfn(42);
+  EXPECT_EQ(q.pfn(), 42u);
+  EXPECT_TRUE(q.dirty());
+}
+
+TEST(PteTest, PtIndexDecomposition) {
+  // va = PML4[1], PDPT[2], PD[3], PT[4].
+  uint64_t va = (1ULL << 39) | (2ULL << 30) | (3ULL << 21) | (4ULL << 12);
+  EXPECT_EQ(PtIndex(va, 3), 1u);
+  EXPECT_EQ(PtIndex(va, 2), 2u);
+  EXPECT_EQ(PtIndex(va, 1), 3u);
+  EXPECT_EQ(PtIndex(va, 0), 4u);
+}
+
+TEST(PageTableTest, UnmappedWalkNotPresent) {
+  PageTable pt;
+  auto r = pt.Walk(kBase);
+  EXPECT_FALSE(r.present);
+  EXPECT_EQ(r.levels_visited, 1);  // stopped at empty PML4 entry
+}
+
+TEST(PageTableTest, MapThenWalk4K) {
+  PageTable pt;
+  pt.Map(kBase, 0x99, PteFlags::kPresent | PteFlags::kUser | PteFlags::kWrite);
+  auto r = pt.Walk(kBase);
+  ASSERT_TRUE(r.present);
+  EXPECT_EQ(r.pte.pfn(), 0x99u);
+  EXPECT_EQ(r.size, PageSize::k4K);
+  EXPECT_EQ(r.levels_visited, 4);
+  // Offsets within the page resolve to the same leaf.
+  EXPECT_TRUE(pt.Walk(kBase + 0xFFF).present);
+  EXPECT_FALSE(pt.Walk(kBase + 0x1000).present);
+}
+
+TEST(PageTableTest, MapThenWalk2M) {
+  PageTable pt;
+  pt.Map(kBase, 0x200, PteFlags::kPresent | PteFlags::kUser, PageSize::k2M);
+  auto r = pt.Walk(kBase + 0x12345);
+  ASSERT_TRUE(r.present);
+  EXPECT_EQ(r.size, PageSize::k2M);
+  EXPECT_EQ(r.levels_visited, 3);  // PD-level leaf
+  EXPECT_TRUE(r.pte.huge());
+}
+
+TEST(PageTableTest, SetPteReplacesLeaf) {
+  PageTable pt;
+  pt.Map(kBase, 1, PteFlags::kPresent | PteFlags::kWrite);
+  Pte old = pt.SetPte(kBase, Pte::Make(2, PteFlags::kPresent));
+  EXPECT_EQ(old.pfn(), 1u);
+  EXPECT_EQ(pt.Walk(kBase).pte.pfn(), 2u);
+  EXPECT_FALSE(pt.Walk(kBase).pte.writable());
+}
+
+TEST(PageTableTest, UnmapRemovesLeafOnly) {
+  PageTable pt;
+  pt.Map(kBase, 1, PteFlags::kPresent);
+  pt.Map(kBase + kPageSize4K, 2, PteFlags::kPresent);
+  Pte old = pt.Unmap(kBase);
+  EXPECT_EQ(old.pfn(), 1u);
+  EXPECT_FALSE(pt.Walk(kBase).present);
+  EXPECT_TRUE(pt.Walk(kBase + kPageSize4K).present);
+}
+
+TEST(PageTableTest, UnmapUnmappedReturnsEmpty) {
+  PageTable pt;
+  EXPECT_FALSE(pt.Unmap(kBase).present());
+}
+
+TEST(PageTableTest, ForEachPresentRespectsRange) {
+  PageTable pt;
+  for (int i = 0; i < 8; ++i) {
+    pt.Map(kBase + static_cast<uint64_t>(i) * kPageSize4K, static_cast<uint64_t>(i + 1),
+           PteFlags::kPresent);
+  }
+  int count = 0;
+  pt.ForEachPresent(kBase + 2 * kPageSize4K, kBase + 6 * kPageSize4K,
+                    [&](uint64_t va, Pte pte, PageSize) {
+                      EXPECT_GE(va, kBase + 2 * kPageSize4K);
+                      EXPECT_LT(va, kBase + 6 * kPageSize4K);
+                      EXPECT_EQ(pte.pfn(), (va - kBase) / kPageSize4K + 1);
+                      ++count;
+                    });
+  EXPECT_EQ(count, 4);
+}
+
+TEST(PageTableTest, NodeCountGrowsAndPrunes) {
+  PageTable pt;
+  EXPECT_EQ(pt.node_count(), 1u);  // root
+  pt.Map(kBase, 1, PteFlags::kPresent);
+  EXPECT_EQ(pt.node_count(), 4u);  // root + PDPT + PD + PT
+  pt.Unmap(kBase);
+  bool freed = pt.PruneEmpty(0, ~0ULL);
+  EXPECT_TRUE(freed);
+  EXPECT_EQ(pt.node_count(), 1u);
+}
+
+TEST(PageTableTest, PruneKeepsPopulatedSiblings) {
+  PageTable pt;
+  pt.Map(kBase, 1, PteFlags::kPresent);
+  pt.Map(kBase + (1ULL << 21), 2, PteFlags::kPresent);  // different PT
+  pt.Unmap(kBase);
+  pt.PruneEmpty(kBase, kBase + (1ULL << 21));
+  EXPECT_TRUE(pt.Walk(kBase + (1ULL << 21)).present);
+}
+
+TEST(PageTableTest, PruneNothingReturnsFalse) {
+  PageTable pt;
+  pt.Map(kBase, 1, PteFlags::kPresent);
+  EXPECT_FALSE(pt.PruneEmpty(kBase, kBase + kPageSize4K));
+}
+
+TEST(PageTableTest, RootIdsUnique) {
+  PageTable a;
+  PageTable b;
+  EXPECT_NE(a.root_id(), b.root_id());
+}
+
+// Property: a random sequence of map/unmap/protect operations keeps Walk in
+// agreement with a shadow std::map.
+TEST(PageTablePropertyTest, AgreesWithShadowModel) {
+  Rng rng(1234);
+  PageTable pt;
+  std::map<uint64_t, Pte> shadow;
+  for (int step = 0; step < 5000; ++step) {
+    uint64_t va = kBase + static_cast<uint64_t>(rng.UniformInt(0, 255)) * kPageSize4K;
+    int op = static_cast<int>(rng.UniformInt(0, 2));
+    if (op == 0) {
+      uint64_t pfn = static_cast<uint64_t>(rng.UniformInt(1, 1 << 20));
+      Pte pte = Pte::Make(pfn, PteFlags::kPresent | PteFlags::kUser);
+      if (shadow.count(va)) {
+        pt.SetPte(va, pte);
+      } else {
+        pt.Map(va, pfn, PteFlags::kPresent | PteFlags::kUser);
+      }
+      shadow[va] = pte;
+    } else if (op == 1) {
+      pt.Unmap(va);
+      shadow.erase(va);
+    } else {
+      auto r = pt.Walk(va);
+      auto it = shadow.find(va);
+      if (it == shadow.end()) {
+        EXPECT_FALSE(r.present) << std::hex << va;
+      } else {
+        ASSERT_TRUE(r.present) << std::hex << va;
+        EXPECT_EQ(r.pte.raw(), it->second.raw());
+      }
+    }
+  }
+  // Final full sweep.
+  size_t found = 0;
+  pt.ForEachPresent(0, ~0ULL, [&](uint64_t va, Pte pte, PageSize) {
+    auto it = shadow.find(va);
+    ASSERT_NE(it, shadow.end());
+    EXPECT_EQ(pte.raw(), it->second.raw());
+    ++found;
+  });
+  EXPECT_EQ(found, shadow.size());
+}
+
+}  // namespace
+}  // namespace tlbsim

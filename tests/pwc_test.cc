@@ -1,0 +1,78 @@
+// PageWalkCache: hit/miss, per-address vs full flush (the INVLPG/INVPCID
+// asymmetry of paper §3.4), LRU capacity.
+#include <gtest/gtest.h>
+
+#include "src/hw/tlb.h"
+
+namespace tlbsim {
+namespace {
+
+TEST(PwcTest, MissThenHit) {
+  PageWalkCache pwc;
+  EXPECT_FALSE(pwc.Lookup(1, 0x200000));
+  pwc.Insert(1, 0x200000);
+  EXPECT_TRUE(pwc.Lookup(1, 0x200000));
+  EXPECT_EQ(pwc.stats().hits, 1u);
+  EXPECT_EQ(pwc.stats().lookups, 2u);
+}
+
+TEST(PwcTest, EntryCovers2MRegion) {
+  PageWalkCache pwc;
+  pwc.Insert(1, 0x200000);
+  EXPECT_TRUE(pwc.Lookup(1, 0x200000 + 0x1FF000));
+  EXPECT_FALSE(pwc.Lookup(1, 0x400000));
+}
+
+TEST(PwcTest, PcidSeparation) {
+  PageWalkCache pwc;
+  pwc.Insert(1, 0x200000);
+  EXPECT_FALSE(pwc.Lookup(2, 0x200000));
+}
+
+TEST(PwcTest, FlushAllDropsEverything) {
+  PageWalkCache pwc;
+  pwc.Insert(1, 0x200000);
+  pwc.Insert(2, 0x400000);
+  pwc.FlushAll();
+  EXPECT_EQ(pwc.size(), 0u);
+  EXPECT_EQ(pwc.stats().full_flushes, 1u);
+}
+
+TEST(PwcTest, FlushAddressIsSelective) {
+  PageWalkCache pwc;
+  pwc.Insert(1, 0x200000);
+  pwc.Insert(1, 0x400000);
+  pwc.FlushAddress(1, 0x200000);
+  EXPECT_FALSE(pwc.Lookup(1, 0x200000));
+  EXPECT_TRUE(pwc.Lookup(1, 0x400000));
+}
+
+TEST(PwcTest, FlushPcidDropsOnlyThatPcid) {
+  PageWalkCache pwc;
+  pwc.Insert(1, 0x200000);
+  pwc.Insert(2, 0x200000);
+  pwc.FlushPcid(1);
+  EXPECT_FALSE(pwc.Lookup(1, 0x200000));
+  EXPECT_TRUE(pwc.Lookup(2, 0x200000));
+}
+
+TEST(PwcTest, CapacityEvictsLru) {
+  PageWalkCache pwc(2);
+  pwc.Insert(1, 0x200000);
+  pwc.Insert(1, 0x400000);
+  pwc.Lookup(1, 0x200000);     // refresh
+  pwc.Insert(1, 0x600000);     // evicts 0x400000
+  EXPECT_TRUE(pwc.Lookup(1, 0x200000));
+  EXPECT_FALSE(pwc.Lookup(1, 0x400000));
+  EXPECT_TRUE(pwc.Lookup(1, 0x600000));
+}
+
+TEST(PwcTest, ReinsertRefreshesInsteadOfDuplicating) {
+  PageWalkCache pwc(8);
+  pwc.Insert(1, 0x200000);
+  pwc.Insert(1, 0x200000);
+  EXPECT_EQ(pwc.size(), 1u);
+}
+
+}  // namespace
+}  // namespace tlbsim

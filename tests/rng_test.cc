@@ -1,0 +1,103 @@
+// Rng: determinism, ranges, jitter bounds, fork independence.
+#include "src/sim/rng.h"
+
+#include <gtest/gtest.h>
+
+namespace tlbsim {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformU64(), b.UniformU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.UniformU64() == b.UniformU64()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, UniformIntWithinBounds) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = r.UniformInt(-3, 9);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RngTest, UniformIntDegenerateRange) {
+  Rng r(7);
+  EXPECT_EQ(r.UniformInt(5, 5), 5);
+}
+
+TEST(RngTest, JitterWithinFraction) {
+  Rng r(11);
+  for (int i = 0; i < 1000; ++i) {
+    Cycles v = r.Jitter(1000, 0.05);
+    EXPECT_GE(v, 949);   // floor(1000*0.95) with rounding slack
+    EXPECT_LE(v, 1050);
+  }
+}
+
+TEST(RngTest, JitterZeroFracIsIdentity) {
+  Rng r(11);
+  EXPECT_EQ(r.Jitter(1234, 0.0), 1234);
+  EXPECT_EQ(r.Jitter(0, 0.5), 0);
+}
+
+TEST(RngTest, JitterNeverNegative) {
+  Rng r(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_GE(r.Jitter(1, 0.99), 0);
+  }
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng r(3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(r.Chance(0.0));
+    EXPECT_TRUE(r.Chance(1.0));
+  }
+}
+
+TEST(RngTest, ChanceRoughlyCalibrated) {
+  Rng r(5);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    hits += r.Chance(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(hits, 3000, 200);
+}
+
+TEST(RngTest, ForkedStreamsAreIndependentButDeterministic) {
+  Rng a(42);
+  Rng b(42);
+  Rng fa = a.Fork();
+  Rng fb = b.Fork();
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(fa.UniformU64(), fb.UniformU64());
+  }
+  // Parent and fork produce different streams.
+  Rng p(42);
+  Rng f = p.Fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (p.UniformU64() == f.UniformU64()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 5);
+}
+
+}  // namespace
+}  // namespace tlbsim

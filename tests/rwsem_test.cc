@@ -1,0 +1,170 @@
+// RwSem: reader sharing, writer exclusion, anti-starvation, and IRQ service
+// while blocked (the deadlock-avoidance property shootdowns rely on).
+#include "src/kernel/rwsem.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/hw/machine.h"
+
+namespace tlbsim {
+namespace {
+
+MachineConfig QuietConfig() {
+  MachineConfig cfg;
+  cfg.costs.jitter_frac = 0.0;
+  return cfg;
+}
+
+SimTask Go(std::function<Co<void>()> body) { return [](std::function<Co<void>()> b) -> SimTask {
+    co_await b();
+  }(std::move(body)); }
+
+TEST(RwSemTest, UncontendedWriteLock) {
+  Machine m(QuietConfig());
+  RwSem sem(&m.engine());
+  bool done = false;
+  m.cpu(0).Spawn(Go([&]() -> Co<void> {
+    co_await sem.Lock(m.cpu(0), true);
+    EXPECT_TRUE(sem.has_writer());
+    sem.Unlock(m.cpu(0), true);
+    EXPECT_FALSE(sem.locked());
+    done = true;
+  }));
+  m.engine().Run();
+  EXPECT_TRUE(done);
+}
+
+TEST(RwSemTest, ReadersShare) {
+  Machine m(QuietConfig());
+  RwSem sem(&m.engine());
+  int concurrent = 0;
+  int max_concurrent = 0;
+  for (int i = 0; i < 4; ++i) {
+    m.cpu(i).Spawn(Go([&, i]() -> Co<void> {
+      co_await sem.Lock(m.cpu(i), false);
+      ++concurrent;
+      max_concurrent = std::max(max_concurrent, concurrent);
+      co_await m.cpu(i).Execute(1000);
+      --concurrent;
+      sem.Unlock(m.cpu(i), false);
+    }));
+  }
+  m.engine().Run();
+  EXPECT_EQ(max_concurrent, 4);
+}
+
+TEST(RwSemTest, WriterExcludesWriter) {
+  Machine m(QuietConfig());
+  RwSem sem(&m.engine());
+  int inside = 0;
+  int max_inside = 0;
+  for (int i = 0; i < 3; ++i) {
+    m.cpu(i).Spawn(Go([&, i]() -> Co<void> {
+      co_await sem.Lock(m.cpu(i), true);
+      ++inside;
+      max_inside = std::max(max_inside, inside);
+      co_await m.cpu(i).Execute(500);
+      --inside;
+      sem.Unlock(m.cpu(i), true);
+    }));
+  }
+  m.engine().Run();
+  EXPECT_EQ(max_inside, 1);
+}
+
+TEST(RwSemTest, WriterExcludesReaders) {
+  Machine m(QuietConfig());
+  RwSem sem(&m.engine());
+  std::vector<std::string> order;
+  m.cpu(0).Spawn(Go([&]() -> Co<void> {
+    co_await sem.Lock(m.cpu(0), true);
+    order.push_back("w-in");
+    co_await m.cpu(0).Execute(1000);
+    order.push_back("w-out");
+    sem.Unlock(m.cpu(0), true);
+  }));
+  m.cpu(1).Spawn(Go([&]() -> Co<void> {
+    co_await m.cpu(1).Execute(10);  // let the writer win
+    co_await sem.Lock(m.cpu(1), false);
+    order.push_back("r-in");
+    sem.Unlock(m.cpu(1), false);
+  }));
+  m.engine().Run();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[1], "w-out");
+  EXPECT_EQ(order[2], "r-in");
+}
+
+TEST(RwSemTest, WaitingWriterBlocksNewReaders) {
+  Machine m(QuietConfig());
+  RwSem sem(&m.engine());
+  std::vector<std::string> order;
+  m.cpu(0).Spawn(Go([&]() -> Co<void> {  // long reader
+    co_await sem.Lock(m.cpu(0), false);
+    co_await m.cpu(0).Execute(1000);
+    sem.Unlock(m.cpu(0), false);
+  }));
+  m.cpu(1).Spawn(Go([&]() -> Co<void> {  // writer queues at t=10
+    co_await m.cpu(1).Execute(10);
+    co_await sem.Lock(m.cpu(1), true);
+    order.push_back("writer");
+    sem.Unlock(m.cpu(1), true);
+  }));
+  m.cpu(2).Spawn(Go([&]() -> Co<void> {  // reader arrives at t=20
+    co_await m.cpu(2).Execute(20);
+    co_await sem.Lock(m.cpu(2), false);
+    order.push_back("late-reader");
+    sem.Unlock(m.cpu(2), false);
+  }));
+  m.engine().Run();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], "writer");  // anti-starvation: writer before late reader
+}
+
+TEST(RwSemTest, BlockedWaiterStillServicesIrqs) {
+  Machine m(QuietConfig());
+  RwSem sem(&m.engine());
+  bool irq_handled = false;
+  m.cpu(1).RegisterIrqHandler(77, [&](SimCpu&) -> Co<void> {
+    irq_handled = true;
+    co_return;
+  });
+  m.cpu(0).Spawn(Go([&]() -> Co<void> {  // holds the lock "forever"
+    co_await sem.Lock(m.cpu(0), true);
+    co_await m.cpu(0).Execute(100000);
+    sem.Unlock(m.cpu(0), true);
+  }));
+  bool got_lock = false;
+  m.cpu(1).Spawn(Go([&]() -> Co<void> {
+    co_await m.cpu(1).Execute(10);
+    co_await sem.Lock(m.cpu(1), true);  // blocks ~100k cycles
+    got_lock = true;
+    sem.Unlock(m.cpu(1), true);
+  }));
+  m.engine().Schedule(5000, [&] { m.cpu(1).RaiseIrq(77); });
+  m.engine().Run();
+  EXPECT_TRUE(irq_handled);  // IRQ ran while cpu1 was blocked on the sem
+  EXPECT_TRUE(got_lock);
+}
+
+TEST(RwSemTest, ManyContendersAllEventuallyAcquire) {
+  Machine m(QuietConfig());
+  RwSem sem(&m.engine());
+  int acquired = 0;
+  for (int i = 0; i < 10; ++i) {
+    m.cpu(i).Spawn(Go([&, i]() -> Co<void> {
+      co_await sem.Lock(m.cpu(i), i % 2 == 0);
+      co_await m.cpu(i).Execute(100);
+      ++acquired;
+      sem.Unlock(m.cpu(i), i % 2 == 0);
+    }));
+  }
+  m.engine().Run();
+  EXPECT_EQ(acquired, 10);
+  EXPECT_FALSE(sem.locked());
+}
+
+}  // namespace
+}  // namespace tlbsim

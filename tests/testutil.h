@@ -1,0 +1,67 @@
+// Shared helpers for kernel/core tests.
+#ifndef TLBSIM_TESTS_TESTUTIL_H_
+#define TLBSIM_TESTS_TESTUTIL_H_
+
+#include <functional>
+
+#include "src/core/system.h"
+
+namespace tlbsim {
+
+// Wraps a lambda-coroutine into a detached root task.
+inline SimTask Go(std::function<Co<void>()> body) {
+  return [](std::function<Co<void>()> b) -> SimTask { co_await b(); }(std::move(body));
+}
+
+// Deterministic system config (no jitter) with a given optimization set.
+inline SystemConfig TestConfig(OptimizationSet opts, bool pti = true) {
+  SystemConfig cfg;
+  cfg.machine.costs.jitter_frac = 0.0;
+  cfg.kernel.pti = pti;
+  cfg.kernel.opts = opts;
+  return cfg;
+}
+
+// Busy-loop "responder" program: `iters` interruptible chunks.
+inline SimTask BusyLoop(SimCpu& cpu, int iters = 1000, Cycles chunk = 1000) {
+  for (int i = 0; i < iters; ++i) {
+    co_await cpu.Execute(chunk);
+  }
+}
+
+// Verifies that no TLB on any CPU holds a translation that contradicts the
+// process's page tables — the paper's core safety property.
+inline ::testing::AssertionResult TlbCoherent(System& sys, MmStruct& mm) {
+  for (int c = 0; c < sys.machine().num_cpus(); ++c) {
+    std::vector<TlbEntry> entries = sys.machine().cpu(c).tlb().Entries();
+    std::vector<TlbEntry> ientries = sys.machine().cpu(c).itlb().Entries();
+    entries.insert(entries.end(), ientries.begin(), ientries.end());
+    for (const TlbEntry& e : entries) {
+      if (e.pcid != mm.kernel_pcid && e.pcid != mm.user_pcid) {
+        continue;  // another address space
+      }
+      uint64_t va = e.vpn << ShiftOf(e.size);
+      auto walk = mm.pt.Walk(va);
+      if (!walk.present) {
+        return ::testing::AssertionFailure()
+               << "cpu" << c << " caches unmapped va=0x" << std::hex << va << " pcid=" << std::dec
+               << e.pcid;
+      }
+      if (walk.pte.pfn() != e.pfn) {
+        return ::testing::AssertionFailure()
+               << "cpu" << c << " stale pfn for va=0x" << std::hex << va << ": tlb=" << e.pfn
+               << " pt=" << walk.pte.pfn();
+      }
+      // A cached writable entry for a non-writable PTE is a safety violation.
+      if ((e.flags & PteFlags::kWrite) != 0 && !walk.pte.writable()) {
+        return ::testing::AssertionFailure()
+               << "cpu" << c << " caches writable entry for RO pte va=0x" << std::hex << va;
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+}  // namespace tlbsim
+
+#endif  // TLBSIM_TESTS_TESTUTIL_H_

@@ -1,0 +1,61 @@
+// Topology: cpu numbering, socket/core mapping, distance classification.
+#include "src/cache/topology.h"
+
+#include <gtest/gtest.h>
+
+namespace tlbsim {
+namespace {
+
+TEST(TopologyTest, DefaultMatchesPaperTestbed) {
+  Topology t;
+  EXPECT_EQ(t.sockets, 2);
+  EXPECT_EQ(t.cores_per_socket, 14);
+  EXPECT_EQ(t.smt, 2);
+  EXPECT_EQ(t.num_cpus(), 56);
+  EXPECT_EQ(t.cpus_per_socket(), 28);
+}
+
+TEST(TopologyTest, SocketOfBoundaries) {
+  Topology t;
+  EXPECT_EQ(t.SocketOf(0), 0);
+  EXPECT_EQ(t.SocketOf(27), 0);
+  EXPECT_EQ(t.SocketOf(28), 1);
+  EXPECT_EQ(t.SocketOf(55), 1);
+}
+
+TEST(TopologyTest, SmtSiblingsShareAPhysCore) {
+  Topology t;
+  EXPECT_EQ(t.PhysCoreOf(0), t.PhysCoreOf(1));
+  EXPECT_NE(t.PhysCoreOf(1), t.PhysCoreOf(2));
+  EXPECT_TRUE(t.AreSmtSiblings(0, 1));
+  EXPECT_FALSE(t.AreSmtSiblings(0, 0));
+  EXPECT_FALSE(t.AreSmtSiblings(0, 2));
+}
+
+TEST(TopologyTest, DistanceClassification) {
+  Topology t;
+  EXPECT_EQ(t.Between(3, 3), Topology::Distance::kSelf);
+  EXPECT_EQ(t.Between(0, 1), Topology::Distance::kSmtSibling);
+  EXPECT_EQ(t.Between(0, 2), Topology::Distance::kSameSocket);
+  EXPECT_EQ(t.Between(0, 28), Topology::Distance::kCrossSocket);
+  EXPECT_EQ(t.Between(28, 29), Topology::Distance::kSmtSibling);
+}
+
+TEST(TopologyTest, DistanceIsSymmetric) {
+  Topology t;
+  for (int a : {0, 1, 2, 27, 28, 55}) {
+    for (int b : {0, 1, 2, 27, 28, 55}) {
+      EXPECT_EQ(t.Between(a, b), t.Between(b, a)) << a << "," << b;
+    }
+  }
+}
+
+TEST(TopologyTest, SingleSocketNoSmt) {
+  Topology t{.sockets = 1, .cores_per_socket = 4, .smt = 1};
+  EXPECT_EQ(t.num_cpus(), 4);
+  EXPECT_FALSE(t.AreSmtSiblings(0, 1));
+  EXPECT_EQ(t.Between(0, 3), Topology::Distance::kSameSocket);
+}
+
+}  // namespace
+}  // namespace tlbsim

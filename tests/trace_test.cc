@@ -1,0 +1,53 @@
+// Trace: enable/disable gating, render ordering.
+#include "src/sim/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace tlbsim {
+namespace {
+
+TEST(TraceTest, DisabledRecordsNothing) {
+  Trace t;
+  t.Record(10, 0, "x");
+  EXPECT_TRUE(t.events().empty());
+}
+
+TEST(TraceTest, EnabledRecords) {
+  Trace t;
+  t.Enable();
+  t.Record(10, 0, "hello");
+  ASSERT_EQ(t.events().size(), 1u);
+  EXPECT_EQ(t.events()[0].at, 10);
+  EXPECT_EQ(t.events()[0].tag, "hello");
+}
+
+TEST(TraceTest, RenderSortsByTime) {
+  Trace t;
+  t.Enable();
+  t.Record(30, 1, "late");
+  t.Record(10, 0, "early");
+  std::string out = t.Render();
+  EXPECT_LT(out.find("early"), out.find("late"));
+  EXPECT_NE(out.find("cpu1"), std::string::npos);
+}
+
+TEST(TraceTest, StableOrderForEqualTimes) {
+  Trace t;
+  t.Enable();
+  t.Record(10, 0, "first");
+  t.Record(10, 0, "second");
+  std::string out = t.Render();
+  EXPECT_LT(out.find("first"), out.find("second"));
+}
+
+TEST(TraceTest, ClearEmpties) {
+  Trace t;
+  t.Enable();
+  t.Record(1, 0, "x");
+  t.Clear();
+  EXPECT_TRUE(t.events().empty());
+  EXPECT_EQ(t.Render(), "");
+}
+
+}  // namespace
+}  // namespace tlbsim
