@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_sysbench.dir/fig10_sysbench.cc.o"
+  "CMakeFiles/fig10_sysbench.dir/fig10_sysbench.cc.o.d"
+  "fig10_sysbench"
+  "fig10_sysbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_sysbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

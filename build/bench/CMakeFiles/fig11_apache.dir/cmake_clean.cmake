@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_apache.dir/fig11_apache.cc.o"
+  "CMakeFiles/fig11_apache.dir/fig11_apache.cc.o.d"
+  "fig11_apache"
+  "fig11_apache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_apache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_3_protocol_timeline.dir/fig1_3_protocol_timeline.cc.o"
+  "CMakeFiles/fig1_3_protocol_timeline.dir/fig1_3_protocol_timeline.cc.o.d"
+  "fig1_3_protocol_timeline"
+  "fig1_3_protocol_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_3_protocol_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_cacheline_consolidation.dir/fig4_cacheline_consolidation.cc.o"
+  "CMakeFiles/fig4_cacheline_consolidation.dir/fig4_cacheline_consolidation.cc.o.d"
+  "fig4_cacheline_consolidation"
+  "fig4_cacheline_consolidation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_cacheline_consolidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_safe_1pte.dir/fig5_safe_1pte.cc.o"
+  "CMakeFiles/fig5_safe_1pte.dir/fig5_safe_1pte.cc.o.d"
+  "CMakeFiles/fig5_safe_1pte.dir/micro_figure.cc.o"
+  "CMakeFiles/fig5_safe_1pte.dir/micro_figure.cc.o.d"
+  "fig5_safe_1pte"
+  "fig5_safe_1pte.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_safe_1pte.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

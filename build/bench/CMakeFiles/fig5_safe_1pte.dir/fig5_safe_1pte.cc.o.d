@@ -1,0 +1,3 @@
+bench/CMakeFiles/fig5_safe_1pte.dir/fig5_safe_1pte.cc.o: \
+ /root/repo/bench/fig5_safe_1pte.cc /usr/include/stdc-predef.h \
+ /root/repo/bench/micro_figure.h

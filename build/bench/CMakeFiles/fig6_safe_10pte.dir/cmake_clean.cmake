@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_safe_10pte.dir/fig6_safe_10pte.cc.o"
+  "CMakeFiles/fig6_safe_10pte.dir/fig6_safe_10pte.cc.o.d"
+  "CMakeFiles/fig6_safe_10pte.dir/micro_figure.cc.o"
+  "CMakeFiles/fig6_safe_10pte.dir/micro_figure.cc.o.d"
+  "fig6_safe_10pte"
+  "fig6_safe_10pte.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_safe_10pte.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

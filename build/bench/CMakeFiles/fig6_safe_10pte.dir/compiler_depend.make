@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig6_safe_10pte.
+# This may be replaced when dependencies are built.

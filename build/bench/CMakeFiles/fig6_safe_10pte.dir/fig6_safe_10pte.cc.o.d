@@ -1,0 +1,3 @@
+bench/CMakeFiles/fig6_safe_10pte.dir/fig6_safe_10pte.cc.o: \
+ /root/repo/bench/fig6_safe_10pte.cc /usr/include/stdc-predef.h \
+ /root/repo/bench/micro_figure.h

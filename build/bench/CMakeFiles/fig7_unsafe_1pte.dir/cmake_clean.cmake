@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_unsafe_1pte.dir/fig7_unsafe_1pte.cc.o"
+  "CMakeFiles/fig7_unsafe_1pte.dir/fig7_unsafe_1pte.cc.o.d"
+  "CMakeFiles/fig7_unsafe_1pte.dir/micro_figure.cc.o"
+  "CMakeFiles/fig7_unsafe_1pte.dir/micro_figure.cc.o.d"
+  "fig7_unsafe_1pte"
+  "fig7_unsafe_1pte.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_unsafe_1pte.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+bench/CMakeFiles/fig7_unsafe_1pte.dir/fig7_unsafe_1pte.cc.o: \
+ /root/repo/bench/fig7_unsafe_1pte.cc /usr/include/stdc-predef.h \
+ /root/repo/bench/micro_figure.h

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_unsafe_10pte.dir/fig8_unsafe_10pte.cc.o"
+  "CMakeFiles/fig8_unsafe_10pte.dir/fig8_unsafe_10pte.cc.o.d"
+  "CMakeFiles/fig8_unsafe_10pte.dir/micro_figure.cc.o"
+  "CMakeFiles/fig8_unsafe_10pte.dir/micro_figure.cc.o.d"
+  "fig8_unsafe_10pte"
+  "fig8_unsafe_10pte.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_unsafe_10pte.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig8_unsafe_10pte.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,3 @@
+bench/CMakeFiles/fig8_unsafe_10pte.dir/fig8_unsafe_10pte.cc.o: \
+ /root/repo/bench/fig8_unsafe_10pte.cc /usr/include/stdc-predef.h \
+ /root/repo/bench/micro_figure.h

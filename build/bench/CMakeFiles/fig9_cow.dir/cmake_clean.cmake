@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_cow.dir/fig9_cow.cc.o"
+  "CMakeFiles/fig9_cow.dir/fig9_cow.cc.o.d"
+  "fig9_cow"
+  "fig9_cow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_cow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

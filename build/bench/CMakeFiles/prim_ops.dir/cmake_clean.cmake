@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prim_ops.dir/prim_ops.cc.o"
+  "CMakeFiles/prim_ops.dir/prim_ops.cc.o.d"
+  "prim_ops"
+  "prim_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prim_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/related_work.dir/related_work.cc.o"
+  "CMakeFiles/related_work.dir/related_work.cc.o.d"
+  "related_work"
+  "related_work.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/related_work.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

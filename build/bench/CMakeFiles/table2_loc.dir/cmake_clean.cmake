@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_loc.dir/table2_loc.cc.o"
+  "CMakeFiles/table2_loc.dir/table2_loc.cc.o.d"
+  "table2_loc"
+  "table2_loc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_loc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_fracturing.dir/table4_fracturing.cc.o"
+  "CMakeFiles/table4_fracturing.dir/table4_fracturing.cc.o.d"
+  "table4_fracturing"
+  "table4_fracturing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_fracturing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cow_lab.dir/cow_lab.cpp.o"
+  "CMakeFiles/cow_lab.dir/cow_lab.cpp.o.d"
+  "cow_lab"
+  "cow_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cow_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

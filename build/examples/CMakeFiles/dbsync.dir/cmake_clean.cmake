@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbsync.dir/dbsync.cpp.o"
+  "CMakeFiles/dbsync.dir/dbsync.cpp.o.d"
+  "dbsync"
+  "dbsync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbsync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

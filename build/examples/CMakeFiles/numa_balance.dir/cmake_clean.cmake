@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numa_balance.dir/numa_balance.cpp.o"
+  "CMakeFiles/numa_balance.dir/numa_balance.cpp.o.d"
+  "numa_balance"
+  "numa_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numa_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

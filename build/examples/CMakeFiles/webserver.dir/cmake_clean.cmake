@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webserver.dir/webserver.cpp.o"
+  "CMakeFiles/webserver.dir/webserver.cpp.o.d"
+  "webserver"
+  "webserver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webserver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

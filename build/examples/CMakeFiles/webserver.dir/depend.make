@@ -1,0 +1,2 @@
+# Empty dependencies file for webserver.
+# This may be replaced when dependencies are built.

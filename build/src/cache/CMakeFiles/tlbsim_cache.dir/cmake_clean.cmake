@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlbsim_cache.dir/coherence.cc.o"
+  "CMakeFiles/tlbsim_cache.dir/coherence.cc.o.d"
+  "libtlbsim_cache.a"
+  "libtlbsim_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlbsim_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

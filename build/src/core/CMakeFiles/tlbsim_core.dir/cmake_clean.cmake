@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlbsim_core.dir/alternatives.cc.o"
+  "CMakeFiles/tlbsim_core.dir/alternatives.cc.o.d"
+  "CMakeFiles/tlbsim_core.dir/shootdown.cc.o"
+  "CMakeFiles/tlbsim_core.dir/shootdown.cc.o.d"
+  "libtlbsim_core.a"
+  "libtlbsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlbsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/apic.cc" "src/hw/CMakeFiles/tlbsim_hw.dir/apic.cc.o" "gcc" "src/hw/CMakeFiles/tlbsim_hw.dir/apic.cc.o.d"
+  "/root/repo/src/hw/cpu.cc" "src/hw/CMakeFiles/tlbsim_hw.dir/cpu.cc.o" "gcc" "src/hw/CMakeFiles/tlbsim_hw.dir/cpu.cc.o.d"
+  "/root/repo/src/hw/machine.cc" "src/hw/CMakeFiles/tlbsim_hw.dir/machine.cc.o" "gcc" "src/hw/CMakeFiles/tlbsim_hw.dir/machine.cc.o.d"
+  "/root/repo/src/hw/mmu.cc" "src/hw/CMakeFiles/tlbsim_hw.dir/mmu.cc.o" "gcc" "src/hw/CMakeFiles/tlbsim_hw.dir/mmu.cc.o.d"
+  "/root/repo/src/hw/tlb.cc" "src/hw/CMakeFiles/tlbsim_hw.dir/tlb.cc.o" "gcc" "src/hw/CMakeFiles/tlbsim_hw.dir/tlb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/tlbsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/tlbsim_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mm/CMakeFiles/tlbsim_mm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

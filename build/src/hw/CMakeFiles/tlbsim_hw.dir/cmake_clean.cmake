@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlbsim_hw.dir/apic.cc.o"
+  "CMakeFiles/tlbsim_hw.dir/apic.cc.o.d"
+  "CMakeFiles/tlbsim_hw.dir/cpu.cc.o"
+  "CMakeFiles/tlbsim_hw.dir/cpu.cc.o.d"
+  "CMakeFiles/tlbsim_hw.dir/machine.cc.o"
+  "CMakeFiles/tlbsim_hw.dir/machine.cc.o.d"
+  "CMakeFiles/tlbsim_hw.dir/mmu.cc.o"
+  "CMakeFiles/tlbsim_hw.dir/mmu.cc.o.d"
+  "CMakeFiles/tlbsim_hw.dir/tlb.cc.o"
+  "CMakeFiles/tlbsim_hw.dir/tlb.cc.o.d"
+  "libtlbsim_hw.a"
+  "libtlbsim_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlbsim_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

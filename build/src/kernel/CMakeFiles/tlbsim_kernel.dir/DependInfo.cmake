@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/kernel.cc" "src/kernel/CMakeFiles/tlbsim_kernel.dir/kernel.cc.o" "gcc" "src/kernel/CMakeFiles/tlbsim_kernel.dir/kernel.cc.o.d"
+  "/root/repo/src/kernel/rwsem.cc" "src/kernel/CMakeFiles/tlbsim_kernel.dir/rwsem.cc.o" "gcc" "src/kernel/CMakeFiles/tlbsim_kernel.dir/rwsem.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/tlbsim_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/mm/CMakeFiles/tlbsim_mm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tlbsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/tlbsim_cache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlbsim_kernel.dir/kernel.cc.o"
+  "CMakeFiles/tlbsim_kernel.dir/kernel.cc.o.d"
+  "CMakeFiles/tlbsim_kernel.dir/rwsem.cc.o"
+  "CMakeFiles/tlbsim_kernel.dir/rwsem.cc.o.d"
+  "libtlbsim_kernel.a"
+  "libtlbsim_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlbsim_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlbsim_mm.dir/page_table.cc.o"
+  "CMakeFiles/tlbsim_mm.dir/page_table.cc.o.d"
+  "CMakeFiles/tlbsim_mm.dir/phys.cc.o"
+  "CMakeFiles/tlbsim_mm.dir/phys.cc.o.d"
+  "libtlbsim_mm.a"
+  "libtlbsim_mm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlbsim_mm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tlbsim_mm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlbsim_sim.dir/engine.cc.o"
+  "CMakeFiles/tlbsim_sim.dir/engine.cc.o.d"
+  "CMakeFiles/tlbsim_sim.dir/flag.cc.o"
+  "CMakeFiles/tlbsim_sim.dir/flag.cc.o.d"
+  "CMakeFiles/tlbsim_sim.dir/trace.cc.o"
+  "CMakeFiles/tlbsim_sim.dir/trace.cc.o.d"
+  "libtlbsim_sim.a"
+  "libtlbsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlbsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

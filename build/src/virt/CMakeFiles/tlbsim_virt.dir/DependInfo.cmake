@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/virt/ept.cc" "src/virt/CMakeFiles/tlbsim_virt.dir/ept.cc.o" "gcc" "src/virt/CMakeFiles/tlbsim_virt.dir/ept.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/tlbsim_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/mm/CMakeFiles/tlbsim_mm.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/tlbsim_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tlbsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlbsim_virt.dir/ept.cc.o"
+  "CMakeFiles/tlbsim_virt.dir/ept.cc.o.d"
+  "libtlbsim_virt.a"
+  "libtlbsim_virt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlbsim_virt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

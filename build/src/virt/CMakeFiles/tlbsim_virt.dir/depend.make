@@ -1,0 +1,2 @@
+# Empty dependencies file for tlbsim_virt.
+# This may be replaced when dependencies are built.

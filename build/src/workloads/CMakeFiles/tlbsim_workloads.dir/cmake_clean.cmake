@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlbsim_workloads.dir/apache.cc.o"
+  "CMakeFiles/tlbsim_workloads.dir/apache.cc.o.d"
+  "CMakeFiles/tlbsim_workloads.dir/fracture.cc.o"
+  "CMakeFiles/tlbsim_workloads.dir/fracture.cc.o.d"
+  "CMakeFiles/tlbsim_workloads.dir/microbench.cc.o"
+  "CMakeFiles/tlbsim_workloads.dir/microbench.cc.o.d"
+  "CMakeFiles/tlbsim_workloads.dir/sysbench.cc.o"
+  "CMakeFiles/tlbsim_workloads.dir/sysbench.cc.o.d"
+  "libtlbsim_workloads.a"
+  "libtlbsim_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlbsim_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

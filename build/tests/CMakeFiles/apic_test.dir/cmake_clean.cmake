@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apic_test.dir/apic_test.cc.o"
+  "CMakeFiles/apic_test.dir/apic_test.cc.o.d"
+  "apic_test"
+  "apic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coherence_test.dir/coherence_test.cc.o"
+  "CMakeFiles/coherence_test.dir/coherence_test.cc.o.d"
+  "coherence_test"
+  "coherence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coherence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

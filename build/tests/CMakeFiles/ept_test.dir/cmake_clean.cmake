@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ept_test.dir/ept_test.cc.o"
+  "CMakeFiles/ept_test.dir/ept_test.cc.o.d"
+  "ept_test"
+  "ept_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ept_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

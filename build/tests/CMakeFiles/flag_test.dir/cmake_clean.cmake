@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flag_test.dir/flag_test.cc.o"
+  "CMakeFiles/flag_test.dir/flag_test.cc.o.d"
+  "flag_test"
+  "flag_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flag_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fork_test.dir/fork_test.cc.o"
+  "CMakeFiles/fork_test.dir/fork_test.cc.o.d"
+  "fork_test"
+  "fork_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fork_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

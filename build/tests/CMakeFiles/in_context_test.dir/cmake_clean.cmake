@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/in_context_test.dir/in_context_test.cc.o"
+  "CMakeFiles/in_context_test.dir/in_context_test.cc.o.d"
+  "in_context_test"
+  "in_context_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/in_context_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

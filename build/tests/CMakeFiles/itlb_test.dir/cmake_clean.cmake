@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itlb_test.dir/itlb_test.cc.o"
+  "CMakeFiles/itlb_test.dir/itlb_test.cc.o.d"
+  "itlb_test"
+  "itlb_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itlb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

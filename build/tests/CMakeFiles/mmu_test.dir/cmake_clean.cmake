@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmu_test.dir/mmu_test.cc.o"
+  "CMakeFiles/mmu_test.dir/mmu_test.cc.o.d"
+  "mmu_test"
+  "mmu_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pwc_test.dir/pwc_test.cc.o"
+  "CMakeFiles/pwc_test.dir/pwc_test.cc.o.d"
+  "pwc_test"
+  "pwc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pwc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rwsem_test.dir/rwsem_test.cc.o"
+  "CMakeFiles/rwsem_test.dir/rwsem_test.cc.o.d"
+  "rwsem_test"
+  "rwsem_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rwsem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

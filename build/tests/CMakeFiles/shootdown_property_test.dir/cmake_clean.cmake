@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shootdown_property_test.dir/shootdown_property_test.cc.o"
+  "CMakeFiles/shootdown_property_test.dir/shootdown_property_test.cc.o.d"
+  "shootdown_property_test"
+  "shootdown_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shootdown_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shootdown_test.dir/shootdown_test.cc.o"
+  "CMakeFiles/shootdown_test.dir/shootdown_test.cc.o.d"
+  "shootdown_test"
+  "shootdown_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shootdown_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tlb_test.cc" "tests/CMakeFiles/tlb_test.dir/tlb_test.cc.o" "gcc" "tests/CMakeFiles/tlb_test.dir/tlb_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/tlbsim_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/virt/CMakeFiles/tlbsim_virt.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tlbsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/tlbsim_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/tlbsim_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/mm/CMakeFiles/tlbsim_mm.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/tlbsim_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tlbsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
