@@ -4,14 +4,16 @@
 //   2. the in-context flush-merge threshold (Linux's 33-entry ceiling);
 //   3. the §3.4 (4a) interplay: flush-user-PTEs-until-first-ack vs defer-all.
 #include <cstdio>
+#include <utility>
 
+#include "bench/report.h"
 #include "src/workloads/microbench.h"
 #include "src/workloads/sysbench.h"
 
 namespace tlbsim {
 namespace {
 
-void MulticastAblation() {
+void MulticastAblation(BenchReport* report) {
   std::printf("== Ablation 1: multicast vs unicast IPIs (the §2.3.2 caveat) ==\n");
   // Protocol-level comparison with many responder threads.
   for (bool multicast : {true, false}) {
@@ -55,11 +57,17 @@ void MulticastAblation() {
     std::printf("  %-10s madvise over 20 remote CPUs: %lld cycles, ICR writes: %llu\n",
                 multicast ? "multicast:" : "unicast:", static_cast<long long>(dur),
                 static_cast<unsigned long long>(sys.machine().apic().stats().icr_writes));
+    Json row = Json::Object();
+    row["ablation"] = "multicast_vs_unicast";
+    row["multicast"] = multicast;
+    row["madvise_cycles"] = static_cast<int64_t>(dur);
+    row["icr_writes"] = sys.machine().apic().stats().icr_writes;
+    report->AddRow(std::move(row));
   }
   std::printf("\n");
 }
 
-void ThresholdAblation() {
+void ThresholdAblation(BenchReport* report) {
   std::printf("== Ablation 2: full-flush threshold (tlb_single_page_flush_ceiling) ==\n");
   std::printf("  madvise of 24 PTEs, cross-socket responder, all-general opts, safe\n");
   for (uint64_t threshold : {4ULL, 8ULL, 16ULL, 33ULL, 64ULL}) {
@@ -99,11 +107,17 @@ void ThresholdAblation() {
     std::printf("  threshold %2llu: madvise %lld cycles (%s)\n",
                 static_cast<unsigned long long>(threshold), static_cast<long long>(dur),
                 threshold < 24 ? "full flushes" : "selective");
+    Json row = Json::Object();
+    row["ablation"] = "full_flush_threshold";
+    row["threshold"] = threshold;
+    row["madvise_cycles"] = static_cast<int64_t>(dur);
+    row["regime"] = threshold < 24 ? "full flushes" : "selective";
+    report->AddRow(std::move(row));
   }
   std::printf("\n");
 }
 
-void FourAAblation() {
+void FourAAblation(BenchReport* report) {
   std::printf("== Ablation 3: in-context 4a interplay (eager-until-first-ack) ==\n");
   for (bool concurrent : {true, false}) {
     MicroConfig cfg;
@@ -117,6 +131,13 @@ void FourAAblation() {
     MicroResult r = RunMadviseMicrobench(cfg);
     std::printf("  concurrent=%d: initiator %.0f cyc, responder %.0f cyc\n", concurrent,
                 r.initiator.mean(), r.responder_cycles_per_op);
+    Json row = Json::Object();
+    row["ablation"] = "in_context_4a_interplay";
+    row["concurrent_flush"] = concurrent;
+    row["initiator_cycles"] = r.initiator.mean();
+    row["responder_cycles"] = r.responder_cycles_per_op;
+    report->AddRow(std::move(row));
+    report->Set("metrics", std::move(r.metrics));  // last: defer-all variant
   }
   std::printf("\n");
 }
@@ -124,9 +145,10 @@ void FourAAblation() {
 }  // namespace
 }  // namespace tlbsim
 
-int main() {
-  tlbsim::MulticastAblation();
-  tlbsim::ThresholdAblation();
-  tlbsim::FourAAblation();
-  return 0;
+int main(int argc, char** argv) {
+  tlbsim::BenchReport report("ablations", argc, argv);
+  tlbsim::MulticastAblation(&report);
+  tlbsim::ThresholdAblation(&report);
+  tlbsim::FourAAblation(&report);
+  return report.Finish(0);
 }

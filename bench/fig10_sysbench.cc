@@ -3,8 +3,10 @@
 // cumulatively (batching last), threads 1..16 on one NUMA node.
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "bench/report.h"
 #include "src/workloads/sysbench.h"
 
 namespace tlbsim {
@@ -27,7 +29,8 @@ std::vector<std::pair<std::string, OptimizationSet>> Columns(bool pti) {
   return cols;
 }
 
-double Throughput(bool pti, int threads, const OptimizationSet& opts) {
+double Throughput(bool pti, int threads, const OptimizationSet& opts,
+                  Json* metrics_out = nullptr) {
   double sum = 0.0;
   for (uint64_t seed : {7ULL, 8ULL, 9ULL, 10ULL, 11ULL}) {  // average 5 runs
     SysbenchConfig cfg;
@@ -35,7 +38,11 @@ double Throughput(bool pti, int threads, const OptimizationSet& opts) {
     cfg.threads = threads;
     cfg.opts = opts;
     cfg.seed = seed;
-    sum += RunSysbench(cfg).writes_per_mcycle;
+    SysbenchResult r = RunSysbench(cfg);
+    sum += r.writes_per_mcycle;
+    if (metrics_out != nullptr) {
+      *metrics_out = std::move(r.metrics);
+    }
   }
   return sum / 5.0;
 }
@@ -43,8 +50,10 @@ double Throughput(bool pti, int threads, const OptimizationSet& opts) {
 }  // namespace
 }  // namespace tlbsim
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tlbsim;
+  BenchReport report("fig10_sysbench", argc, argv);
+  Json last_metrics;
   for (bool pti : {true, false}) {
     std::printf("# Figure 10 (%s mode): speedup over baseline, cumulative optimizations\n",
                 pti ? "safe" : "unsafe");
@@ -57,12 +66,23 @@ int main() {
     for (int threads : kThreadCounts) {
       double base = Throughput(pti, threads, OptimizationSet::None());
       std::printf("%-8d", threads);
+      Json row = Json::Object();
+      row["mode"] = pti ? "safe" : "unsafe";
+      row["threads"] = threads;
+      row["base_writes_per_mcycle"] = base;
+      Json& speedups = row["speedup"];
+      speedups = Json::Object();
       for (auto& [name, opts] : cols) {
-        std::printf(" %11.2fx", Throughput(pti, threads, opts) / base);
+        double tput = Throughput(pti, threads, opts, &last_metrics);
+        std::printf(" %11.2fx", tput / base);
+        speedups[name] = tput / base;
       }
       std::printf("\n");
+      report.AddRow(std::move(row));
     }
     std::printf("\n");
   }
-  return 0;
+  // Snapshot from the last fully-optimized 16-thread unsafe run.
+  report.Set("metrics", std::move(last_metrics));
+  return report.Finish(0);
 }

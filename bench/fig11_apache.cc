@@ -3,8 +3,10 @@
 // optimizations with userspace batching last.
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "bench/report.h"
 #include "src/workloads/apache.h"
 
 namespace tlbsim {
@@ -23,20 +25,27 @@ std::vector<std::pair<std::string, OptimizationSet>> Columns(bool pti) {
   return cols;
 }
 
-double Throughput(bool pti, int cores, const OptimizationSet& opts) {
+double Throughput(bool pti, int cores, const OptimizationSet& opts,
+                  Json* metrics_out = nullptr) {
   ApacheConfig cfg;
   cfg.pti = pti;
   cfg.server_cores = cores;
   cfg.opts = opts;
   cfg.seed = 11;
-  return RunApache(cfg).requests_per_mcycle;
+  ApacheResult r = RunApache(cfg);
+  if (metrics_out != nullptr) {
+    *metrics_out = std::move(r.metrics);
+  }
+  return r.requests_per_mcycle;
 }
 
 }  // namespace
 }  // namespace tlbsim
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tlbsim;
+  BenchReport report("fig11_apache", argc, argv);
+  Json last_metrics;
   for (bool pti : {true, false}) {
     std::printf("# Figure 11 (%s mode): Apache speedup vs baseline per core count\n",
                 pti ? "safe" : "unsafe");
@@ -49,12 +58,23 @@ int main() {
     for (int cores = 1; cores <= 11; ++cores) {
       double base = Throughput(pti, cores, OptimizationSet::None());
       std::printf("%-6d %14.2f", cores, base);
+      Json row = Json::Object();
+      row["mode"] = pti ? "safe" : "unsafe";
+      row["cores"] = cores;
+      row["base_requests_per_mcycle"] = base;
+      Json& speedups = row["speedup"];
+      speedups = Json::Object();
       for (auto& [name, opts] : cols) {
-        std::printf(" %11.3fx", Throughput(pti, cores, opts) / base);
+        double tput = Throughput(pti, cores, opts, &last_metrics);
+        std::printf(" %11.3fx", tput / base);
+        speedups[name] = tput / base;
       }
       std::printf("\n");
+      report.AddRow(std::move(row));
     }
     std::printf("\n");
   }
-  return 0;
+  // Snapshot from the last fully-optimized 11-core unsafe run.
+  report.Set("metrics", std::move(last_metrics));
+  return report.Finish(0);
 }

@@ -3,7 +3,9 @@
 // in safe (PTI) mode — showing concurrent flushing, early acknowledgement and
 // the deferred in-context flush.
 #include <cstdio>
+#include <utility>
 
+#include "bench/report.h"
 #include "src/core/system.h"
 
 namespace tlbsim {
@@ -29,7 +31,7 @@ SimTask Initiator(System& sys, Thread& t, bool* stop) {
   *stop = true;
 }
 
-void RunOnce(const char* title, OptimizationSet opts) {
+void RunOnce(const char* title, OptimizationSet opts, BenchReport* report) {
   SystemConfig cfg;
   cfg.kernel.pti = true;
   cfg.kernel.opts = opts;
@@ -44,16 +46,23 @@ void RunOnce(const char* title, OptimizationSet opts) {
   sys.machine().engine().Run();
   std::printf("== %s (opts: %s) ==\n", title, opts.Describe().c_str());
   std::printf("%s\n", sys.machine().trace().Render().c_str());
+  Json row = Json::Object();
+  row["title"] = title;
+  row["opts"] = opts.Describe();
+  row["timeline"] = sys.machine().trace().Render();
+  report->AddRow(std::move(row));
+  report->Snapshot(sys);  // last protocol's registry wins (the optimized one)
 }
 
 }  // namespace
 }  // namespace tlbsim
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tlbsim;
+  BenchReport report("fig1_3_protocol_timeline", argc, argv);
   std::printf("# Figures 1-3: one 10-PTE shootdown, safe (PTI) mode, initiator cpu0,\n");
   std::printf("# responder cpu30 (other socket). Times are virtual cycles.\n\n");
-  RunOnce("Figure 1: baseline Linux protocol", OptimizationSet::None());
-  RunOnce("Figure 2/3: optimized protocol", OptimizationSet::AllGeneral());
-  return 0;
+  RunOnce("Figure 1: baseline Linux protocol", OptimizationSet::None(), &report);
+  RunOnce("Figure 2/3: optimized protocol", OptimizationSet::AllGeneral(), &report);
+  return report.Finish(0);
 }

@@ -2,7 +2,9 @@
 // split (baseline Linux) vs consolidated layout — counting coherence
 // transfers per shootdown on each named kernel line.
 #include <cstdio>
+#include <utility>
 
+#include "bench/report.h"
 #include "src/core/system.h"
 
 namespace tlbsim {
@@ -29,7 +31,7 @@ SimTask Initiator(System& sys, Thread& t, int rounds, bool* stop) {
   *stop = true;
 }
 
-void Report(bool consolidated) {
+void RunLayout(bool consolidated, BenchReport* report) {
   constexpr int kRounds = 101;  // 1 warmup + 100 measured
   OptimizationSet opts;
   opts.cacheline_consolidation = consolidated;
@@ -63,26 +65,40 @@ void Report(bool consolidated) {
   };
   double measured = 100.0;
   double total = 0.0;
+  Json row = Json::Object();
+  row["layout"] = consolidated ? "consolidated" : "split";
+  Json& line_rows = row["lines"];
+  line_rows = Json::Object();
   for (const NamedLine& nl : lines) {
     auto s = coh.StatsFor(nl.line);
     std::printf("  %-52s %6.2f transfers/shootdown (%llu invalidations)\n", nl.what,
                 static_cast<double>(s.transfers) / measured,
                 static_cast<unsigned long long>(s.invalidations));
     total += static_cast<double>(s.transfers) / measured;
+    Json lj = Json::Object();
+    lj["transfers_per_shootdown"] = static_cast<double>(s.transfers) / measured;
+    lj["invalidations"] = s.invalidations;
+    line_rows[nl.what] = std::move(lj);
   }
   std::printf("  %-52s %6.2f transfers/shootdown\n", "TOTAL contended kernel lines", total);
   std::printf("  global cross-socket transfers/shootdown: %.2f\n\n",
               static_cast<double>(coh.global_stats().cross_socket_transfers) / measured);
+  row["total_transfers_per_shootdown"] = total;
+  row["cross_socket_transfers_per_shootdown"] =
+      static_cast<double>(coh.global_stats().cross_socket_transfers) / measured;
+  report->AddRow(std::move(row));
+  report->Snapshot(sys);
 }
 
 }  // namespace
 }  // namespace tlbsim
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tlbsim;
+  BenchReport report("fig4_cacheline_consolidation", argc, argv);
   std::printf("# Figure 4: cacheline contention during shootdowns (100 x 4-PTE madvise,\n");
   std::printf("# initiator cpu0, responder cpu30 cross-socket, safe mode).\n\n");
-  Report(false);
-  Report(true);
-  return 0;
+  RunLayout(false, &report);
+  RunLayout(true, &report);
+  return report.Finish(0);
 }

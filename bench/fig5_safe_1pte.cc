@@ -1,4 +1,6 @@
 // Regenerates Figure 5 of the paper.
 #include "bench/micro_figure.h"
 
-int main() { return tlbsim::RunMicroFigure("Figure 5", true, 1); }
+int main(int argc, char** argv) {
+  return tlbsim::RunMicroFigure("fig5_safe_1pte", "Figure 5", true, 1, argc, argv);
+}

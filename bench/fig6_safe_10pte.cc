@@ -1,4 +1,6 @@
 // Regenerates Figure 6 of the paper.
 #include "bench/micro_figure.h"
 
-int main() { return tlbsim::RunMicroFigure("Figure 6", true, 10); }
+int main(int argc, char** argv) {
+  return tlbsim::RunMicroFigure("fig6_safe_10pte", "Figure 6", true, 10, argc, argv);
+}

@@ -1,4 +1,6 @@
 // Regenerates Figure 7 of the paper.
 #include "bench/micro_figure.h"
 
-int main() { return tlbsim::RunMicroFigure("Figure 7", false, 1); }
+int main(int argc, char** argv) {
+  return tlbsim::RunMicroFigure("fig7_unsafe_1pte", "Figure 7", false, 1, argc, argv);
+}

@@ -1,4 +1,6 @@
 // Regenerates Figure 8 of the paper.
 #include "bench/micro_figure.h"
 
-int main() { return tlbsim::RunMicroFigure("Figure 8", false, 10); }
+int main(int argc, char** argv) {
+  return tlbsim::RunMicroFigure("fig8_unsafe_10pte", "Figure 8", false, 10, argc, argv);
+}

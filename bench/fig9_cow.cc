@@ -2,7 +2,9 @@
 // fault, with all previous optimizations (all) vs all + CoW flush avoidance,
 // in safe and unsafe mode.
 #include <cstdio>
+#include <utility>
 
+#include "bench/report.h"
 #include "src/sim/stats.h"
 #include "src/workloads/microbench.h"
 
@@ -11,8 +13,15 @@ namespace {
 
 constexpr int kRuns = 5;
 
-RunningStat Measure(bool pti, bool cow_avoidance) {
+struct Measured {
   RunningStat across_runs;
+  uint64_t cow_faults = 0;
+  uint64_t flushes_avoided = 0;
+  Json metrics;  // from the last run
+};
+
+Measured Measure(bool pti, bool cow_avoidance) {
+  Measured m;
   for (int run = 0; run < kRuns; ++run) {
     CowConfig cfg;
     cfg.pti = pti;
@@ -22,32 +31,60 @@ RunningStat Measure(bool pti, bool cow_avoidance) {
     cfg.rounds = 4;
     cfg.seed = 40 + static_cast<uint64_t>(run);
     CowResult r = RunCowMicrobench(cfg);
-    across_runs.Add(r.write_cycles.mean());
+    m.across_runs.Add(r.write_cycles.mean());
+    m.cow_faults = r.cow_faults;
+    m.flushes_avoided = r.flushes_avoided;
+    m.metrics = std::move(r.metrics);
   }
-  return across_runs;
+  return m;
+}
+
+Json Row(bool pti, const char* config, const Measured& m) {
+  Json row = Json::Object();
+  row["mode"] = pti ? "safe" : "unsafe";
+  row["config"] = config;
+  row["cycles_mean"] = m.across_runs.mean();
+  row["cycles_stddev"] = m.across_runs.stddev();
+  row["cow_faults"] = m.cow_faults;
+  row["flushes_avoided"] = m.flushes_avoided;
+  return row;
 }
 
 }  // namespace
 }  // namespace tlbsim
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tlbsim;
+  BenchReport report("fig9_cow", argc, argv);
+  Json config = Json::Object();
+  config["runs"] = kRuns;
+  config["pages"] = 64;
+  config["rounds"] = 4;
+  report.Set("config", std::move(config));
+
   std::printf("# Figure 9: CoW page-fault write latency (cycles per event)\n");
   std::printf("# paper: CoW avoidance saves ~130 cycles (~3%% safe, ~5%% unsafe)\n\n");
   std::printf("%-8s %-10s %12s\n", "mode", "config", "cycles");
   int rc = 0;
+  Json last_metrics;
   for (bool pti : {true, false}) {
-    RunningStat all = Measure(pti, false);
-    RunningStat all_cow = Measure(pti, true);
-    std::printf("%-8s %-10s %8.0f +-%3.0f\n", pti ? "safe" : "unsafe", "all", all.mean(),
-                all.stddev());
+    Measured all = Measure(pti, false);
+    Measured all_cow = Measure(pti, true);
+    std::printf("%-8s %-10s %8.0f +-%3.0f\n", pti ? "safe" : "unsafe", "all",
+                all.across_runs.mean(), all.across_runs.stddev());
     std::printf("%-8s %-10s %8.0f +-%3.0f   (saves %.0f cycles, %.1f%%)\n",
-                pti ? "safe" : "unsafe", "all+cow", all_cow.mean(), all_cow.stddev(),
-                all.mean() - all_cow.mean(), 100.0 * (1.0 - all_cow.mean() / all.mean()));
-    if (all_cow.mean() >= all.mean()) {
+                pti ? "safe" : "unsafe", "all+cow", all_cow.across_runs.mean(),
+                all_cow.across_runs.stddev(), all.across_runs.mean() - all_cow.across_runs.mean(),
+                100.0 * (1.0 - all_cow.across_runs.mean() / all.across_runs.mean()));
+    report.AddRow(Row(pti, "all", all));
+    report.AddRow(Row(pti, "all+cow", all_cow));
+    last_metrics = std::move(all_cow.metrics);
+    if (all_cow.across_runs.mean() >= all.across_runs.mean()) {
       std::printf("!! CoW avoidance did not help\n");
       rc = 1;
     }
   }
-  return rc;
+  // Snapshot from the last all+cow run: CI probes shootdown.cow_flush_avoided.
+  report.Set("metrics", std::move(last_metrics));
+  return report.Finish(rc);
 }

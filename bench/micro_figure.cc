@@ -1,7 +1,9 @@
 #include "bench/micro_figure.h"
 
 #include <cstdio>
+#include <utility>
 
+#include "bench/report.h"
 #include "src/sim/stats.h"
 #include "src/workloads/microbench.h"
 
@@ -13,7 +15,17 @@ constexpr int kIterations = 300;  // madvise calls per run (paper: 100k; the
                                   // simulator's variance is far lower)
 }  // namespace
 
-int RunMicroFigure(const char* figure_name, bool pti, int pages) {
+int RunMicroFigure(const char* bench_name, const char* figure_name, bool pti, int pages, int argc,
+                   char** argv) {
+  BenchReport report(bench_name, argc, argv);
+  Json config = Json::Object();
+  config["figure"] = figure_name;
+  config["pti"] = pti;
+  config["pages"] = pages;
+  config["runs"] = kRuns;
+  config["iterations"] = kIterations;
+  report.Set("config", std::move(config));
+
   std::printf("# %s: madvise(DONTNEED) microbenchmark, %s mode, flush %d PTE%s\n", figure_name,
               pti ? "safe" : "unsafe", pages, pages == 1 ? "" : "s");
   std::printf("# cycles per operation, mean +- stddev over %d runs x %d iterations\n", kRuns,
@@ -24,12 +36,15 @@ int RunMicroFigure(const char* figure_name, bool pti, int pages) {
   // In unsafe mode there is no PTI, hence no in-context flushing bar.
   int max_level = pti ? 4 : 3;
   int rc = 0;
+  Json last_metrics;
   for (Placement place :
        {Placement::kSameCore, Placement::kSameSocket, Placement::kOtherSocket}) {
     double base_initiator = 0.0;
     for (int level = 0; level <= max_level; ++level) {
       RunningStat initiator_runs;
       RunningStat responder_runs;
+      uint64_t shootdowns = 0;
+      uint64_t early_acks = 0;
       for (int run = 0; run < kRuns; ++run) {
         MicroConfig cfg;
         cfg.pti = pti;
@@ -41,15 +56,30 @@ int RunMicroFigure(const char* figure_name, bool pti, int pages) {
         MicroResult r = RunMadviseMicrobench(cfg);
         initiator_runs.Add(r.initiator.mean());
         responder_runs.Add(r.responder_cycles_per_op);
+        shootdowns = r.shootdowns;
+        early_acks = r.early_acks;
+        last_metrics = std::move(r.metrics);
       }
       if (level == 0) {
         base_initiator = initiator_runs.mean();
       }
       double speed = base_initiator > 0 ? (1.0 - initiator_runs.mean() / base_initiator) : 0.0;
+      const char* opts_name = OptimizationSet::kCumulativeNames[static_cast<size_t>(level)];
       std::printf("%-13s %-12s %8.0f +-%4.0f %8.0f +-%4.0f %9.1f%%\n", PlacementName(place),
-                  OptimizationSet::kCumulativeNames[static_cast<size_t>(level)],
-                  initiator_runs.mean(), initiator_runs.stddev(), responder_runs.mean(),
-                  responder_runs.stddev(), 100.0 * speed);
+                  opts_name, initiator_runs.mean(), initiator_runs.stddev(),
+                  responder_runs.mean(), responder_runs.stddev(), 100.0 * speed);
+      Json row = Json::Object();
+      row["placement"] = PlacementName(place);
+      row["level"] = level;
+      row["opts"] = opts_name;
+      row["initiator_mean"] = initiator_runs.mean();
+      row["initiator_stddev"] = initiator_runs.stddev();
+      row["responder_mean"] = responder_runs.mean();
+      row["responder_stddev"] = responder_runs.stddev();
+      row["reduction_vs_base"] = speed;
+      row["shootdowns"] = shootdowns;
+      row["early_acks"] = early_acks;
+      report.AddRow(std::move(row));
       // Sanity: optimizations must not regress the initiator by > 5%.
       if (initiator_runs.mean() > base_initiator * 1.05) {
         std::printf("!! regression at level %d\n", level);
@@ -58,7 +88,10 @@ int RunMicroFigure(const char* figure_name, bool pti, int pages) {
     }
     std::printf("\n");
   }
-  return rc;
+  // Full registry snapshot of the last run (cross-socket, all optimizations):
+  // the configuration CI's bench-smoke gate probes for nonzero IPI counters.
+  report.Set("metrics", std::move(last_metrics));
+  return report.Finish(rc);
 }
 
 }  // namespace tlbsim

@@ -6,9 +6,13 @@
 
 namespace tlbsim {
 
-// `pti` selects safe (true) vs unsafe mode; `pages` the PTEs per flush.
-// Returns 0 on success (sanity checks passed).
-int RunMicroFigure(const char* figure_name, bool pti, int pages);
+// `bench_name` names the target (and the BENCH_<name>.json emitted under
+// --json); `figure_name` is the paper figure for the printed header. `pti`
+// selects safe (true) vs unsafe mode; `pages` the PTEs per flush. argv is
+// scanned for --json (see bench/report.h). Returns 0 on success (sanity
+// checks passed).
+int RunMicroFigure(const char* bench_name, const char* figure_name, bool pti, int pages, int argc,
+                   char** argv);
 
 }  // namespace tlbsim
 

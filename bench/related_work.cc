@@ -5,8 +5,11 @@
 // and LATR's asynchrony.
 #include <cstdio>
 #include <memory>
+#include <utility>
 
+#include "bench/report.h"
 #include "src/core/alternatives.h"
+#include "src/core/snapshot.h"
 #include "src/core/system.h"
 #include "src/sim/stats.h"
 
@@ -27,6 +30,7 @@ struct Measured {
   double initiator = 0.0;
   double responder = 0.0;
   uint64_t ipis = 0;
+  Json metrics;  // machine-level registry snapshot
 };
 
 // One initiator (cpu0), one cross-socket responder (cpu30), 10-PTE madvise.
@@ -63,6 +67,9 @@ Measured RunMicro(MakeBackend make_backend, bool pti) {
   out.initiator = stat.mean();
   out.responder = static_cast<double>(machine.cpu(30).stats().cycles_in_irq) / 200.0;
   out.ipis = machine.apic().stats().ipis_sent;
+  CollectMachineMetrics(machine);
+  CollectKernelMetrics(kernel);
+  out.metrics = machine.metrics().ToJson();
   return out;
 }
 
@@ -108,8 +115,9 @@ struct Design {
 }  // namespace
 }  // namespace tlbsim
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tlbsim;
+  BenchReport report("related_work", argc, argv);
   Design designs[] = {
       {"Linux 5.2.8 baseline",
        [](Kernel* k) -> std::unique_ptr<TlbFlushBackend> {
@@ -142,10 +150,19 @@ int main() {
       double conc = RunConcurrent(d.make, pti);
       std::printf("%-24s %10.0f c %10.0f c %8llu %18.2f\n", d.name, m.initiator, m.responder,
                   static_cast<unsigned long long>(m.ipis), conc);
+      Json row = Json::Object();
+      row["design"] = d.name;
+      row["mode"] = pti ? "safe" : "unsafe";
+      row["initiator_cycles"] = m.initiator;
+      row["responder_cycles"] = m.responder;
+      row["ipis"] = m.ipis;
+      row["concurrent_ops_per_mcycle"] = conc;
+      report.AddRow(std::move(row));
+      report.Set("metrics", std::move(m.metrics));  // last design's snapshot
     }
     std::printf(
         "# note: LATR's initiator latency omits the correctness cost the paper\n"
         "# documents (changed munmap semantics; see tests/alternatives_test.cc).\n\n");
   }
-  return 0;
+  return report.Finish(0);
 }

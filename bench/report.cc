@@ -1,0 +1,86 @@
+#include "bench/report.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string_view>
+
+#include "src/core/snapshot.h"
+
+namespace tlbsim {
+
+namespace {
+
+// `--json out/` or a path to an existing directory means "name the file for
+// me"; anything else is used verbatim.
+std::string ResolvePath(std::string_view raw, std::string_view bench) {
+  std::filesystem::path p(raw);
+  std::error_code ec;
+  bool is_dir = !raw.empty() && (raw.back() == '/' || std::filesystem::is_directory(p, ec));
+  if (is_dir) {
+    p /= "BENCH_" + std::string(bench) + ".json";
+  }
+  return p.string();
+}
+
+}  // namespace
+
+BenchReport::BenchReport(const char* name, int argc, char** argv) : name_(name) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (arg == "--json" && i + 1 < argc) {
+      path_ = ResolvePath(argv[i + 1], name_);
+      ++i;
+    } else if (arg == "--json") {
+      std::fprintf(stderr, "BenchReport: --json needs a path; no report will be written\n");
+    } else if (arg.rfind("--json=", 0) == 0) {
+      path_ = ResolvePath(arg.substr(7), name_);
+    }
+  }
+  root_ = Json::Object();
+  root_["bench"] = name_;
+  root_["schema_version"] = 1;
+}
+
+void BenchReport::AddRow(Json row) {
+  Json& rows = root_["rows"];
+  if (rows.type() != Json::Type::kArray) {
+    rows = Json::Array();
+  }
+  rows.Append(std::move(row));
+}
+
+void BenchReport::Snapshot(System& system, const char* key) {
+  root_[key] = SystemMetricsJson(system);
+}
+
+void BenchReport::Set(const char* key, Json value) { root_[key] = std::move(value); }
+
+int BenchReport::Finish(int rc) {
+  root_["status"] = rc == 0 ? "pass" : "fail";
+  if (path_.empty()) {
+    return rc;
+  }
+  std::filesystem::path p(path_);
+  std::error_code ec;
+  if (p.has_parent_path()) {
+    std::filesystem::create_directories(p.parent_path(), ec);  // best effort
+  }
+  std::ofstream out(p, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "BenchReport: cannot open %s for writing\n", path_.c_str());
+    return rc != 0 ? rc : 1;
+  }
+  std::string doc = root_.Dump(2);
+  doc.push_back('\n');
+  out << doc;
+  out.close();
+  if (!out) {
+    std::fprintf(stderr, "BenchReport: failed writing %s\n", path_.c_str());
+    return rc != 0 ? rc : 1;
+  }
+  std::fprintf(stderr, "BenchReport: wrote %s\n", path_.c_str());
+  return rc;
+}
+
+}  // namespace tlbsim

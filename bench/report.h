@@ -1,0 +1,68 @@
+// BenchReport: shared --json plumbing for every bench target.
+//
+// Each bench main constructs one BenchReport from its argv; if the user
+// passed `--json <path>` (or `--json=<path>`), Finish() serializes the
+// accumulated document there. When <path> is a directory the file is named
+// BENCH_<bench>.json inside it, which is the layout scripts/run_all.sh and CI
+// collect.
+//
+// The document is deterministic by construction: it contains only virtual-
+// simulation quantities (no wall-clock timestamps, no host identifiers), and
+// Json preserves insertion order — two identical seeded runs emit
+// byte-identical files, so CI can diff them (the determinism gate).
+//
+// Canonical shape:
+//   {"bench": <name>, "schema_version": 1,
+//    "config": {...},            // bench-specific knobs (optional)
+//    "rows": [...],              // one object per printed result row
+//    "metrics": {...},           // full MetricsRegistry snapshot (optional)
+//    "status": "pass"|"fail"}
+#ifndef TLBSIM_BENCH_REPORT_H_
+#define TLBSIM_BENCH_REPORT_H_
+
+#include <string>
+
+#include "src/core/system.h"
+#include "src/sim/json.h"
+
+namespace tlbsim {
+
+class BenchReport {
+ public:
+  // `name` is the bench target name (e.g. "fig5_safe_1pte"); argv is scanned
+  // for --json. Unrecognized arguments are ignored so targets stay usable
+  // under wrappers that append their own flags.
+  BenchReport(const char* name, int argc, char** argv);
+
+  // True when --json was requested (callers may skip expensive collection).
+  bool enabled() const { return !path_.empty(); }
+
+  const std::string& name() const { return name_; }
+
+  // The mutable document root (an object pre-seeded with "bench"/"schema_version").
+  Json& root() { return root_; }
+
+  // Appends one result row to root()["rows"].
+  void AddRow(Json row);
+
+  // Collects all layer stats of `system` into its metrics registry and embeds
+  // the serialized registry under root()[key].
+  void Snapshot(System& system, const char* key = "metrics");
+
+  // Sets root()[key] = value (convenience for config/ablation sections).
+  void Set(const char* key, Json value);
+
+  // Records pass/fail from `rc`, writes the file when enabled, and returns
+  // `rc` unchanged so mains can `return report.Finish(rc);`. Reports write
+  // failures on stderr and turns them into a nonzero exit code.
+  int Finish(int rc);
+
+ private:
+  std::string name_;
+  std::string path_;  // empty: reporting disabled
+  Json root_;
+};
+
+}  // namespace tlbsim
+
+#endif  // TLBSIM_BENCH_REPORT_H_

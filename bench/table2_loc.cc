@@ -4,6 +4,9 @@
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <utility>
+
+#include "bench/report.h"
 
 namespace {
 
@@ -26,14 +29,27 @@ int CountLines(const std::string& rel) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  using tlbsim::BenchReport;
+  using tlbsim::Json;
+  BenchReport report("table2_loc", argc, argv);
   std::printf("# Table 2: lines of code per optimization (paper: Linux patches).\n\n");
   std::printf("%-40s %10s\n", "Optimization (paper)", "paper LoC");
-  std::printf("%-40s %10d\n", "Concurrent flushes", 103);
-  std::printf("%-40s %10d\n", "Early ack + Cacheline consolidation", 73);
-  std::printf("%-40s %10d\n", "In-context page flushing (deferring)", 353);
-  std::printf("%-40s %10d\n", "CoW", 35);
-  std::printf("%-40s %10d\n", "Userspace-safe Batching", 221);
+  const std::pair<const char*, int> paper[] = {
+      {"Concurrent flushes", 103},
+      {"Early ack + Cacheline consolidation", 73},
+      {"In-context page flushing (deferring)", 353},
+      {"CoW", 35},
+      {"Userspace-safe Batching", 221},
+  };
+  for (const auto& [name, loc] : paper) {
+    std::printf("%-40s %10d\n", name, loc);
+    Json row = Json::Object();
+    row["kind"] = "paper_patch";
+    row["optimization"] = name;
+    row["loc"] = loc;
+    report.AddRow(std::move(row));
+  }
 
   std::printf("\n%-40s %10s\n", "This repository (protocol engine)", "LoC");
   const char* files[] = {
@@ -49,7 +65,15 @@ int main() {
     if (n > 0) {
       total += n;
     }
+    Json row = Json::Object();
+    row["kind"] = "repo_file";
+    row["file"] = f;
+    row["loc"] = n;
+    report.AddRow(std::move(row));
   }
   std::printf("%-40s %10d\n", "total", total);
-  return 0;
+  Json summary = Json::Object();
+  summary["repo_total_loc"] = total;
+  report.Set("summary", std::move(summary));
+  return report.Finish(0);
 }

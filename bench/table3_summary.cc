@@ -1,8 +1,18 @@
 // Regenerates Table 3: overall [initiator / responder] latency reduction for
 // cross-socket shootdowns after applying all four §3 techniques, for 1 and
 // 10 PTEs in safe and unsafe mode.
+//
+// Under --json the report additionally carries an "ablations" section: each
+// optimization is enabled in isolation against the counter it is designed to
+// reduce (IPIs, late acks, coherence transfers, INVPCIDs, CoW flushes), and
+// the bench fails unless every enabled optimization strictly reduces its
+// targeted counter — the protocol-level regression gate CI consumes.
 #include <cstdio>
+#include <utility>
+#include <vector>
 
+#include "bench/report.h"
+#include "src/core/snapshot.h"
 #include "src/sim/stats.h"
 #include "src/workloads/microbench.h"
 
@@ -15,6 +25,7 @@ constexpr int kIterations = 300;
 struct Cell {
   double initiator_reduction;
   double responder_reduction;
+  Json metrics;  // from the last optimized run
 };
 
 Cell Measure(bool pti, int pages) {
@@ -22,6 +33,7 @@ Cell Measure(bool pti, int pages) {
   RunningStat base_r;
   RunningStat opt_i;
   RunningStat opt_r;
+  Json metrics;
   for (int run = 0; run < kRuns; ++run) {
     MicroConfig cfg;
     cfg.pti = pti;
@@ -37,21 +49,142 @@ Cell Measure(bool pti, int pages) {
     MicroResult o = RunMadviseMicrobench(cfg);
     opt_i.Add(o.initiator.mean());
     opt_r.Add(o.responder_cycles_per_op);
+    metrics = std::move(o.metrics);
   }
-  return Cell{1.0 - opt_i.mean() / base_i.mean(), 1.0 - opt_r.mean() / base_r.mean()};
+  return Cell{1.0 - opt_i.mean() / base_i.mean(), 1.0 - opt_r.mean() / base_r.mean(),
+              std::move(metrics)};
+}
+
+uint64_t MetricCounter(const Json& metrics, const char* name) {
+  const Json* counters = metrics.Find("counters");
+  const Json* v = counters != nullptr ? counters->Find(name) : nullptr;
+  return v != nullptr ? v->AsUint() : 0;
+}
+
+// One madvise-microbenchmark run with exactly `opts` enabled; cross-socket
+// responder, safe mode.
+MicroResult SingleOptRun(OptimizationSet opts) {
+  MicroConfig cfg;
+  cfg.pti = true;
+  cfg.pages = 10;
+  cfg.placement = Placement::kOtherSocket;
+  cfg.iterations = kIterations;
+  cfg.seed = 500;
+  cfg.opts = opts;
+  return RunMadviseMicrobench(cfg);
+}
+
+// The §4.2 batching scenario: 16 dirty pages msync'd while a second thread
+// of the mm runs remotely — 16 per-page shootdowns in baseline, 4 with the
+// 4-slot batch. Returns "apic.ipis_sent" from the run's registry snapshot.
+uint64_t MsyncIpis(bool batching) {
+  SystemConfig sc;
+  sc.kernel.pti = true;
+  sc.kernel.opts = OptimizationSet();
+  sc.kernel.opts.userspace_batching = batching;
+  sc.machine.seed = 500;
+  System sys(sc);
+  auto* p = sys.kernel().CreateProcess();
+  auto* t = sys.kernel().CreateThread(p, 0);
+  sys.kernel().CreateThread(p, 2);
+  bool stop = false;
+  SimCpu& responder = sys.machine().cpu(2);
+  responder.Spawn([](SimCpu& c, const bool* s) -> SimTask {
+    while (!*s) {
+      co_await c.Execute(500);
+    }
+  }(responder, &stop));
+  File* f = sys.kernel().CreateFile(1 << 20);
+  sys.machine().cpu(0).Spawn([](System& s, Thread& th, File* file, bool* st) -> SimTask {
+    Kernel& k = s.kernel();
+    uint64_t a = co_await k.SysMmap(th, 16 * kPageSize4K, true, true, file);
+    for (int i = 0; i < 16; ++i) {
+      co_await k.UserAccess(th, a + static_cast<uint64_t>(i) * kPageSize4K, true);
+    }
+    co_await k.SysMsyncClean(th, a, 16 * kPageSize4K);
+    *st = true;
+  }(sys, *t, f, &stop));
+  sys.machine().engine().Run();
+  return MetricCounter(SystemMetricsJson(sys), "apic.ipis_sent");
+}
+
+// The §4.1 CoW scenario; returns "shootdown.cow_flushes" from the snapshot.
+uint64_t CowFlushes(bool avoidance) {
+  CowConfig cfg;
+  cfg.pti = true;
+  cfg.opts = OptimizationSet();
+  cfg.opts.cow_avoidance = avoidance;
+  cfg.pages = 64;
+  cfg.rounds = 4;
+  cfg.seed = 500;
+  CowResult r = RunCowMicrobench(cfg);
+  return MetricCounter(r.metrics, "shootdown.cow_flushes");
+}
+
+struct Ablation {
+  const char* optimization;
+  const char* counter;   // the metric the optimization targets
+  double baseline;       // counter with the optimization off
+  double optimized;      // counter with (only) the optimization on
+};
+
+// Runs each optimization in isolation against its targeted counter.
+std::vector<Ablation> RunAblations() {
+  std::vector<Ablation> out;
+  MicroResult base = SingleOptRun(OptimizationSet::None());
+
+  OptimizationSet concurrent;
+  concurrent.concurrent_flush = true;
+  out.push_back({"concurrent_flush", "initiator_cycles_mean", base.initiator.mean(),
+                 SingleOptRun(concurrent).initiator.mean()});
+
+  OptimizationSet early;
+  early.early_ack = true;
+  out.push_back({"early_ack", "shootdown.late_acks",
+                 static_cast<double>(MetricCounter(base.metrics, "shootdown.late_acks")),
+                 static_cast<double>(
+                     MetricCounter(SingleOptRun(early).metrics, "shootdown.late_acks"))});
+
+  OptimizationSet cacheline;
+  cacheline.cacheline_consolidation = true;
+  out.push_back({"cacheline_consolidation", "coherence.transfers",
+                 static_cast<double>(MetricCounter(base.metrics, "coherence.transfers")),
+                 static_cast<double>(
+                     MetricCounter(SingleOptRun(cacheline).metrics, "coherence.transfers"))});
+
+  OptimizationSet in_context;
+  in_context.in_context_flush = true;
+  out.push_back({"in_context_flush", "shootdown.invpcid_issued",
+                 static_cast<double>(MetricCounter(base.metrics, "shootdown.invpcid_issued")),
+                 static_cast<double>(
+                     MetricCounter(SingleOptRun(in_context).metrics, "shootdown.invpcid_issued"))});
+
+  out.push_back({"cow_avoidance", "shootdown.cow_flushes", static_cast<double>(CowFlushes(false)),
+                 static_cast<double>(CowFlushes(true))});
+
+  out.push_back({"userspace_batching", "apic.ipis_sent", static_cast<double>(MsyncIpis(false)),
+                 static_cast<double>(MsyncIpis(true))});
+  return out;
 }
 
 }  // namespace
 }  // namespace tlbsim
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tlbsim;
+  BenchReport report("table3_summary", argc, argv);
+  Json config = Json::Object();
+  config["runs"] = kRuns;
+  config["iterations"] = kIterations;
+  report.Set("config", std::move(config));
+
   std::printf("# Table 3: [initiator / responder] latency reduction, initiator and\n");
   std::printf("# responder on different sockets, all four Section-3 techniques applied.\n");
   std::printf("# Paper reference: 1 PTE  safe 39%%/13%%  unsafe 39%%/18%%\n");
   std::printf("#                  10 PTE safe 58%%/22%%  unsafe 54%%/14%%\n\n");
   std::printf("%-9s %-22s %-22s\n", "", "Safe Mode", "Unsafe Mode");
   int rc = 0;
+  Json last_metrics;
   for (int pages : {1, 10}) {
     Cell safe = Measure(true, pages);
     Cell unsafe = Measure(false, pages);
@@ -59,10 +192,40 @@ int main() {
                 pages == 1 ? "" : "s", 100 * safe.initiator_reduction,
                 100 * safe.responder_reduction, 100 * unsafe.initiator_reduction,
                 100 * unsafe.responder_reduction);
+    for (const auto* cell : {&safe, &unsafe}) {
+      Json row = Json::Object();
+      row["pages"] = pages;
+      row["mode"] = cell == &safe ? "safe" : "unsafe";
+      row["initiator_reduction"] = cell->initiator_reduction;
+      row["responder_reduction"] = cell->responder_reduction;
+      report.AddRow(std::move(row));
+    }
+    last_metrics = std::move(safe.metrics);
     // Shape checks: reductions positive; 10-PTE initiator gain exceeds 1-PTE.
     if (safe.initiator_reduction <= 0 || unsafe.initiator_reduction <= 0) {
       rc = 1;
     }
   }
-  return rc;
+  report.Set("metrics", std::move(last_metrics));
+
+  std::printf("\n# Per-optimization ablations: targeted counter, off vs on\n");
+  std::printf("%-26s %-28s %14s %14s\n", "optimization", "counter", "baseline", "optimized");
+  Json ablations = Json::Array();
+  for (const Ablation& a : RunAblations()) {
+    bool strict = a.optimized < a.baseline;
+    std::printf("%-26s %-28s %14.0f %14.0f%s\n", a.optimization, a.counter, a.baseline,
+                a.optimized, strict ? "" : "  !! no reduction");
+    Json entry = Json::Object();
+    entry["optimization"] = a.optimization;
+    entry["counter"] = a.counter;
+    entry["baseline"] = a.baseline;
+    entry["optimized"] = a.optimized;
+    entry["strict_reduction"] = strict;
+    ablations.Append(std::move(entry));
+    if (!strict) {
+      rc = 1;
+    }
+  }
+  report.Set("ablations", std::move(ablations));
+  return report.Finish(rc);
 }

@@ -3,7 +3,9 @@
 // fracturing behaviour of §7 / Figure 12, plus the proposed mitigation as an
 // ablation.
 #include <cstdio>
+#include <utility>
 
+#include "bench/report.h"
 #include "src/workloads/fracture.h"
 
 namespace tlbsim {
@@ -22,11 +24,24 @@ FractureResult Run(bool vm, PageSize host, PageSize guest, bool selective,
 
 const char* Sz(PageSize s) { return s == PageSize::k4K ? "4KB" : "2MB"; }
 
+Json MakeRow(const char* env, const char* host, const char* guest, const FractureResult& full,
+             const FractureResult& sel) {
+  Json row = Json::Object();
+  row["environment"] = env;
+  row["host_page"] = host;
+  row["guest_page"] = guest;
+  row["full_flush_dtlb_misses"] = full.dtlb_misses;
+  row["selective_flush_dtlb_misses"] = sel.dtlb_misses;
+  row["fracture_forced_full"] = sel.fracture_forced_full;
+  return row;
+}
+
 }  // namespace
 }  // namespace tlbsim
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tlbsim;
+  BenchReport report("table4_fracturing", argc, argv);
   std::printf("# Table 4: dTLB misses after a full or selective (single unmapped page)\n");
   std::printf("# flush. Guest 2MB pages on host 4KB pages fracture: a selective flush\n");
   std::printf("# behaves like a full flush (paper: 102M vs 102M on that row).\n\n");
@@ -43,6 +58,7 @@ int main() {
       {PageSize::k2M, PageSize::k4K},
       {PageSize::k2M, PageSize::k2M},
   };
+  Json fracture_metrics;
   for (const Row& row : rows) {
     FractureResult full = Run(true, row.host, row.guest, false);
     FractureResult sel = Run(true, row.host, row.guest, true);
@@ -50,8 +66,10 @@ int main() {
                 static_cast<unsigned long long>(full.dtlb_misses),
                 static_cast<unsigned long long>(sel.dtlb_misses),
                 static_cast<unsigned long long>(sel.fracture_forced_full));
+    report.AddRow(MakeRow("vm", Sz(row.host), Sz(row.guest), full, sel));
     bool fracturing = row.host == PageSize::k4K && row.guest == PageSize::k2M;
     if (fracturing) {
+      fracture_metrics = std::move(sel.metrics);
       // Selective must look like full (within 5%).
       double ratio = static_cast<double>(sel.dtlb_misses) / static_cast<double>(full.dtlb_misses);
       if (ratio < 0.95) {
@@ -70,6 +88,7 @@ int main() {
                 static_cast<unsigned long long>(full.dtlb_misses),
                 static_cast<unsigned long long>(sel.dtlb_misses),
                 static_cast<unsigned long long>(sel.fracture_forced_full));
+    report.AddRow(MakeRow("bare_metal", Sz(host), "-", full, sel));
   }
 
   // §7 mitigation ablation: with the ISA/paravirtual fix, the fracturing row
@@ -78,5 +97,10 @@ int main() {
   std::printf("\n# With the proposed mitigation (no fracture degrade): selective on the\n");
   std::printf("# fracturing configuration drops to %llu misses.\n",
               static_cast<unsigned long long>(fixed.dtlb_misses));
-  return rc;
+  Json mitigation = Json::Object();
+  mitigation["selective_flush_dtlb_misses"] = fixed.dtlb_misses;
+  report.Set("mitigation", std::move(mitigation));
+  // Machine-level snapshot from the fracturing VM row's selective run.
+  report.Set("metrics", std::move(fracture_metrics));
+  return report.Finish(rc);
 }

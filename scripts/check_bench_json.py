@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""CI gate for BENCH_*.json snapshots.
+
+Checks that each report is structurally sound (schema_version, status)
+and that the counters the paper predicts to be nonzero under a shootdown
+workload actually are. A zero "apic.ipis_sent" in fig5, for example,
+means the simulated protocol silently stopped sending shootdown IPIs —
+exactly the kind of regression latency numbers alone don't catch.
+
+Usage: check_bench_json.py <BENCH_*.json> [more...]
+Only standard-library Python.
+"""
+
+import json
+import sys
+
+# Counters that must be strictly positive per bench (dotted registry names
+# under "metrics" -> "counters"). Benches not listed get structure checks only.
+REQUIRED_NONZERO = {
+    "fig5_safe_1pte": [
+        "apic.ipis_sent",
+        "shootdown.shootdowns",
+        "shootdown.flush_requests",
+        "shootdown.early_acks",
+        "coherence.transfers",
+        "engine.events_processed",
+    ],
+    "fig6_safe_10pte": ["apic.ipis_sent", "shootdown.shootdowns"],
+    "fig7_unsafe_1pte": ["apic.ipis_sent", "shootdown.shootdowns"],
+    "fig8_unsafe_10pte": ["apic.ipis_sent", "shootdown.shootdowns"],
+    "fig9_cow": [
+        "kernel.cow_faults",
+        "shootdown.cow_flush_avoided",
+        "engine.events_processed",
+    ],
+    "table3_summary": [
+        "apic.ipis_sent",
+        "shootdown.shootdowns",
+        "engine.events_processed",
+    ],
+    "fig1_3_protocol_timeline": ["apic.ipis_sent", "shootdown.shootdowns"],
+    "fig4_cacheline_consolidation": ["coherence.transfers", "shootdown.shootdowns"],
+}
+
+
+def fail(path, msg):
+    print(f"FAIL {path}: {msg}")
+    return 1
+
+
+def check(path):
+    rc = 0
+    with open(path) as f:
+        doc = json.load(f)
+    name = doc.get("bench")
+    if not name:
+        return fail(path, 'missing "bench" key')
+    if doc.get("schema_version") != 1:
+        rc |= fail(path, f'unexpected schema_version {doc.get("schema_version")!r}')
+    if doc.get("status") != "pass":
+        rc |= fail(path, f'status is {doc.get("status")!r}, expected "pass"')
+
+    counters = doc.get("metrics", {}).get("counters", {})
+    required = REQUIRED_NONZERO.get(name, [])
+    if required and not counters:
+        return rc | fail(path, 'no "metrics.counters" section')
+    for key in required:
+        value = counters.get(key)
+        if value is None:
+            rc |= fail(path, f"counter {key} missing")
+        elif value <= 0:
+            rc |= fail(path, f"counter {key} is {value}, expected nonzero")
+
+    # table3 carries the per-optimization ablation gate: every enabled
+    # optimization must strictly reduce its targeted counter.
+    for entry in doc.get("ablations", []):
+        if not entry.get("strict_reduction"):
+            rc |= fail(
+                path,
+                f'ablation {entry.get("optimization")}: {entry.get("counter")} '
+                f'did not strictly reduce ({entry.get("baseline")} -> '
+                f'{entry.get("optimized")})',
+            )
+
+    if rc == 0:
+        checked = len(required)
+        print(f"OK   {path}: status=pass, {checked} required counters nonzero")
+    return rc
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    rc = 0
+    for path in argv[1:]:
+        try:
+            rc |= check(path)
+        except (OSError, json.JSONDecodeError) as e:
+            rc |= fail(path, str(e))
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

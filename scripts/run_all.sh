@@ -1,12 +1,25 @@
 #!/bin/sh
-# Build, test, and regenerate every paper table/figure.
+# Build, test, and regenerate every paper table/figure. JSON snapshots of
+# each bench (BENCH_<name>.json) are collected under results/.
 set -e
 cd "$(dirname "$0")/.."
-cmake -B build -G Ninja
-cmake --build build
+# Pick Ninja only when configuring fresh: an already-configured build dir
+# keeps its generator (re-running with -G on it is a CMake error).
+if [ ! -f build/CMakeCache.txt ] && command -v ninja >/dev/null 2>&1; then
+  cmake -B build -S . -G Ninja
+else
+  cmake -B build -S .
+fi
+cmake --build build -j "$(nproc 2>/dev/null || echo 4)"
 ctest --test-dir build --output-on-failure
+mkdir -p results
 for b in build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] || continue
+  case "$(basename "$b")" in
+    prim_ops) json_args="" ;;  # google-benchmark harness owns its CLI
+    *) json_args="--json results/" ;;
+  esac
   echo "===== $b ====="
-  "$b"
+  # shellcheck disable=SC2086
+  "$b" $json_args
 done

@@ -7,6 +7,12 @@ namespace tlbsim {
 
 ShootdownEngine::ShootdownEngine(Kernel* kernel) : kernel_(kernel) {
   kernel_->SetFlushBackend(this);
+  MetricsRegistry& m = kernel_->machine().metrics();
+  h_initiator_cycles_ = &m.histogram("shootdown.initiator_cycles");
+  h_flush_irq_cycles_ = &m.histogram("shootdown.flush_irq_cycles");
+  h_targets_ = &m.histogram("shootdown.targets");
+  c_initiated_ = &m.percpu("shootdown.initiated");
+  c_flush_irqs_ = &m.percpu("shootdown.flush_irqs");
 }
 
 std::vector<int> ShootdownEngine::ComputeTargets(SimCpu& cpu, MmStruct& mm, bool freed_tables) {
@@ -137,6 +143,8 @@ Co<void> ShootdownEngine::LocalFlushAll(SimCpu& cpu, MmStruct& mm,
 
 Co<void> ShootdownEngine::DoShootdown(SimCpu& cpu, MmStruct& mm, std::vector<FlushTlbInfo> infos) {
   assert(!infos.empty());
+  ScopedCycleTimer timer(h_initiator_cycles_, [&cpu] { return cpu.now(); });
+  c_initiated_->Inc(cpu.id());
   const CostModel& costs = kernel_->machine().costs();
   cpu.TracePhase("initiator: flush dispatch");
   co_await cpu.Execute(cpu.rng().Jitter(costs.flush_dispatch, costs.jitter_frac));
@@ -151,6 +159,7 @@ Co<void> ShootdownEngine::DoShootdown(SimCpu& cpu, MmStruct& mm, std::vector<Flu
   }
 
   std::vector<int> targets = ComputeTargets(cpu, mm, any_freed);
+  h_targets_->Record(static_cast<double>(targets.size()));
   if (targets.empty()) {
     ++stats_.local_only;
     cpu.TracePhase("initiator: local flush (no remote targets)");
@@ -391,6 +400,8 @@ Co<void> ShootdownEngine::OnSwitchIn(SimCpu& cpu, MmStruct& mm) {
 }
 
 Co<void> ShootdownEngine::HandleFlushIrq(SimCpu& cpu) {
+  ScopedCycleTimer timer(h_flush_irq_cycles_, [&cpu] { return cpu.now(); });
+  c_flush_irqs_->Inc(cpu.id());
   const CostModel& costs = kernel_->machine().costs();
   PerCpu& pc = kernel_->percpu(cpu.id());
   // llist_del_all on the call-single-queue.

@@ -30,6 +30,7 @@
 
 #include "src/kernel/flush_backend.h"
 #include "src/kernel/kernel.h"
+#include "src/sim/metrics.h"
 
 namespace tlbsim {
 
@@ -110,6 +111,16 @@ class ShootdownEngine final : public TlbFlushBackend {
 
   Kernel* kernel_;
   Stats stats_;
+
+  // Live observability handles, resolved once in the ctor (the registry map
+  // lookup stays off the per-shootdown path). Histograms measure *virtual*
+  // cycles; the scoped timers fire at co_return, so a whole DoShootdown /
+  // HandleFlushIrq — including every suspension — is one sample.
+  Histogram* h_initiator_cycles_ = nullptr;  // shootdown.initiator_cycles
+  Histogram* h_flush_irq_cycles_ = nullptr;  // shootdown.flush_irq_cycles
+  Histogram* h_targets_ = nullptr;           // shootdown.targets per dispatch
+  PerCpuCounter* c_initiated_ = nullptr;     // shootdown.initiated
+  PerCpuCounter* c_flush_irqs_ = nullptr;    // shootdown.flush_irqs
 };
 
 }  // namespace tlbsim

@@ -24,6 +24,9 @@ void Apic::Deliver(SimCpu& sender, int target, int vector) {
   SimCpu* cpu = cpus_.at(static_cast<size_t>(target));
   engine_->Schedule(arrival, [cpu, vector] { cpu->RaiseIrq(vector); });
   ++stats_.ipis_sent;
+  if (wire_hist_ != nullptr) {
+    wire_hist_->Record(static_cast<double>(wire));
+  }
 }
 
 void Apic::SendIpi(SimCpu& sender, const std::vector<int>& targets, int vector) {

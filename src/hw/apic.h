@@ -29,6 +29,12 @@ class Apic {
   void set_cpus(std::vector<SimCpu*> cpus) { cpus_ = std::move(cpus); }
   void set_use_multicast(bool on) { use_multicast_ = on; }
 
+  // Publishes a live wire-latency histogram ("apic.ipi_wire_cycles") into the
+  // registry; the handle is cached so Deliver() stays off the map.
+  void set_metrics(MetricsRegistry* m) {
+    wire_hist_ = m != nullptr ? &m->histogram("apic.ipi_wire_cycles") : nullptr;
+  }
+
   // Sends `vector` to every CPU in `targets`. The sender pays one ICR write
   // per addressed cluster (or per target when multicast is disabled) inline
   // on its local clock; deliveries are scheduled per-target with wire latency.
@@ -55,6 +61,7 @@ class Apic {
   std::vector<SimCpu*> cpus_;
   bool use_multicast_ = true;
   Stats stats_;
+  Histogram* wire_hist_ = nullptr;
 };
 
 }  // namespace tlbsim

@@ -18,14 +18,20 @@ TlbGeometry ItlbGeometry() {
 }  // namespace
 
 SimCpu::SimCpu(int id, Engine* engine, CoherenceModel* coherence, const CostModel* costs, Rng rng,
-               Trace* trace)
+               Trace* trace, MetricsRegistry* metrics)
     : id_(id),
       engine_(engine),
       coherence_(coherence),
       costs_(costs),
       rng_(rng),
       trace_(trace),
-      itlb_(ItlbGeometry()) {}
+      metrics_(metrics),
+      itlb_(ItlbGeometry()) {
+  if (metrics_ != nullptr) {
+    mmu_walks_ = &metrics_->percpu("mmu.walks");
+    mmu_walk_cycles_ = &metrics_->percpu("mmu.walk_cycles");
+  }
+}
 
 bool SimCpu::ArchInvlPg(uint16_t pcid, uint64_t va) {
   bool degraded = tlb_.InvlPg(pcid, va);
@@ -259,6 +265,10 @@ void SimCpu::ExecAwaitable::await_suspend(std::coroutine_handle<> h) {
 }
 
 void SimCpu::ExecAwaitable::Arm() {
+  // A CPU that was idle while others advanced (e.g. a thread pinned to it
+  // being driven from another CPU's coroutine) has a stale local clock;
+  // fast-forward so the completion is never scheduled into the past.
+  cpu->set_now(std::max(cpu->now(), cpu->engine()->now()));
   started = cpu->now();
   armed_here = true;
   cpu->set_armed(this);

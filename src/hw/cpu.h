@@ -41,6 +41,7 @@
 #include "src/hw/tlb.h"
 #include "src/sim/engine.h"
 #include "src/sim/flag.h"
+#include "src/sim/metrics.h"
 #include "src/sim/rng.h"
 #include "src/sim/task.h"
 #include "src/sim/trace.h"
@@ -66,7 +67,7 @@ class SimCpu {
   };
 
   SimCpu(int id, Engine* engine, CoherenceModel* coherence, const CostModel* costs, Rng rng,
-         Trace* trace = nullptr);
+         Trace* trace = nullptr, MetricsRegistry* metrics = nullptr);
   SimCpu(const SimCpu&) = delete;
   SimCpu& operator=(const SimCpu&) = delete;
 
@@ -79,6 +80,16 @@ class SimCpu {
   Tlb& itlb() { return itlb_; }
   PageWalkCache& pwc() { return pwc_; }
   Stats& stats() { return stats_; }
+  MetricsRegistry* metrics() { return metrics_; }
+
+  // Live MMU accounting (called from Mmu::Translate on TLB misses); no-op
+  // when the CPU was built without a registry (unit-test rigs).
+  void NotePageWalk(Cycles walk_cost) {
+    if (mmu_walks_ != nullptr) {
+      mmu_walks_->Inc(id_);
+      mmu_walk_cycles_->Inc(id_, static_cast<uint64_t>(walk_cost));
+    }
+  }
 
   // --- architectural TLB flushes ---
   // These mirror the x86 instructions, which invalidate BOTH the data and
@@ -200,6 +211,9 @@ class SimCpu {
   const CostModel* costs_;
   Rng rng_;
   Trace* trace_;
+  MetricsRegistry* metrics_;
+  PerCpuCounter* mmu_walks_ = nullptr;        // cached handles (hot path)
+  PerCpuCounter* mmu_walk_cycles_ = nullptr;
 
   Tlb tlb_;   // data TLB (+ second level)
   Tlb itlb_;  // instruction TLB (smaller)

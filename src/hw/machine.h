@@ -13,6 +13,7 @@
 #include "src/hw/cost_model.h"
 #include "src/hw/cpu.h"
 #include "src/sim/engine.h"
+#include "src/sim/metrics.h"
 #include "src/sim/rng.h"
 #include "src/sim/trace.h"
 
@@ -35,6 +36,11 @@ class Machine {
   CoherenceModel& coherence() { return coherence_; }
   Apic& apic() { return apic_; }
   Trace& trace() { return trace_; }
+  // The simulation-wide observability registry: live protocol metrics land
+  // here as the run executes; CollectMachineMetrics() (src/core/snapshot.h)
+  // adds snapshot gauges of every layer's Stats struct.
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
   const Topology& topo() const { return config_.topo; }
   const CostModel& costs() const { return config_.costs; }
   const MachineConfig& config() const { return config_; }
@@ -46,6 +52,7 @@ class Machine {
   MachineConfig config_;
   Engine engine_;
   Trace trace_;
+  MetricsRegistry metrics_;  // before coherence/apic/cpus: they hold handles
   CoherenceModel coherence_;
   Apic apic_;
   std::vector<std::unique_ptr<SimCpu>> cpus_;

@@ -56,6 +56,7 @@ XlateResult Mmu::Translate(SimCpu& cpu, uint64_t va, AccessIntent intent) {
   Cycles walk_cost =
       pwc_hit ? costs.walk_pwc_hit : static_cast<Cycles>(costs.walk_levels) * costs.walk_step;
   cpu.AdvanceInline(walk_cost);
+  cpu.NotePageWalk(walk_cost);
 
   PageTable::WalkResult walk = pt->Walk(va);
   if (!walk.present) {

@@ -76,6 +76,9 @@ void Tlb::Insert(const TlbEntry& e) {
   }
   if (victim->valid) {
     ++stats_.evictions;
+    if (victim->entry.pcid != e.pcid) {
+      ++stats_.cross_pcid_evictions;  // PCID-sharing pressure (paper §3.3)
+    }
   }
   victim->valid = true;
   victim->entry = e;

@@ -48,6 +48,7 @@ class Tlb {
     uint64_t misses = 0;
     uint64_t inserts = 0;
     uint64_t evictions = 0;
+    uint64_t cross_pcid_evictions = 0;  // victim belonged to a different PCID
     uint64_t selective_flushes = 0;
     uint64_t full_flushes = 0;
     uint64_t fracture_forced_full = 0;  // selective flushes degraded to full

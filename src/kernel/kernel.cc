@@ -30,6 +30,7 @@ Kernel::Kernel(Machine* machine, KernelConfig config) : machine_(machine), confi
     percpu_.push_back(std::make_unique<PerCpu>(&machine_->engine(), &machine_->coherence(), i,
                                                machine_->num_cpus()));
   }
+  c_syscalls_ = &machine_->metrics().percpu("kernel.syscalls");
 }
 
 void Kernel::SetFlushBackend(TlbFlushBackend* backend) {
@@ -90,6 +91,7 @@ File* Kernel::CreateFile(uint64_t size_bytes) {
 
 Co<void> Kernel::SyscallEnter(Thread& t) {
   ++stats_.syscalls;
+  c_syscalls_->Inc(t.cpu);
   SimCpu& cpu = machine_->cpu(t.cpu);
   MmStruct& mm = *t.process->mm;
   cpu.set_user_mode(false);

@@ -165,6 +165,7 @@ class Kernel {
   uint64_t next_thread_id_ = 1;
   uint64_t next_file_id_ = 1;
   Stats stats_;
+  PerCpuCounter* c_syscalls_ = nullptr;  // live "kernel.syscalls" handle
 };
 
 }  // namespace tlbsim

@@ -1,5 +1,6 @@
 #include "src/sim/engine.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -21,7 +22,10 @@ void Engine::Cancel(EventId id) {
 
 void Engine::Spawn(Cycles at, SimTask task) {
   auto handle = task.Release();
-  Schedule(at, [handle] { handle.resume(); });
+  // Root tasks may be spawned after the engine has already run (test
+  // harnesses spawn successive programs at t=0); start them no earlier
+  // than now rather than tripping the causality assert in Schedule.
+  Schedule(std::max(at, now_), [handle] { handle.resume(); });
 }
 
 void Engine::PurgeCancelledHead() {

@@ -1,0 +1,89 @@
+#include "src/sim/metrics.h"
+
+namespace tlbsim {
+
+Json Histogram::ToJson() const {
+  Json h = Json::Object();
+  h["count"] = count();
+  h["mean"] = mean();
+  h["stddev"] = stddev();
+  h["min"] = min();
+  h["max"] = max();
+  h["sum"] = sum();
+  h["p50"] = Percentile(50);
+  h["p90"] = Percentile(90);
+  h["p99"] = Percentile(99);
+  if (dropped_ > 0) {
+    // Percentiles above are from the first kMaxSamples observations only;
+    // moments (count/mean/stddev/min/max/sum) remain exact.
+    h["percentile_samples"] = static_cast<uint64_t>(kMaxSamples);
+  }
+  return h;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), Counter()).first;
+  }
+  return it->second;
+}
+
+PerCpuCounter& MetricsRegistry::percpu(std::string_view name) {
+  auto it = percpus_.find(name);
+  if (it == percpus_.end()) {
+    it = percpus_.emplace(std::string(name), PerCpuCounter(num_cpus_)).first;
+  }
+  return it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), Histogram()).first;
+  }
+  return it->second;
+}
+
+Json MetricsRegistry::ToJson() const {
+  Json root = Json::Object();
+  Json& counters = root["counters"];
+  counters = Json::Object();
+  for (const auto& [name, c] : counters_) {
+    counters[name] = c.value();
+  }
+  Json& percpu = root["per_cpu"];
+  percpu = Json::Object();
+  for (const auto& [name, pc] : percpus_) {
+    Json entry = Json::Object();
+    entry["total"] = pc.total();
+    Json by_cpu = Json::Object();
+    for (int cpu = 0; cpu < pc.num_cpus(); ++cpu) {
+      if (pc.of(cpu) != 0) {
+        by_cpu[std::to_string(cpu)] = pc.of(cpu);
+      }
+    }
+    entry["by_cpu"] = std::move(by_cpu);
+    percpu[name] = std::move(entry);
+  }
+  Json& histograms = root["histograms"];
+  histograms = Json::Object();
+  for (const auto& [name, h] : histograms_) {
+    histograms[name] = h.ToJson();
+  }
+  return root;
+}
+
+void MetricsRegistry::Reset() {
+  for (auto& [name, c] : counters_) {
+    c.Reset();
+  }
+  for (auto& [name, pc] : percpus_) {
+    pc.Reset();
+  }
+  for (auto& [name, h] : histograms_) {
+    h.Reset();
+  }
+}
+
+}  // namespace tlbsim

@@ -14,17 +14,23 @@ void GuestContext::MapRange(uint64_t gva, uint64_t bytes, PageSize guest_size,
   assert(gva % guest_gran == 0);
   bytes = PageAlignUp(bytes, guest_size);
 
+  uint64_t gpa_start = next_gpa_;
   for (uint64_t off = 0; off < bytes; off += guest_gran) {
     uint64_t gpa = next_gpa_;
     next_gpa_ += guest_gran;
     guest_pt_.Map(gva + off, gpa >> kPageShift,
                   PteFlags::kPresent | PteFlags::kUser | PteFlags::kWrite, guest_size);
-    // Back this guest page with host frames at `host_size` granularity.
-    for (uint64_t h = 0; h < guest_gran; h += host_gran) {
-      uint64_t hpa_frames = host_gran / kPageSize4K;
-      uint64_t pfn = host_frames_->Alloc(hpa_frames);
-      ept_.Map(gpa + h, pfn, PteFlags::kPresent | PteFlags::kUser | PteFlags::kWrite, host_size);
+  }
+  // Back the guest-physical range with host frames at `host_size`
+  // granularity. When host pages are larger than guest pages one host
+  // mapping covers several guest pages, so walk host_gran-aligned units
+  // (skipping any unit a previous MapRange already backed).
+  for (uint64_t gpa = gpa_start / host_gran * host_gran; gpa < next_gpa_; gpa += host_gran) {
+    if (ept_.Walk(gpa).present) {
+      continue;
     }
+    uint64_t pfn = host_frames_->Alloc(host_gran / kPageSize4K);
+    ept_.Map(gpa, pfn, PteFlags::kPresent | PteFlags::kUser | PteFlags::kWrite, host_size);
   }
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/core/snapshot.h"
+
 namespace tlbsim {
 
 namespace {
@@ -54,6 +56,7 @@ ApacheResult RunApache(const ApacheConfig& cfg) {
   out.raw_requests_per_mcycle = total / (static_cast<double>(end) / 1e6);
   out.requests_per_mcycle = std::min(out.raw_requests_per_mcycle, cfg.generator_cap_per_mcycle);
   out.shootdowns = sys.shootdown().stats().shootdowns + sys.shootdown().stats().batch_shootdowns;
+  out.metrics = SystemMetricsJson(sys);
   return out;
 }
 

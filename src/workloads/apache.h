@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "src/core/system.h"
+#include "src/sim/json.h"
 
 namespace tlbsim {
 
@@ -33,6 +34,7 @@ struct ApacheResult {
   double requests_per_mcycle = 0.0;  // after the generator cap
   double raw_requests_per_mcycle = 0.0;
   uint64_t shootdowns = 0;
+  Json metrics;  // full registry snapshot of the run (src/core/snapshot.h)
 };
 
 ApacheResult RunApache(const ApacheConfig& config);

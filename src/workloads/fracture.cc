@@ -1,5 +1,7 @@
 #include "src/workloads/fracture.h"
 
+#include "src/core/snapshot.h"
+
 namespace tlbsim {
 
 namespace {
@@ -59,6 +61,8 @@ FractureResult RunFractureWorkload(const FractureConfig& cfg) {
   out.dtlb_misses = cpu.tlb().stats().misses;
   out.fracture_forced_full = cpu.tlb().stats().fracture_forced_full;
   out.walk_cycles = cpu.now() - walk_begin;
+  CollectMachineMetrics(machine);
+  out.metrics = machine.metrics().ToJson();
   return out;
 }
 

@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "src/core/system.h"
+#include "src/sim/json.h"
 #include "src/virt/ept.h"
 
 namespace tlbsim {
@@ -32,6 +33,7 @@ struct FractureResult {
   uint64_t dtlb_misses = 0;
   uint64_t fracture_forced_full = 0;
   Cycles walk_cycles = 0;  // total cycles spent translating
+  Json metrics;  // machine-layer registry snapshot (no kernel in this bench)
 };
 
 FractureResult RunFractureWorkload(const FractureConfig& config);

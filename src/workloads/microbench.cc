@@ -1,5 +1,7 @@
 #include "src/workloads/microbench.h"
 
+#include "src/core/snapshot.h"
+
 namespace tlbsim {
 
 const char* PlacementName(Placement p) {
@@ -77,6 +79,7 @@ MicroResult RunMadviseMicrobench(const MicroConfig& cfg) {
       static_cast<double>(responder.stats().cycles_in_irq) / cfg.iterations;
   out.shootdowns = sys.shootdown().stats().shootdowns;
   out.early_acks = sys.shootdown().stats().early_acks;
+  out.metrics = SystemMetricsJson(sys);
   return out;
 }
 
@@ -119,6 +122,7 @@ CowResult RunCowMicrobench(const CowConfig& cfg) {
   sys.machine().engine().Run();
   out.cow_faults = sys.kernel().stats().cow_faults;
   out.flushes_avoided = sys.shootdown().stats().cow_flush_avoided;
+  out.metrics = SystemMetricsJson(sys);
   return out;
 }
 

@@ -8,6 +8,7 @@
 #include <cstdint>
 
 #include "src/core/system.h"
+#include "src/sim/json.h"
 #include "src/sim/stats.h"
 
 namespace tlbsim {
@@ -34,6 +35,7 @@ struct MicroResult {
   double responder_cycles_per_op = 0.0;
   uint64_t shootdowns = 0;
   uint64_t early_acks = 0;
+  Json metrics;  // full registry snapshot of the run (src/core/snapshot.h)
 };
 
 // One complete simulation run.
@@ -53,6 +55,7 @@ struct CowResult {
   RunningStat write_cycles;  // per CoW write event
   uint64_t cow_faults = 0;
   uint64_t flushes_avoided = 0;
+  Json metrics;
 };
 
 CowResult RunCowMicrobench(const CowConfig& config);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/core/snapshot.h"
+
 namespace tlbsim {
 
 namespace {
@@ -72,6 +74,7 @@ SysbenchResult RunSysbench(const SysbenchConfig& cfg) {
   out.shootdowns = sys.shootdown().stats().shootdowns + sys.shootdown().stats().batch_shootdowns;
   out.responder_full_storm = sys.shootdown().stats().responder_full_storm;
   out.skipped_gen = sys.shootdown().stats().responder_skipped_gen;
+  out.metrics = SystemMetricsJson(sys);
   return out;
 }
 

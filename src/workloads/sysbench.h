@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "src/core/system.h"
+#include "src/sim/json.h"
 
 namespace tlbsim {
 
@@ -35,6 +36,7 @@ struct SysbenchResult {
   uint64_t shootdowns = 0;
   uint64_t responder_full_storm = 0;  // flush-storm promotions (§5.2)
   uint64_t skipped_gen = 0;
+  Json metrics;  // full registry snapshot of the run (src/core/snapshot.h)
 };
 
 SysbenchResult RunSysbench(const SysbenchConfig& config);

@@ -4,7 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include "src/core/snapshot.h"
 #include "src/core/system.h"
+#include "src/sim/metrics.h"
 #include "tests/testutil.h"
 
 namespace tlbsim {
@@ -324,6 +326,94 @@ TEST(ShootdownBasicTest, DistanceOrdersResponderInterruptionStart) {
   // fetches; just sanity-check both ran.
   EXPECT_GT(same_socket, 0);
   EXPECT_GT(cross_socket, 0);
+}
+
+// --- metrics-registry protocol assertions ---
+// The registry must tell the same story as the per-component Stats structs:
+// for each optimization, the counter it targets moves exactly as the paper's
+// protocol predicts, and everything else stays put.
+
+uint64_t RegCounter(System& sys, const char* name) {
+  return CollectSystemMetrics(sys).counter(name).value();
+}
+
+// Optimization 1, concurrent flushing (§3.1): same IPIs, same shootdowns,
+// strictly lower initiator latency — the overlap changes *when* work happens,
+// never *how much* signaling happens.
+TEST(ShootdownMetricsTest, ConcurrentFlushSameIpisLowerInitiatorCycles) {
+  Rig base(OptimizationSet::Cumulative(0));
+  base.RunMadvise(10);
+  Rig conc(OptimizationSet::Cumulative(1));
+  conc.RunMadvise(10);
+
+  EXPECT_EQ(RegCounter(base.sys, "apic.ipis_sent"), 1u);
+  EXPECT_EQ(RegCounter(conc.sys, "apic.ipis_sent"), 1u);
+  EXPECT_EQ(RegCounter(base.sys, "shootdown.shootdowns"), 1u);
+  EXPECT_EQ(RegCounter(conc.sys, "shootdown.shootdowns"), 1u);
+
+  // Live histogram: one initiator-side sample per shootdown, measured over
+  // the whole coroutine (across suspensions), lower under overlap.
+  Histogram& hb = base.sys.machine().metrics().histogram("shootdown.initiator_cycles");
+  Histogram& hc = conc.sys.machine().metrics().histogram("shootdown.initiator_cycles");
+  ASSERT_EQ(hb.count(), 1u);
+  ASSERT_EQ(hc.count(), 1u);
+  EXPECT_LT(hc.mean(), hb.mean());
+}
+
+// Optimization 2, cacheline consolidation (§3.3): IPIs and shootdowns are
+// untouched; only coherence traffic shrinks.
+TEST(ShootdownMetricsTest, CachelineConsolidationOnlyReducesTransfers) {
+  Rig split(OptimizationSet::Cumulative(1));
+  split.RunMadvise(4);
+  Rig cons(OptimizationSet::Cumulative(2));
+  cons.RunMadvise(4);
+
+  EXPECT_EQ(RegCounter(split.sys, "apic.ipis_sent"),
+            RegCounter(cons.sys, "apic.ipis_sent"));
+  EXPECT_EQ(RegCounter(split.sys, "shootdown.shootdowns"),
+            RegCounter(cons.sys, "shootdown.shootdowns"));
+  EXPECT_LT(RegCounter(cons.sys, "coherence.transfers"),
+            RegCounter(split.sys, "coherence.transfers"));
+}
+
+// Optimization 5, CoW flush avoidance (§4.1): the flush is elided — the
+// avoided-counter replaces the flush-counter one for one, and no shootdown
+// or IPI ever happens in either case (single thread, local fault).
+TEST(ShootdownMetricsTest, CowAvoidanceElisionCounters) {
+  for (bool avoid : {false, true}) {
+    OptimizationSet opts;
+    opts.cow_avoidance = avoid;
+    System sys(TestConfig(opts));
+    auto* p = sys.kernel().CreateProcess();
+    auto* t = sys.kernel().CreateThread(p, 0);
+    File* f = sys.kernel().CreateFile(1 << 20);
+    sys.machine().engine().Spawn(0, Go([&]() -> Co<void> {
+      Kernel& k = sys.kernel();
+      uint64_t a = co_await k.SysMmap(*t, kPageSize4K, true, /*shared=*/false, f);
+      co_await k.UserAccess(*t, a, false);  // RO+CoW mapping cached
+      co_await k.UserAccess(*t, a, true);   // CoW break
+    }));
+    sys.machine().engine().Run();
+
+    EXPECT_EQ(RegCounter(sys, "kernel.cow_faults"), 1u);
+    EXPECT_EQ(RegCounter(sys, "shootdown.cow_flush_avoided"), avoid ? 1u : 0u);
+    EXPECT_EQ(RegCounter(sys, "shootdown.cow_flushes"), avoid ? 0u : 1u);
+    EXPECT_EQ(RegCounter(sys, "apic.ipis_sent"), 0u);
+    EXPECT_TRUE(TlbCoherent(sys, *p->mm));
+  }
+}
+
+// Collection is idempotent: snapshotting twice must not double-count the
+// Stats-derived counters (they are Set(), not Inc()).
+TEST(ShootdownMetricsTest, SnapshotCollectionIsIdempotent) {
+  Rig rig(OptimizationSet::AllGeneral());
+  rig.RunMadvise(10);
+  uint64_t first = RegCounter(rig.sys, "apic.ipis_sent");
+  uint64_t second = RegCounter(rig.sys, "apic.ipis_sent");
+  EXPECT_EQ(first, second);
+  std::string a = SystemMetricsJson(rig.sys).Dump(2);
+  std::string b = SystemMetricsJson(rig.sys).Dump(2);
+  EXPECT_EQ(a, b);
 }
 
 TEST(ShootdownBasicTest, NmiDuringEarlyAckWindowSeesUnsafeUaccess) {
