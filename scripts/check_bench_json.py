@@ -48,6 +48,42 @@ def fail(path, msg):
     return 1
 
 
+def check_sim_throughput(path, doc):
+    """Self-benchmark gate: the simulator must actually move, and the engine
+    hot path must be allocation-free in steady state (the whole point of the
+    slab-pooled event queue). Thresholds are deliberately loose on speed —
+    CI machines vary wildly — and exact on allocation counts, which don't.
+    """
+    rc = 0
+    virtual = doc.get("virtual", {})
+    wall = doc.get("wall", {})
+    if virtual.get("plain_events_processed", 0) <= 0:
+        rc |= fail(path, "virtual.plain_events_processed is not positive")
+    if virtual.get("storm_shootdowns", 0) <= 0:
+        rc |= fail(path, "virtual.storm_shootdowns is not positive")
+    if wall.get("events_per_sec", 0) <= 0:
+        rc |= fail(path, "wall.events_per_sec is not positive")
+    if wall.get("allocs_per_event_steady", 1) != 0:
+        rc |= fail(
+            path,
+            f'wall.allocs_per_event_steady is {wall.get("allocs_per_event_steady")!r},'
+            " expected exactly 0 (engine hot path regressed to allocating)",
+        )
+    if wall.get("allocs_per_coro_frame_steady", 1) != 0:
+        rc |= fail(
+            path,
+            f'wall.allocs_per_coro_frame_steady is {wall.get("allocs_per_coro_frame_steady")!r},'
+            " expected exactly 0 (coroutine frame pool regressed)",
+        )
+    if rc == 0:
+        print(
+            f"OK   {path}: status=pass, "
+            f'{wall.get("events_per_sec", 0) / 1e6:.1f}M events/s, '
+            "0 steady-state allocs/event"
+        )
+    return rc
+
+
 def check(path):
     rc = 0
     with open(path) as f:
@@ -59,6 +95,9 @@ def check(path):
         rc |= fail(path, f'unexpected schema_version {doc.get("schema_version")!r}')
     if doc.get("status") != "pass":
         rc |= fail(path, f'status is {doc.get("status")!r}, expected "pass"')
+
+    if name == "sim_throughput":
+        return rc | check_sim_throughput(path, doc)
 
     counters = doc.get("metrics", {}).get("counters", {})
     required = REQUIRED_NONZERO.get(name, [])

@@ -92,7 +92,7 @@ void SimCpu::Spawn(SimTask task) {
   auto handle = task.Release();
   // Chain a delivery kick onto task completion: a program that ends with
   // masked-then-queued IRQs must not strand them.
-  std::function<void()> prev = std::move(handle.promise().on_done);
+  InlineFn prev = std::move(handle.promise().on_done);
   handle.promise().on_done = [this, prev = std::move(prev)] {
     if (prev) {
       prev();
@@ -108,7 +108,7 @@ void SimCpu::Spawn(SimTask task) {
   });
 }
 
-void SimCpu::ScheduleResume(std::function<void()> fn) {
+void SimCpu::ScheduleResume(InlineFn fn) {
   Cycles at = std::max(now_, engine_->now());
   ++scheduled_resumes_;
   engine_->Schedule(at, [this, fn = std::move(fn)] {

@@ -166,7 +166,7 @@ class SimCpu {
 
   // Schedules `fn` on this CPU's timeline and tracks it so the idle-delivery
   // logic knows the CPU is about to run (not truly idle).
-  void ScheduleResume(std::function<void()> fn);
+  void ScheduleResume(InlineFn fn);
 
   void TracePhase(const char* tag) {
     if (trace_ != nullptr) {

@@ -7,6 +7,8 @@ namespace tlbsim {
 Tlb::Tlb(const TlbGeometry& geo) : geo_(geo) {
   slots_4k_.resize(static_cast<size_t>(geo_.sets_4k) * geo_.ways_4k);
   slots_2m_.resize(static_cast<size_t>(geo_.sets_2m) * geo_.ways_2m);
+  pcid_mark_.resize(kPcidSpace, 0);
+  frac_pcid_.resize(kPcidSpace);
 }
 
 namespace {
@@ -18,14 +20,15 @@ std::optional<TlbEntry> Tlb::Lookup(uint16_t pcid, uint64_t va) {
   auto r = Probe(pcid, va);
   if (r.has_value()) {
     ++stats_.hits;
-    // Refresh LRU stamp.
+    // Refresh LRU stamp. A live entry's new stamp is newer than every flush
+    // mark by construction, so refreshing never resurrects anything.
     for (PageSize s : {PageSize::k4K, PageSize::k2M}) {
       uint64_t vpn = VpnOf(va, s);
       int set = static_cast<int>(vpn % static_cast<uint64_t>(SetsFor(s)));
       auto& arr = ArrayFor(s);
       for (int w = 0; w < WaysFor(s); ++w) {
         Slot& slot = arr[static_cast<size_t>(set) * WaysFor(s) + w];
-        if (slot.valid && slot.entry.vpn == vpn && slot.entry.size == s &&
+        if (IsLive(slot) && slot.entry.vpn == vpn && slot.entry.size == s &&
             (slot.entry.global || slot.entry.pcid == pcid)) {
           slot.stamp = ++clock_;
         }
@@ -44,7 +47,7 @@ std::optional<TlbEntry> Tlb::Probe(uint16_t pcid, uint64_t va) const {
     const auto& arr = ArrayFor(s);
     for (int w = 0; w < WaysFor(s); ++w) {
       const Slot& slot = arr[static_cast<size_t>(set) * WaysFor(s) + w];
-      if (slot.valid && slot.entry.vpn == vpn && slot.entry.size == s &&
+      if (IsLive(slot) && slot.entry.vpn == vpn && slot.entry.size == s &&
           (slot.entry.global || slot.entry.pcid == pcid)) {
         return slot.entry;
       }
@@ -58,33 +61,44 @@ void Tlb::Insert(const TlbEntry& e) {
   auto& arr = ArrayFor(e.size);
   int ways = WaysFor(e.size);
   int set = static_cast<int>(e.vpn % static_cast<uint64_t>(SetsFor(e.size)));
+  // Victim preference: a stale duplicate, else the first dead slot in way
+  // order, else LRU among live slots. Epoch-dead slots count as dead here,
+  // which keeps victim choice identical to the eager-invalidate scheme.
   Slot* victim = nullptr;
+  bool victim_live = false;
   for (int w = 0; w < ways; ++w) {
     Slot& slot = arr[static_cast<size_t>(set) * ways + w];
-    if (slot.valid && slot.entry.vpn == e.vpn && slot.entry.pcid == e.pcid &&
+    bool live = IsLive(slot);
+    if (live && slot.entry.vpn == e.vpn && slot.entry.pcid == e.pcid &&
         slot.entry.size == e.size) {
       victim = &slot;  // overwrite stale duplicate
+      victim_live = true;
       break;
     }
-    if (!slot.valid) {
-      if (victim == nullptr || victim->valid) {
+    if (!live) {
+      if (victim == nullptr || victim_live) {
         victim = &slot;
+        victim_live = false;
       }
-    } else if (victim == nullptr || (victim->valid && slot.stamp < victim->stamp)) {
+    } else if (victim == nullptr || (victim_live && slot.stamp < victim->stamp)) {
       victim = &slot;
+      victim_live = true;
     }
   }
-  if (victim->valid) {
+  if (victim_live) {
     ++stats_.evictions;
     if (victim->entry.pcid != e.pcid) {
       ++stats_.cross_pcid_evictions;  // PCID-sharing pressure (paper §3.3)
+    }
+    if (victim->entry.fractured) {
+      NoteFracturedDrop(victim->entry);
     }
   }
   victim->valid = true;
   victim->entry = e;
   victim->stamp = ++clock_;
   if (e.fractured) {
-    fractured_resident_ = true;
+    NoteFracturedInsert(e);
   }
 }
 
@@ -96,12 +110,15 @@ int Tlb::DropMatching(PageSize s, uint16_t pcid, uint64_t va, bool match_globals
   int dropped = 0;
   for (int w = 0; w < ways; ++w) {
     Slot& slot = arr[static_cast<size_t>(set) * ways + w];
-    if (!slot.valid || slot.entry.vpn != vpn || slot.entry.size != s) {
+    if (!IsLive(slot) || slot.entry.vpn != vpn || slot.entry.size != s) {
       continue;
     }
     bool pcid_match = slot.entry.pcid == pcid;
     bool global_match = match_globals && slot.entry.global;
     if (pcid_match || global_match) {
+      if (slot.entry.fractured) {
+        NoteFracturedDrop(slot.entry);
+      }
       slot.valid = false;
       ++dropped;
     }
@@ -140,45 +157,53 @@ void Tlb::DropTranslation(uint16_t pcid, uint64_t va) {
 
 void Tlb::FlushPcid(uint16_t pcid) {
   ++stats_.full_flushes;
-  for (auto* arr : {&slots_4k_, &slots_2m_}) {
-    for (Slot& slot : *arr) {
-      if (slot.valid && !slot.entry.global && slot.entry.pcid == pcid) {
-        slot.valid = false;
-      }
-    }
-  }
-  RecomputeFractured();
+  uint32_t& frac = FracCount(pcid);
+  fractured_total_ -= frac;
+  frac = 0;
+  pcid_mark_[PcidIndex(pcid)] = clock_;
+  fractured_resident_ = fractured_total_ > 0;
 }
 
 void Tlb::FlushAll(bool keep_globals) {
   ++stats_.full_flushes;
-  for (auto* arr : {&slots_4k_, &slots_2m_}) {
-    for (Slot& slot : *arr) {
-      if (slot.valid && (!keep_globals || !slot.entry.global)) {
-        slot.valid = false;
-      }
-    }
+  if (keep_globals) {
+    mark_nonglobal_ = clock_;
+    fractured_total_ = frac_global_;
+  } else {
+    mark_all_ = clock_;
+    fractured_total_ = 0;
+    frac_global_ = 0;
   }
-  RecomputeFractured();
+  ++frac_gen_;  // every per-PCID fractured count drops to zero, O(1)
+  fractured_resident_ = fractured_total_ > 0;
 }
 
-void Tlb::RecomputeFractured() {
-  fractured_resident_ = false;
-  for (const auto* arr : {&slots_4k_, &slots_2m_}) {
-    for (const Slot& slot : *arr) {
-      if (slot.valid && slot.entry.fractured) {
-        fractured_resident_ = true;
-        return;
-      }
-    }
+void Tlb::NoteFracturedInsert(const TlbEntry& e) {
+  if (e.global) {
+    ++frac_global_;
+  } else {
+    ++FracCount(e.pcid);
   }
+  ++fractured_total_;
+  fractured_resident_ = true;
+}
+
+void Tlb::NoteFracturedDrop(const TlbEntry& e) {
+  // Deliberately leaves fractured_resident_ alone: the flag is sticky until
+  // the next flush, matching hardware-conservative degrade behavior.
+  if (e.global) {
+    --frac_global_;
+  } else {
+    --FracCount(e.pcid);
+  }
+  --fractured_total_;
 }
 
 size_t Tlb::Occupancy() const {
   size_t n = 0;
   for (const auto* arr : {&slots_4k_, &slots_2m_}) {
     for (const Slot& slot : *arr) {
-      if (slot.valid) {
+      if (IsLive(slot)) {
         ++n;
       }
     }
@@ -190,7 +215,7 @@ std::vector<TlbEntry> Tlb::Entries() const {
   std::vector<TlbEntry> out;
   for (const auto* arr : {&slots_4k_, &slots_2m_}) {
     for (const Slot& slot : *arr) {
-      if (slot.valid) {
+      if (IsLive(slot)) {
         out.push_back(slot.entry);
       }
     }
@@ -202,7 +227,7 @@ bool PageWalkCache::Lookup(uint16_t pcid, uint64_t va) {
   ++stats_.lookups;
   uint64_t region = va >> kHugeShift;
   for (Entry& e : entries_) {
-    if (e.pcid == pcid && e.region == region) {
+    if (Live(e) && e.pcid == pcid && e.region == region) {
       e.stamp = ++clock_;
       ++stats_.hits;
       return true;
@@ -213,11 +238,19 @@ bool PageWalkCache::Lookup(uint16_t pcid, uint64_t va) {
 
 void PageWalkCache::Insert(uint16_t pcid, uint64_t va) {
   uint64_t region = va >> kHugeShift;
+  Entry* dead = nullptr;
   for (Entry& e : entries_) {
-    if (e.pcid == pcid && e.region == region) {
+    if (Live(e) && e.pcid == pcid && e.region == region) {
       e.stamp = ++clock_;
       return;
     }
+    if (!Live(e) && dead == nullptr) {
+      dead = &e;
+    }
+  }
+  if (dead != nullptr) {
+    *dead = Entry{pcid, region, ++clock_};
+    return;
   }
   if (entries_.size() < static_cast<size_t>(capacity_)) {
     entries_.push_back(Entry{pcid, region, ++clock_});
@@ -230,23 +263,34 @@ void PageWalkCache::Insert(uint16_t pcid, uint64_t va) {
 
 void PageWalkCache::FlushAll() {
   ++stats_.full_flushes;
-  entries_.clear();
+  mark_ = clock_;  // O(1): everything born so far is dead
 }
 
 void PageWalkCache::FlushAddress(uint16_t pcid, uint64_t va) {
   uint64_t region = va >> kHugeShift;
-  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
-                                [&](const Entry& e) {
-                                  return e.pcid == pcid && e.region == region;
-                                }),
-                 entries_.end());
+  for (Entry& e : entries_) {
+    if (Live(e) && e.pcid == pcid && e.region == region) {
+      e.stamp = 0;
+    }
+  }
 }
 
 void PageWalkCache::FlushPcid(uint16_t pcid) {
-  entries_.erase(
-      std::remove_if(entries_.begin(), entries_.end(),
-                     [&](const Entry& e) { return e.pcid == pcid; }),
-      entries_.end());
+  for (Entry& e : entries_) {
+    if (Live(e) && e.pcid == pcid) {
+      e.stamp = 0;
+    }
+  }
+}
+
+size_t PageWalkCache::size() const {
+  size_t n = 0;
+  for (const Entry& e : entries_) {
+    if (Live(e)) {
+      ++n;
+    }
+  }
+  return n;
 }
 
 }  // namespace tlbsim

@@ -11,6 +11,25 @@
 //   - "page fracturing" (paper §7): when any cached translation came from a
 //     guest 2MB page backed by host 4KB pages, a *selective* flush degrades
 //     to a full TLB flush.
+//
+// Epoch-tagged flushes: FlushAll and FlushPcid are O(1), not a scan. Every
+// slot's LRU stamp doubles as its birth time (stamps come from one monotone
+// clock), and the TLB keeps three flush marks: `mark_all_` (kills every
+// entry born at or before it), `mark_nonglobal_` (same, but G-bit entries
+// survive) and `pcid_mark_[pcid]` (non-global entries of one PCID). A slot
+// is live iff it is valid and its stamp is newer than every mark that
+// applies to it; a flush just records the current clock in the right mark.
+// Epoch-dead slots are treated exactly like invalid ones everywhere (lookup,
+// victim choice, occupancy), so behavior — including victim order and every
+// Stats counter — is bit-for-bit what the scanning implementation produced.
+//
+// The fracture degrade check needs "is any fractured entry resident?"
+// without a scan, so the TLB counts live fractured entries: one counter for
+// global entries, one per PCID (generation-tagged so FlushAll can zero all
+// 4096 of them in O(1)). The resident flag keeps the hardware-ish sticky
+// semantics: set on insert, recomputed (now from the counters) only at
+// flushes — a fractured entry that merely got evicted still forces the next
+// selective flush to degrade until a full flush clears the flag.
 #ifndef TLBSIM_SRC_HW_TLB_H_
 #define TLBSIM_SRC_HW_TLB_H_
 
@@ -103,9 +122,12 @@ class Tlb {
   std::vector<TlbEntry> Entries() const;
 
  private:
+  // x86 PCIDs are 12-bit.
+  static constexpr int kPcidSpace = 4096;
+
   struct Slot {
     TlbEntry entry;
-    uint64_t stamp = 0;
+    uint64_t stamp = 0;  // LRU stamp and birth mark (see header comment)
     bool valid = false;
   };
 
@@ -116,16 +138,55 @@ class Tlb {
   int SetsFor(PageSize s) const { return s == PageSize::k4K ? geo_.sets_4k : geo_.sets_2m; }
   int WaysFor(PageSize s) const { return s == PageSize::k4K ? geo_.ways_4k : geo_.ways_2m; }
 
+  // Valid and born after every flush mark that applies to it.
+  bool IsLive(const Slot& slot) const {
+    if (!slot.valid || slot.stamp <= mark_all_) {
+      return false;
+    }
+    if (slot.entry.global) {
+      return true;
+    }
+    return slot.stamp > mark_nonglobal_ && slot.stamp > pcid_mark_[PcidIndex(slot.entry.pcid)];
+  }
+
+  static size_t PcidIndex(uint16_t pcid) { return pcid & (kPcidSpace - 1); }
+
+  // Live-fractured-entry accounting (see header comment). FracCount
+  // normalizes the slot's generation before handing out the counter.
+  uint32_t& FracCount(uint16_t pcid) {
+    FracSlot& f = frac_pcid_[PcidIndex(pcid)];
+    if (f.gen != frac_gen_) {
+      f.gen = frac_gen_;
+      f.count = 0;
+    }
+    return f.count;
+  }
+  void NoteFracturedInsert(const TlbEntry& e);
+  void NoteFracturedDrop(const TlbEntry& e);
+
   // Drops matching entries of one page size; returns count dropped.
   int DropMatching(PageSize s, uint16_t pcid, uint64_t va, bool match_globals);
-
-  void RecomputeFractured();
 
   TlbGeometry geo_;
   std::vector<Slot> slots_4k_;
   std::vector<Slot> slots_2m_;
   uint64_t clock_ = 0;
-  bool fractured_resident_ = false;
+
+  // Flush marks (all start at 0; the first stamp handed out is 1).
+  uint64_t mark_all_ = 0;
+  uint64_t mark_nonglobal_ = 0;
+  std::vector<uint64_t> pcid_mark_;  // size kPcidSpace
+
+  struct FracSlot {
+    uint32_t count = 0;
+    uint32_t gen = 0;
+  };
+  std::vector<FracSlot> frac_pcid_;  // live non-global fractured, per PCID
+  uint32_t frac_gen_ = 0;            // bumped by FlushAll: zeroes frac_pcid_
+  uint64_t frac_global_ = 0;         // live fractured G-bit entries
+  uint64_t fractured_total_ = 0;     // frac_global_ + sum of frac_pcid_
+
+  bool fractured_resident_ = false;  // sticky; recomputed only at flushes
   bool fracture_degrade_ = true;
   Stats stats_;
 };
@@ -133,6 +194,12 @@ class Tlb {
 // Page-walk cache: caches PD-level lookups (one entry covers a 2MB region of
 // one PCID). INVLPG drops the whole structure; INVPCID-addr drops only the
 // entry covering that address.
+//
+// FlushAll is the INVLPG-side cost of every unbatched shootdown, so it uses
+// the same epoch trick as the TLB: a flush records the clock in `mark_` and
+// entries born at or before it are dead (O(1) instead of clearing). The
+// targeted flushes stay scans — they already touch at most `capacity_`
+// entries — and mark victims dead by zeroing their stamp.
 class PageWalkCache {
  public:
   explicit PageWalkCache(int capacity = 32) : capacity_(capacity) {}
@@ -149,16 +216,21 @@ class PageWalkCache {
     uint64_t full_flushes = 0;
   };
   const Stats& stats() const { return stats_; }
-  size_t size() const { return entries_.size(); }
+
+  // Number of live entries (dead ones linger in the vector until reused).
+  size_t size() const;
 
  private:
   struct Entry {
     uint16_t pcid;
     uint64_t region;  // va >> 21
-    uint64_t stamp;
+    uint64_t stamp;   // birth mark; 0 or <= mark_ means dead
   };
+  bool Live(const Entry& e) const { return e.stamp > mark_; }
+
   int capacity_;
   uint64_t clock_ = 0;
+  uint64_t mark_ = 0;
   std::vector<Entry> entries_;
   Stats stats_;
 };

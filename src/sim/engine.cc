@@ -6,18 +6,56 @@
 
 namespace tlbsim {
 
-Engine::EventId Engine::Schedule(Cycles at, std::function<void()> fn) {
+Engine::EventId Engine::Schedule(Cycles at, InlineFn fn) {
+  uint32_t slot = AllocSlot();
+  FnAt(slot) = std::move(fn);
+  return Enqueue(at, slot);
+}
+
+uint32_t Engine::AllocSlot() {
+  uint32_t slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+  } else {
+    slot = pool_size_++;
+    if ((slot & (kChunkSize - 1)) == 0) {
+      chunks_.push_back(std::make_unique<InlineFn[]>(kChunkSize));
+      // Both the heap and the free list are bounded by the pool size (every
+      // pending event owns a slot; every free-list entry is a slot), so
+      // reserving here makes their push_backs allocation-free between pool
+      // growths — the steady state performs no allocation at all.
+      heap_.reserve(pool_size_ + kChunkSize);
+      free_.reserve(pool_size_ + kChunkSize);
+    }
+    pos_.push_back(-1);
+    gen_.push_back(0);
+  }
+  assert(slot <= kSlotMask && "too many concurrent events");
+  return slot;
+}
+
+Engine::EventId Engine::Enqueue(Cycles at, uint32_t slot) {
   assert(at >= now_ && "scheduling into the past");
-  EventId id = next_id_++;
-  queue_.push(Event{at, id, std::move(fn)});
-  return id;
+  assert(next_seq_ < (uint64_t{1} << (64 - kSlotBits)) && "seq overflow");
+  heap_.push_back(HeapItem{at, (next_seq_++ << kSlotBits) | slot});
+  SiftUp(heap_.size() - 1);
+  return MakeId(gen_[slot], slot);
 }
 
 void Engine::Cancel(EventId id) {
   if (id == kInvalidEvent) {
     return;
   }
-  cancelled_.insert(id);
+  uint32_t slot = static_cast<uint32_t>(id & 0xffffffffu) - 1;
+  uint32_t gen = static_cast<uint32_t>(id >> 32);
+  if (slot >= pool_size_) {
+    return;
+  }
+  if (gen_[slot] != gen || pos_[slot] < 0) {
+    return;  // already fired or already cancelled
+  }
+  RemoveAt(static_cast<size_t>(pos_[slot]));
 }
 
 void Engine::Spawn(Cycles at, SimTask task) {
@@ -28,46 +66,106 @@ void Engine::Spawn(Cycles at, SimTask task) {
   Schedule(std::max(at, now_), [handle] { handle.resume(); });
 }
 
-void Engine::PurgeCancelledHead() {
-  while (!queue_.empty()) {
-    auto it = cancelled_.find(queue_.top().id);
-    if (it == cancelled_.end()) {
-      return;
+void Engine::SiftUp(size_t i) {
+  HeapItem item = heap_[i];
+  while (i > 0) {
+    size_t parent = (i - 1) / 4;
+    if (!Before(item, heap_[parent])) {
+      break;
     }
-    cancelled_.erase(it);
-    queue_.pop();
+    heap_[i] = heap_[parent];
+    pos_[SlotOf(heap_[i])] = static_cast<int32_t>(i);
+    i = parent;
   }
+  heap_[i] = item;
+  pos_[SlotOf(item)] = static_cast<int32_t>(i);
+}
+
+void Engine::SiftDown(size_t i) {
+  HeapItem* h = heap_.data();
+  int32_t* pos = pos_.data();
+  const size_t n = heap_.size();
+  HeapItem item = h[i];
+  const unsigned __int128 item_key = KeyOf(item);
+  for (;;) {
+    size_t first = 4 * i + 1;
+    if (first >= n) {
+      break;
+    }
+    // Branchless min-of-children: ternary selects compile to cmovs, which
+    // matters because child ordering is unpredictable (see KeyOf).
+    size_t best = first;
+    unsigned __int128 best_key = KeyOf(h[first]);
+    size_t last = std::min(first + 4, n);
+    for (size_t c = first + 1; c < last; ++c) {
+      unsigned __int128 k = KeyOf(h[c]);
+      bool lt = k < best_key;
+      best = lt ? c : best;
+      best_key = lt ? k : best_key;
+    }
+    if (best_key >= item_key) {
+      break;
+    }
+    h[i] = h[best];
+    pos[SlotOf(h[i])] = static_cast<int32_t>(i);
+    i = best;
+  }
+  h[i] = item;
+  pos[SlotOf(item)] = static_cast<int32_t>(i);
+}
+
+void Engine::FreeSlot(uint32_t slot) {
+  FnAt(slot) = InlineFn();
+  pos_[slot] = -1;
+  ++gen_[slot];  // invalidate any EventId still referring to this slot
+  free_.push_back(slot);
+}
+
+void Engine::RemoveAt(size_t i) {
+  FreeSlot(SlotOf(heap_[i]));
+  HeapItem last = heap_.back();
+  heap_.pop_back();
+  if (i == heap_.size()) {
+    return;
+  }
+  heap_[i] = last;
+  pos_[SlotOf(last)] = static_cast<int32_t>(i);
+  SiftUp(i);
+  SiftDown(static_cast<size_t>(pos_[SlotOf(last)]));
 }
 
 void Engine::Step() {
-  Event ev = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
-  now_ = ev.at;
+  uint32_t slot = SlotOf(heap_[0]);
+  now_ = heap_[0].at;
   ++events_processed_;
-  ev.fn();
-}
-
-bool Engine::empty() {
-  PurgeCancelledHead();
-  return queue_.empty();
+  // Unlink from the heap but do NOT free the slot yet: the callback runs in
+  // place from its stable chunk storage, so the slot must not be handed out
+  // to events it schedules. pos_ == -1 makes a self-Cancel during the
+  // callback a no-op (the event is no longer pending).
+  pos_[slot] = -1;
+  HeapItem last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_[0] = last;
+    pos_[SlotOf(last)] = 0;
+    SiftDown(0);
+  }
+  FnAt(slot)();
+  FreeSlot(slot);
 }
 
 Cycles Engine::Run() {
-  PurgeCancelledHead();
-  while (!queue_.empty()) {
+  while (!heap_.empty()) {
     Step();
-    PurgeCancelledHead();
   }
   return now_;
 }
 
 bool Engine::RunUntil(Cycles deadline) {
-  PurgeCancelledHead();
-  while (!queue_.empty() && queue_.top().at <= deadline) {
+  while (!heap_.empty() && heap_[0].at <= deadline) {
     Step();
-    PurgeCancelledHead();
   }
-  if (queue_.empty()) {
+  if (heap_.empty()) {
     return true;
   }
   now_ = deadline;

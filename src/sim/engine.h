@@ -6,15 +6,29 @@
 // (e.g. accounting cacheline-access costs without yielding); every
 // cross-entity interaction is mediated by an event scheduled at the acting
 // CPU's local time, which is always >= the engine clock, so causality holds.
+//
+// Hot-path design (the simulator's throughput ceiling lives here):
+//   - Callbacks are InlineFn, not std::function: small captures are stored
+//     inline in the event node, so Schedule() performs no heap allocation.
+//   - Event nodes live in a slab pool with a free list; EventIds encode
+//     (slot, generation), so a stale id — cancelled late, or belonging to an
+//     event that already fired — simply fails the generation check. There is
+//     no side table of cancelled ids to probe or leak.
+//   - The queue is an *indexed* 4-ary heap: each node remembers its heap
+//     position, so Cancel() removes the entry in O(log n) directly instead of
+//     lazily skipping it at pop time. Heap entries carry (at, seq) inline, so
+//     sift comparisons never chase into the pool.
 #ifndef TLBSIM_SRC_SIM_ENGINE_H_
 #define TLBSIM_SRC_SIM_ENGINE_H_
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
+#include <memory>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "src/sim/inline_fn.h"
 #include "src/sim/task.h"
 #include "src/sim/time.h"
 
@@ -30,15 +44,31 @@ class Engine {
   Engine& operator=(const Engine&) = delete;
 
   // Schedules `fn` to run at virtual time `at` (>= now()).
-  EventId Schedule(Cycles at, std::function<void()> fn);
+  EventId Schedule(Cycles at, InlineFn fn);
+
+  // Hot-path overload for callables: constructs the callback directly in its
+  // pool slot (no InlineFn temporary, no buffer relocation).
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, InlineFn>>>
+  EventId Schedule(Cycles at, F&& f) {
+    uint32_t slot = AllocSlot();
+    FnAt(slot).Emplace(std::forward<F>(f));
+    return Enqueue(at, slot);
+  }
 
   // Convenience: schedule relative to now().
-  EventId ScheduleAfter(Cycles delay, std::function<void()> fn) {
+  EventId ScheduleAfter(Cycles delay, InlineFn fn) {
     return Schedule(now_ + delay, std::move(fn));
   }
 
-  // Cancels a pending event (lazy deletion). Cancelling kInvalidEvent or an
-  // already-fired id is a no-op.
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, InlineFn>>>
+  EventId ScheduleAfter(Cycles delay, F&& f) {
+    return Schedule(now_ + delay, std::forward<F>(f));
+  }
+
+  // Cancels a pending event in O(log n). Cancelling kInvalidEvent, an
+  // already-fired id, or an already-cancelled id is a no-op.
   void Cancel(EventId id);
 
   // Starts a detached root task at time `at`.
@@ -47,40 +77,82 @@ class Engine {
   // Runs events until the queue is empty. Returns the final virtual time.
   Cycles Run();
 
-  // Runs events with time <= `deadline`. Returns true if the queue drained.
+  // Runs events with time <= `deadline` (inclusive: an event scheduled
+  // exactly at `deadline` fires). Returns true if the queue drained.
   bool RunUntil(Cycles deadline);
 
   Cycles now() const { return now_; }
   uint64_t events_processed() const { return events_processed_; }
 
-  // True when no live (un-cancelled) events remain.
-  bool empty();
+  // True when no live events remain. Cancelled events are removed eagerly,
+  // so this is a plain O(1) query.
+  bool empty() const { return heap_.empty(); }
+
+  // Number of pending events.
+  size_t size() const { return heap_.size(); }
 
  private:
-  struct Event {
+  // Heap entry, 16 bytes: the ordering key inline (no pool chase during
+  // sifts) plus the owning pool slot packed into the low bits of the
+  // tie-break word. seq is monotone and unique per Schedule, so the slot
+  // bits never influence ordering; 2^40 events and 2^24 concurrent events
+  // are both far beyond any simulation this engine drives (asserted in
+  // Schedule).
+  struct HeapItem {
     Cycles at;
-    EventId id;
-    std::function<void()> fn;
+    uint64_t seq_slot;  // seq << kSlotBits | slot
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.at != b.at) {
-        return a.at > b.at;
-      }
-      return a.id > b.id;  // FIFO among same-time events
-    }
-  };
+  static constexpr int kSlotBits = 24;
+  static constexpr uint32_t kSlotMask = (1u << kSlotBits) - 1;
+  static constexpr uint32_t kChunkShift = 6;  // 64 callables (~3.5KB) per chunk
+  static constexpr uint32_t kChunkSize = 1u << kChunkShift;
 
-  // Discards cancelled events sitting at the head of the queue.
-  void PurgeCancelledHead();
+  // Packed (at, seq) ordering key. A single 128-bit compare lets the sift
+  // loops select the min child with conditional moves instead of
+  // data-dependent branches — event keys are effectively random, so branchy
+  // comparisons mispredict ~50% and dominated the pop path. `at` is
+  // non-negative (engine invariant), so the unsigned cast preserves order.
+  static unsigned __int128 KeyOf(const HeapItem& x) {
+    return (static_cast<unsigned __int128>(static_cast<uint64_t>(x.at)) << 64) | x.seq_slot;
+  }
+  static bool Before(const HeapItem& a, const HeapItem& b) { return KeyOf(a) < KeyOf(b); }
+  static uint32_t SlotOf(const HeapItem& x) {
+    return static_cast<uint32_t>(x.seq_slot) & kSlotMask;
+  }
+  static EventId MakeId(uint32_t gen, uint32_t slot) {
+    return (static_cast<EventId>(gen) << 32) | (static_cast<EventId>(slot) + 1);
+  }
 
-  // Pops and runs the next live event. Precondition: live event at head.
+  InlineFn& FnAt(uint32_t slot) {
+    return chunks_[slot >> kChunkShift][slot & (kChunkSize - 1)];
+  }
+
+  // Slot allocation and heap insertion, shared by both Schedule overloads.
+  // The callable is filled into FnAt(slot) between the two calls.
+  uint32_t AllocSlot();
+  EventId Enqueue(Cycles at, uint32_t slot);
+
+  void SiftUp(size_t i);
+  void SiftDown(size_t i);
+  void FreeSlot(uint32_t slot);
+  void RemoveAt(size_t i);
+
+  // Pops and runs the next event. Precondition: heap non-empty.
   void Step();
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::unordered_set<EventId> cancelled_;
+  std::vector<HeapItem> heap_;  // 4-ary min-heap by (at, seq)
+  // Callbacks, slot-indexed, in fixed-size chunks: addresses are stable
+  // across pool growth, so Step() runs a callback directly from its slot (no
+  // copy out) even if the callback schedules new events. The sift-path
+  // bookkeeping lives in flat dense arrays instead, keeping heap
+  // maintenance free of chunk chasing:
+  std::vector<std::unique_ptr<InlineFn[]>> chunks_;
+  std::vector<int32_t> pos_;    // slot -> heap index; -1: free or fired
+  std::vector<uint32_t> gen_;   // slot -> generation; stale ids fail this
+  uint32_t pool_size_ = 0;      // slots handed out so far
+  std::vector<uint32_t> free_;  // recycled pool slots (LIFO)
   Cycles now_ = 0;
-  EventId next_id_ = 1;
+  uint64_t next_seq_ = 1;
   uint64_t events_processed_ = 0;
 };
 

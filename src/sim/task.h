@@ -19,8 +19,10 @@
 #include <coroutine>
 #include <cstdlib>
 #include <exception>
-#include <functional>
 #include <utility>
+
+#include "src/sim/frame_pool.h"
+#include "src/sim/inline_fn.h"
 
 namespace tlbsim {
 
@@ -29,8 +31,12 @@ class Co;
 
 namespace detail {
 
+// Promise bases derive from PooledFrame: coroutine frames come from (and
+// return to) FramePool's size-bucketed free lists instead of the global
+// allocator — awaited kernel functions are the simulator's hottest
+// allocation site.
 template <typename T>
-struct CoPromiseBase {
+struct CoPromiseBase : PooledFrame {
   std::coroutine_handle<> continuation;
   std::exception_ptr exception;
 
@@ -150,8 +156,8 @@ class [[nodiscard]] Co<void> {
 // completion callback, if any.
 class SimTask {
  public:
-  struct promise_type {
-    std::function<void()> on_done;
+  struct promise_type : PooledFrame {
+    InlineFn on_done;
 
     SimTask get_return_object() {
       return SimTask(std::coroutine_handle<promise_type>::from_promise(*this));
@@ -161,7 +167,7 @@ class SimTask {
     struct FinalAwaiter {
       bool await_ready() noexcept { return false; }
       void await_suspend(std::coroutine_handle<promise_type> h) noexcept {
-        std::function<void()> done = std::move(h.promise().on_done);
+        InlineFn done = std::move(h.promise().on_done);
         h.destroy();
         if (done) {
           done();
@@ -193,7 +199,7 @@ class SimTask {
   // final suspend.
   std::coroutine_handle<promise_type> Release() { return std::exchange(handle_, nullptr); }
 
-  void set_on_done(std::function<void()> fn) { handle_.promise().on_done = std::move(fn); }
+  void set_on_done(InlineFn fn) { handle_.promise().on_done = std::move(fn); }
 
   // Runs the task to its first suspension point (or completion).
   void Start() { Release().resume(); }

@@ -158,5 +158,28 @@ TEST(SimTaskTest, ManySequentialAwaits) {
   EXPECT_EQ(count, 42000);
 }
 
+// Coroutine frames are recycled through FramePool: after a warmup pass that
+// populates the size buckets, repeated spawn/complete cycles of the same
+// coroutine shapes must be served entirely from the free lists.
+TEST(FramePoolTest, SteadyStateFramesComeFromFreeLists) {
+  auto burst = [] {
+    for (int i = 0; i < 16; ++i) {
+      bool done = false;
+      int got = 0;
+      auto task = Driver([&]() -> Co<void> { got = co_await AddOne(Return42()); }, &done);
+      task.Start();
+      EXPECT_TRUE(done);
+      EXPECT_EQ(got, 43);
+    }
+  };
+  burst();  // warmup: fills the buckets for these frame sizes
+  FramePool::Stats before = FramePool::stats();
+  burst();
+  FramePool::Stats after = FramePool::stats();
+  EXPECT_GT(after.pool_hits, before.pool_hits);
+  EXPECT_EQ(after.pool_misses, before.pool_misses) << "steady state hit the heap";
+  EXPECT_EQ(after.fallback_allocs, before.fallback_allocs);
+}
+
 }  // namespace
 }  // namespace tlbsim

@@ -197,6 +197,120 @@ TEST(TlbTest, StatsCounters) {
 // Property: against a shadow map, a TLB lookup may MISS spuriously (capacity
 // eviction is always legal) but must never HIT with a wrong value, must never
 // hit something the shadow flushed, and a global entry must match any PCID.
+// Epoch-flush edge cases: flushes are O(1) marks, and these pin down the
+// places where marked-dead slots could be confused with live ones.
+
+TEST(TlbEpochTest, InsertAfterFlushReusesDeadSlotsAndStaysLive) {
+  Tlb tlb;
+  tlb.Insert(E(0x1000, 5, 0x42));
+  tlb.FlushAll(/*keep_globals=*/false);
+  EXPECT_EQ(tlb.Occupancy(), 0u);
+  // Same set, same tag: must be a fresh insert into a dead slot, not a
+  // resurrecting duplicate-overwrite, and must be visible immediately.
+  tlb.Insert(E(0x1000, 5, 0x43));
+  EXPECT_EQ(tlb.Occupancy(), 1u);
+  auto r = tlb.Lookup(5, 0x1000);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->pfn, 0x43u);
+  EXPECT_EQ(tlb.stats().evictions, 0u);  // dead victims are not evictions
+}
+
+TEST(TlbEpochTest, LookupRefreshCannotResurrectFlushedEntry) {
+  Tlb tlb;
+  tlb.Insert(E(0x1000, 5, 0x42));
+  tlb.Insert(E(0x2000, 5, 0x43));
+  tlb.FlushPcid(5);
+  // Misses on flushed entries must not refresh their stamps back to life.
+  EXPECT_FALSE(tlb.Lookup(5, 0x1000).has_value());
+  EXPECT_FALSE(tlb.Lookup(5, 0x2000).has_value());
+  EXPECT_EQ(tlb.Occupancy(), 0u);
+}
+
+TEST(TlbEpochTest, FlushPcidMarkOnlyKillsEntriesBornBefore) {
+  Tlb tlb;
+  tlb.Insert(E(0x1000, 5, 0x1));
+  tlb.FlushPcid(5);
+  tlb.Insert(E(0x1000, 5, 0x2));  // born after the mark
+  auto r = tlb.Probe(5, 0x1000);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->pfn, 0x2u);
+  // A second flush of an unrelated PCID leaves the new entry alone.
+  tlb.FlushPcid(9);
+  EXPECT_TRUE(tlb.Probe(5, 0x1000).has_value());
+}
+
+TEST(TlbEpochTest, GlobalSurvivesNonGlobalFlushesButNotFullOne) {
+  Tlb tlb;
+  tlb.Insert(E(0x5000, 5, 0x7, /*global=*/true));
+  tlb.FlushPcid(5);
+  EXPECT_TRUE(tlb.Probe(5, 0x5000).has_value());
+  tlb.FlushAll(/*keep_globals=*/true);
+  EXPECT_TRUE(tlb.Probe(5, 0x5000).has_value());
+  tlb.FlushAll(/*keep_globals=*/false);
+  EXPECT_FALSE(tlb.Probe(5, 0x5000).has_value());
+  EXPECT_EQ(tlb.Occupancy(), 0u);
+}
+
+TEST(TlbEpochTest, FracturedCountersTrackFlushesPerPcid) {
+  Tlb tlb;
+  tlb.Insert(E(0x1000, 5, 0x1, false, PageSize::k4K, /*fractured=*/true));
+  tlb.Insert(E(0x2000, 9, 0x2, false, PageSize::k4K, /*fractured=*/true));
+  EXPECT_TRUE(tlb.has_fractured());
+  tlb.FlushPcid(5);  // one fractured entry left (pcid 9)
+  EXPECT_TRUE(tlb.has_fractured());
+  tlb.FlushPcid(9);
+  EXPECT_FALSE(tlb.has_fractured());
+  // Reinsert after the flushes: counters must have restarted cleanly.
+  tlb.Insert(E(0x3000, 5, 0x3, false, PageSize::k4K, /*fractured=*/true));
+  EXPECT_TRUE(tlb.has_fractured());
+  tlb.FlushAll(/*keep_globals=*/false);
+  EXPECT_FALSE(tlb.has_fractured());
+}
+
+TEST(TlbEpochTest, GlobalFracturedSurvivesKeepGlobalsFlush) {
+  Tlb tlb;
+  tlb.Insert(E(0x5000, 5, 0x7, /*global=*/true, PageSize::k4K, /*fractured=*/true));
+  tlb.FlushAll(/*keep_globals=*/true);
+  EXPECT_TRUE(tlb.has_fractured());  // the fractured entry is still resident
+  tlb.FlushAll(/*keep_globals=*/false);
+  EXPECT_FALSE(tlb.has_fractured());
+}
+
+TEST(TlbEpochTest, FracturedFlagStaysStickyAcrossEviction) {
+  // Hardware-conservative semantics: evicting the only fractured entry does
+  // not clear the resident flag — only a flush recomputes it.
+  TlbGeometry tiny;
+  tiny.sets_4k = 1;
+  tiny.ways_4k = 2;
+  tiny.sets_2m = 1;
+  tiny.ways_2m = 1;
+  Tlb tlb(tiny);
+  tlb.Insert(E(0x1000, 5, 0x1, false, PageSize::k4K, /*fractured=*/true));
+  tlb.Insert(E(0x2000, 5, 0x2));
+  tlb.Insert(E(0x3000, 5, 0x3));  // evicts the fractured entry (LRU)
+  EXPECT_TRUE(tlb.has_fractured());
+  tlb.FlushAll(/*keep_globals=*/false);
+  EXPECT_FALSE(tlb.has_fractured());  // flush recomputes from exact counters
+}
+
+TEST(PwcEpochTest, InsertAfterFlushAllReusesDeadEntries) {
+  PageWalkCache pwc(4);
+  pwc.Insert(5, 0x200000);
+  pwc.Insert(5, 0x400000);
+  pwc.FlushAll();
+  EXPECT_EQ(pwc.size(), 0u);
+  pwc.Insert(5, 0x600000);
+  EXPECT_EQ(pwc.size(), 1u);
+  EXPECT_TRUE(pwc.Lookup(5, 0x600000));
+  EXPECT_FALSE(pwc.Lookup(5, 0x200000));  // dead entry must not hit
+  // Capacity is not consumed by dead entries: all four regions fit.
+  pwc.Insert(5, 0x800000);
+  pwc.Insert(5, 0xA00000);
+  pwc.Insert(5, 0xC00000);
+  EXPECT_EQ(pwc.size(), 4u);
+  EXPECT_TRUE(pwc.Lookup(5, 0x600000));
+}
+
 TEST(TlbPropertyTest, AgreesWithShadowModel) {
   Rng rng(77);
   Tlb tlb;
