@@ -4,106 +4,138 @@
 //   2. the in-context flush-merge threshold (Linux's 33-entry ceiling);
 //   3. the §3.4 (4a) interplay: flush-user-PTEs-until-first-ack vs defer-all.
 #include <cstdio>
+#include <functional>
 #include <utility>
+#include <vector>
 
 #include "bench/report.h"
+#include "src/exec/sweep.h"
 #include "src/workloads/microbench.h"
 #include "src/workloads/sysbench.h"
 
 namespace tlbsim {
 namespace {
 
-void MulticastAblation(BenchReport* report) {
-  std::printf("== Ablation 1: multicast vs unicast IPIs (the §2.3.2 caveat) ==\n");
-  // Protocol-level comparison with many responder threads.
-  for (bool multicast : {true, false}) {
-    SystemConfig cfg;
-    cfg.kernel.pti = true;
-    cfg.kernel.opts = OptimizationSet::AllGeneral();
-    cfg.machine.seed = 5;
-    System sys(cfg);
-    sys.machine().apic().set_use_multicast(multicast);
-    Process* p = sys.kernel().CreateProcess();
-    Thread* ti = sys.kernel().CreateThread(p, 0);
-    // 20 responder threads spread over both sockets.
-    bool stop = false;
-    for (int i = 1; i <= 20; ++i) {
-      int cpu = i < 11 ? i : 17 + i;
-      sys.kernel().CreateThread(p, cpu);
-      SimCpu& c = sys.machine().cpu(cpu);
-      c.Spawn([](SimCpu& cc, const bool* s) -> SimTask {
-        while (!*s) {
-          co_await cc.Execute(500);
-        }
-      }(c, &stop));
-    }
-    Cycles dur = 0;
-    sys.machine().cpu(0).Spawn([](System& s, Thread& t, Cycles* out, bool* st) -> SimTask {
-      Kernel& k = s.kernel();
-      uint64_t a = co_await k.SysMmap(t, 10 * kPageSize4K, true, false);
-      RunningStat stat;
-      for (int it = 0; it < 100; ++it) {
-        for (int i = 0; i < 10; ++i) {
-          co_await k.UserAccess(t, a + static_cast<uint64_t>(i) * kPageSize4K, true);
-        }
-        Cycles t0 = s.machine().cpu(0).now();
-        co_await k.SysMadviseDontneed(t, a, 10 * kPageSize4K);
-        stat.Add(static_cast<double>(s.machine().cpu(0).now() - t0));
+struct MulticastResult {
+  Cycles madvise_cycles = 0;
+  uint64_t icr_writes = 0;
+};
+
+MulticastResult MeasureMulticast(bool multicast) {
+  SystemConfig cfg;
+  cfg.kernel.pti = true;
+  cfg.kernel.opts = OptimizationSet::AllGeneral();
+  cfg.machine.seed = 5;
+  System sys(cfg);
+  sys.machine().apic().set_use_multicast(multicast);
+  Process* p = sys.kernel().CreateProcess();
+  Thread* ti = sys.kernel().CreateThread(p, 0);
+  // 20 responder threads spread over both sockets.
+  bool stop = false;
+  for (int i = 1; i <= 20; ++i) {
+    int cpu = i < 11 ? i : 17 + i;
+    sys.kernel().CreateThread(p, cpu);
+    SimCpu& c = sys.machine().cpu(cpu);
+    c.Spawn([](SimCpu& cc, const bool* s) -> SimTask {
+      while (!*s) {
+        co_await cc.Execute(500);
       }
-      *out = static_cast<Cycles>(stat.mean());
-      *st = true;
-    }(sys, *ti, &dur, &stop));
-    sys.machine().engine().Run();
+    }(c, &stop));
+  }
+  Cycles dur = 0;
+  sys.machine().cpu(0).Spawn([](System& s, Thread& t, Cycles* out, bool* st) -> SimTask {
+    Kernel& k = s.kernel();
+    uint64_t a = co_await k.SysMmap(t, 10 * kPageSize4K, true, false);
+    RunningStat stat;
+    for (int it = 0; it < 100; ++it) {
+      for (int i = 0; i < 10; ++i) {
+        co_await k.UserAccess(t, a + static_cast<uint64_t>(i) * kPageSize4K, true);
+      }
+      Cycles t0 = s.machine().cpu(0).now();
+      co_await k.SysMadviseDontneed(t, a, 10 * kPageSize4K);
+      stat.Add(static_cast<double>(s.machine().cpu(0).now() - t0));
+    }
+    *out = static_cast<Cycles>(stat.mean());
+    *st = true;
+  }(sys, *ti, &dur, &stop));
+  sys.machine().engine().Run();
+  return MulticastResult{dur, sys.machine().apic().stats().icr_writes};
+}
+
+void MulticastAblation(SweepRunner* runner, BenchReport* report) {
+  std::vector<std::function<MulticastResult()>> jobs;
+  for (bool multicast : {true, false}) {
+    jobs.emplace_back([multicast] { return MeasureMulticast(multicast); });
+  }
+  std::vector<MulticastResult> results = runner->Run(std::move(jobs));
+
+  std::printf("== Ablation 1: multicast vs unicast IPIs (the §2.3.2 caveat) ==\n");
+  size_t next = 0;
+  for (bool multicast : {true, false}) {
+    MulticastResult& r = results[next++];
     std::printf("  %-10s madvise over 20 remote CPUs: %lld cycles, ICR writes: %llu\n",
-                multicast ? "multicast:" : "unicast:", static_cast<long long>(dur),
-                static_cast<unsigned long long>(sys.machine().apic().stats().icr_writes));
+                multicast ? "multicast:" : "unicast:", static_cast<long long>(r.madvise_cycles),
+                static_cast<unsigned long long>(r.icr_writes));
     Json row = Json::Object();
     row["ablation"] = "multicast_vs_unicast";
     row["multicast"] = multicast;
-    row["madvise_cycles"] = static_cast<int64_t>(dur);
-    row["icr_writes"] = sys.machine().apic().stats().icr_writes;
+    row["madvise_cycles"] = static_cast<int64_t>(r.madvise_cycles);
+    row["icr_writes"] = r.icr_writes;
     report->AddRow(std::move(row));
   }
   std::printf("\n");
 }
 
-void ThresholdAblation(BenchReport* report) {
+Cycles MeasureThreshold(uint64_t threshold) {
+  SystemConfig cfg;
+  cfg.kernel.pti = true;
+  cfg.kernel.opts = OptimizationSet::AllGeneral();
+  cfg.kernel.flush_full_threshold = threshold;
+  cfg.machine.seed = 5;
+  System sys(cfg);
+  Process* p = sys.kernel().CreateProcess();
+  Thread* ti = sys.kernel().CreateThread(p, 0);
+  sys.kernel().CreateThread(p, 30);
+  bool stop = false;
+  SimCpu& rc = sys.machine().cpu(30);
+  rc.Spawn([](SimCpu& cc, const bool* s) -> SimTask {
+    while (!*s) {
+      co_await cc.Execute(500);
+    }
+  }(rc, &stop));
+  Cycles dur = 0;
+  sys.machine().cpu(0).Spawn([](System& s, Thread& t, Cycles* out, bool* st) -> SimTask {
+    Kernel& k = s.kernel();
+    uint64_t a = co_await k.SysMmap(t, 24 * kPageSize4K, true, false);
+    RunningStat stat;
+    for (int it = 0; it < 100; ++it) {
+      for (int i = 0; i < 24; ++i) {
+        co_await k.UserAccess(t, a + static_cast<uint64_t>(i) * kPageSize4K, true);
+      }
+      Cycles t0 = s.machine().cpu(0).now();
+      co_await k.SysMadviseDontneed(t, a, 24 * kPageSize4K);
+      stat.Add(static_cast<double>(s.machine().cpu(0).now() - t0));
+    }
+    *out = static_cast<Cycles>(stat.mean());
+    *st = true;
+  }(sys, *ti, &dur, &stop));
+  sys.machine().engine().Run();
+  return dur;
+}
+
+void ThresholdAblation(SweepRunner* runner, BenchReport* report) {
+  constexpr uint64_t kThresholds[] = {4, 8, 16, 33, 64};
+  std::vector<std::function<Cycles()>> jobs;
+  for (uint64_t threshold : kThresholds) {
+    jobs.emplace_back([threshold] { return MeasureThreshold(threshold); });
+  }
+  std::vector<Cycles> results = runner->Run(std::move(jobs));
+
   std::printf("== Ablation 2: full-flush threshold (tlb_single_page_flush_ceiling) ==\n");
   std::printf("  madvise of 24 PTEs, cross-socket responder, all-general opts, safe\n");
-  for (uint64_t threshold : {4ULL, 8ULL, 16ULL, 33ULL, 64ULL}) {
-    SystemConfig cfg;
-    cfg.kernel.pti = true;
-    cfg.kernel.opts = OptimizationSet::AllGeneral();
-    cfg.kernel.flush_full_threshold = threshold;
-    cfg.machine.seed = 5;
-    System sys(cfg);
-    Process* p = sys.kernel().CreateProcess();
-    Thread* ti = sys.kernel().CreateThread(p, 0);
-    sys.kernel().CreateThread(p, 30);
-    bool stop = false;
-    SimCpu& rc = sys.machine().cpu(30);
-    rc.Spawn([](SimCpu& cc, const bool* s) -> SimTask {
-      while (!*s) {
-        co_await cc.Execute(500);
-      }
-    }(rc, &stop));
-    Cycles dur = 0;
-    sys.machine().cpu(0).Spawn([](System& s, Thread& t, Cycles* out, bool* st) -> SimTask {
-      Kernel& k = s.kernel();
-      uint64_t a = co_await k.SysMmap(t, 24 * kPageSize4K, true, false);
-      RunningStat stat;
-      for (int it = 0; it < 100; ++it) {
-        for (int i = 0; i < 24; ++i) {
-          co_await k.UserAccess(t, a + static_cast<uint64_t>(i) * kPageSize4K, true);
-        }
-        Cycles t0 = s.machine().cpu(0).now();
-        co_await k.SysMadviseDontneed(t, a, 24 * kPageSize4K);
-        stat.Add(static_cast<double>(s.machine().cpu(0).now() - t0));
-      }
-      *out = static_cast<Cycles>(stat.mean());
-      *st = true;
-    }(sys, *ti, &dur, &stop));
-    sys.machine().engine().Run();
+  size_t next = 0;
+  for (uint64_t threshold : kThresholds) {
+    Cycles dur = results[next++];
     std::printf("  threshold %2llu: madvise %lld cycles (%s)\n",
                 static_cast<unsigned long long>(threshold), static_cast<long long>(dur),
                 threshold < 24 ? "full flushes" : "selective");
@@ -117,18 +149,27 @@ void ThresholdAblation(BenchReport* report) {
   std::printf("\n");
 }
 
-void FourAAblation(BenchReport* report) {
-  std::printf("== Ablation 3: in-context 4a interplay (eager-until-first-ack) ==\n");
+void FourAAblation(SweepRunner* runner, BenchReport* report) {
+  std::vector<std::function<MicroResult()>> jobs;
   for (bool concurrent : {true, false}) {
-    MicroConfig cfg;
-    cfg.pti = true;
-    cfg.pages = 10;
-    cfg.placement = Placement::kOtherSocket;
-    cfg.iterations = 300;
-    cfg.opts = OptimizationSet::AllGeneral();
-    cfg.opts.concurrent_flush = concurrent;  // off: defer-all, no spare cycles
-    cfg.seed = 9;
-    MicroResult r = RunMadviseMicrobench(cfg);
+    jobs.emplace_back([concurrent] {
+      MicroConfig cfg;
+      cfg.pti = true;
+      cfg.pages = 10;
+      cfg.placement = Placement::kOtherSocket;
+      cfg.iterations = 300;
+      cfg.opts = OptimizationSet::AllGeneral();
+      cfg.opts.concurrent_flush = concurrent;  // off: defer-all, no spare cycles
+      cfg.seed = 9;
+      return RunMadviseMicrobench(cfg);
+    });
+  }
+  std::vector<MicroResult> results = runner->Run(std::move(jobs));
+
+  std::printf("== Ablation 3: in-context 4a interplay (eager-until-first-ack) ==\n");
+  size_t next = 0;
+  for (bool concurrent : {true, false}) {
+    MicroResult& r = results[next++];
     std::printf("  concurrent=%d: initiator %.0f cyc, responder %.0f cyc\n", concurrent,
                 r.initiator.mean(), r.responder_cycles_per_op);
     Json row = Json::Object();
@@ -147,8 +188,12 @@ void FourAAblation(BenchReport* report) {
 
 int main(int argc, char** argv) {
   tlbsim::BenchReport report("ablations", argc, argv);
-  tlbsim::MulticastAblation(&report);
-  tlbsim::ThresholdAblation(&report);
-  tlbsim::FourAAblation(&report);
+  // One runner for all three ablation sweeps; stats (and the "host" section)
+  // accumulate across the Run() calls.
+  tlbsim::SweepRunner runner(report.threads());
+  tlbsim::MulticastAblation(&runner, &report);
+  tlbsim::ThresholdAblation(&runner, &report);
+  tlbsim::FourAAblation(&runner, &report);
+  report.SetHost(runner);
   return report.Finish(0);
 }

@@ -2,17 +2,21 @@
 // with periodic fdatasync, speedup over baseline as optimizations are added
 // cumulatively (batching last), threads 1..16 on one NUMA node.
 #include <cstdio>
+#include <functional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "bench/report.h"
+#include "src/exec/sweep.h"
 #include "src/workloads/sysbench.h"
 
 namespace tlbsim {
 namespace {
 
 constexpr int kThreadCounts[] = {1, 2, 3, 4, 6, 8, 10, 12, 14, 16};
+constexpr uint64_t kSeeds[] = {7, 8, 9, 10, 11};
+constexpr int kQuickSeeds = 2;
 
 // Cumulative columns in paper legend order; in-context exists only in safe
 // mode (PTI), batching is always last.
@@ -29,22 +33,28 @@ std::vector<std::pair<std::string, OptimizationSet>> Columns(bool pti) {
   return cols;
 }
 
-double Throughput(bool pti, int threads, const OptimizationSet& opts,
-                  Json* metrics_out = nullptr) {
+// One figure cell: the seed-averaged throughput of one configuration, plus
+// the registry snapshot of its last seed's run.
+struct Cell {
+  double writes_per_mcycle = 0.0;
+  Json metrics;
+};
+
+Cell MeasureCell(bool pti, int threads, const OptimizationSet& opts, int seeds) {
+  Cell cell;
   double sum = 0.0;
-  for (uint64_t seed : {7ULL, 8ULL, 9ULL, 10ULL, 11ULL}) {  // average 5 runs
+  for (int s = 0; s < seeds; ++s) {
     SysbenchConfig cfg;
     cfg.pti = pti;
     cfg.threads = threads;
     cfg.opts = opts;
-    cfg.seed = seed;
+    cfg.seed = kSeeds[s];
     SysbenchResult r = RunSysbench(cfg);
     sum += r.writes_per_mcycle;
-    if (metrics_out != nullptr) {
-      *metrics_out = std::move(r.metrics);
-    }
+    cell.metrics = std::move(r.metrics);
   }
-  return sum / 5.0;
+  cell.writes_per_mcycle = sum / static_cast<double>(seeds);
+  return cell;
 }
 
 }  // namespace
@@ -53,7 +63,31 @@ double Throughput(bool pti, int threads, const OptimizationSet& opts,
 int main(int argc, char** argv) {
   using namespace tlbsim;
   BenchReport report("fig10_sysbench", argc, argv);
+  const int seeds = report.quick() ? kQuickSeeds : static_cast<int>(std::size(kSeeds));
+
+  // One job per table cell, row-major with the baseline first — the exact
+  // order the sequential loops measured in.
+  std::vector<std::function<Cell()>> jobs;
+  for (bool pti : {true, false}) {
+    auto cols = Columns(pti);
+    for (int threads : kThreadCounts) {
+      OptimizationSet base = OptimizationSet::None();
+      jobs.emplace_back([pti, threads, base, seeds] {
+        return MeasureCell(pti, threads, base, seeds);
+      });
+      for (auto& [name, opts] : cols) {
+        OptimizationSet o = opts;
+        jobs.emplace_back([pti, threads, o, seeds] {
+          return MeasureCell(pti, threads, o, seeds);
+        });
+      }
+    }
+  }
+  SweepRunner runner(report.threads());
+  std::vector<Cell> results = runner.Run(std::move(jobs));
+
   Json last_metrics;
+  size_t next = 0;
   for (bool pti : {true, false}) {
     std::printf("# Figure 10 (%s mode): speedup over baseline, cumulative optimizations\n",
                 pti ? "safe" : "unsafe");
@@ -64,7 +98,7 @@ int main(int argc, char** argv) {
     }
     std::printf("\n");
     for (int threads : kThreadCounts) {
-      double base = Throughput(pti, threads, OptimizationSet::None());
+      double base = results[next++].writes_per_mcycle;
       std::printf("%-8d", threads);
       Json row = Json::Object();
       row["mode"] = pti ? "safe" : "unsafe";
@@ -73,9 +107,10 @@ int main(int argc, char** argv) {
       Json& speedups = row["speedup"];
       speedups = Json::Object();
       for (auto& [name, opts] : cols) {
-        double tput = Throughput(pti, threads, opts, &last_metrics);
-        std::printf(" %11.2fx", tput / base);
-        speedups[name] = tput / base;
+        Cell& cell = results[next++];
+        std::printf(" %11.2fx", cell.writes_per_mcycle / base);
+        speedups[name] = cell.writes_per_mcycle / base;
+        last_metrics = std::move(cell.metrics);
       }
       std::printf("\n");
       report.AddRow(std::move(row));
@@ -84,5 +119,6 @@ int main(int argc, char** argv) {
   }
   // Snapshot from the last fully-optimized 16-thread unsafe run.
   report.Set("metrics", std::move(last_metrics));
+  report.SetHost(runner);
   return report.Finish(0);
 }

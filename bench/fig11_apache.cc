@@ -2,11 +2,13 @@
 // requests vs number of server cores (single socket, 1..11 cores), cumulative
 // optimizations with userspace batching last.
 #include <cstdio>
+#include <functional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "bench/report.h"
+#include "src/exec/sweep.h"
 #include "src/workloads/apache.h"
 
 namespace tlbsim {
@@ -25,18 +27,20 @@ std::vector<std::pair<std::string, OptimizationSet>> Columns(bool pti) {
   return cols;
 }
 
-double Throughput(bool pti, int cores, const OptimizationSet& opts,
-                  Json* metrics_out = nullptr) {
+// One figure cell: a single run (each cell is one core count x one column).
+struct Cell {
+  double requests_per_mcycle = 0.0;
+  Json metrics;
+};
+
+Cell MeasureCell(bool pti, int cores, const OptimizationSet& opts) {
   ApacheConfig cfg;
   cfg.pti = pti;
   cfg.server_cores = cores;
   cfg.opts = opts;
   cfg.seed = 11;
   ApacheResult r = RunApache(cfg);
-  if (metrics_out != nullptr) {
-    *metrics_out = std::move(r.metrics);
-  }
-  return r.requests_per_mcycle;
+  return Cell{r.requests_per_mcycle, std::move(r.metrics)};
 }
 
 }  // namespace
@@ -45,7 +49,26 @@ double Throughput(bool pti, int cores, const OptimizationSet& opts,
 int main(int argc, char** argv) {
   using namespace tlbsim;
   BenchReport report("fig11_apache", argc, argv);
+
+  // One job per table cell, row-major with the baseline first — the exact
+  // order the sequential loops measured in.
+  std::vector<std::function<Cell()>> jobs;
+  for (bool pti : {true, false}) {
+    auto cols = Columns(pti);
+    for (int cores = 1; cores <= 11; ++cores) {
+      OptimizationSet base = OptimizationSet::None();
+      jobs.emplace_back([pti, cores, base] { return MeasureCell(pti, cores, base); });
+      for (auto& [name, opts] : cols) {
+        OptimizationSet o = opts;
+        jobs.emplace_back([pti, cores, o] { return MeasureCell(pti, cores, o); });
+      }
+    }
+  }
+  SweepRunner runner(report.threads());
+  std::vector<Cell> results = runner.Run(std::move(jobs));
+
   Json last_metrics;
+  size_t next = 0;
   for (bool pti : {true, false}) {
     std::printf("# Figure 11 (%s mode): Apache speedup vs baseline per core count\n",
                 pti ? "safe" : "unsafe");
@@ -56,7 +79,7 @@ int main(int argc, char** argv) {
     }
     std::printf("\n");
     for (int cores = 1; cores <= 11; ++cores) {
-      double base = Throughput(pti, cores, OptimizationSet::None());
+      double base = results[next++].requests_per_mcycle;
       std::printf("%-6d %14.2f", cores, base);
       Json row = Json::Object();
       row["mode"] = pti ? "safe" : "unsafe";
@@ -65,9 +88,10 @@ int main(int argc, char** argv) {
       Json& speedups = row["speedup"];
       speedups = Json::Object();
       for (auto& [name, opts] : cols) {
-        double tput = Throughput(pti, cores, opts, &last_metrics);
-        std::printf(" %11.3fx", tput / base);
-        speedups[name] = tput / base;
+        Cell& cell = results[next++];
+        std::printf(" %11.3fx", cell.requests_per_mcycle / base);
+        speedups[name] = cell.requests_per_mcycle / base;
+        last_metrics = std::move(cell.metrics);
       }
       std::printf("\n");
       report.AddRow(std::move(row));
@@ -76,5 +100,6 @@ int main(int argc, char** argv) {
   }
   // Snapshot from the last fully-optimized 11-core unsafe run.
   report.Set("metrics", std::move(last_metrics));
+  report.SetHost(runner);
   return report.Finish(0);
 }

@@ -2,10 +2,15 @@
 // split (baseline Linux) vs consolidated layout — counting coherence
 // transfers per shootdown on each named kernel line.
 #include <cstdio>
+#include <functional>
+#include <string>
 #include <utility>
+#include <vector>
 
 #include "bench/report.h"
+#include "src/core/snapshot.h"
 #include "src/core/system.h"
+#include "src/exec/sweep.h"
 
 namespace tlbsim {
 namespace {
@@ -31,7 +36,22 @@ SimTask Initiator(System& sys, Thread& t, int rounds, bool* stop) {
   *stop = true;
 }
 
-void RunLayout(bool consolidated, BenchReport* report) {
+// Everything one layout's run produces, returned by value so the simulation
+// itself can execute on a sweep worker while main prints in order.
+struct LineStat {
+  std::string what;
+  double transfers_per_shootdown = 0.0;
+  uint64_t invalidations = 0;
+};
+
+struct LayoutResult {
+  std::vector<LineStat> lines;
+  double total_transfers_per_shootdown = 0.0;
+  double cross_socket_transfers_per_shootdown = 0.0;
+  Json metrics;
+};
+
+LayoutResult RunLayout(bool consolidated) {
   constexpr int kRounds = 101;  // 1 warmup + 100 measured
   OptimizationSet opts;
   opts.cacheline_consolidation = consolidated;
@@ -48,7 +68,6 @@ void RunLayout(bool consolidated, BenchReport* report) {
   sys.machine().cpu(0).Spawn(Initiator(sys, *ti, kRounds, &stop));
   sys.machine().engine().Run();
 
-  std::printf("== %s layout ==\n", consolidated ? "Consolidated (Fig 4b)" : "Split (Fig 4a)");
   CoherenceModel& coh = sys.machine().coherence();
   PerCpu& init_pc = sys.kernel().percpu(0);
   PerCpu& resp_pc = sys.kernel().percpu(30);
@@ -64,30 +83,43 @@ void RunLayout(bool consolidated, BenchReport* report) {
       {"mm->context.tlb_gen", p->mm->gen_line},
   };
   double measured = 100.0;
-  double total = 0.0;
+  LayoutResult out;
+  for (const NamedLine& nl : lines) {
+    auto s = coh.StatsFor(nl.line);
+    LineStat ls;
+    ls.what = nl.what;
+    ls.transfers_per_shootdown = static_cast<double>(s.transfers) / measured;
+    ls.invalidations = s.invalidations;
+    out.total_transfers_per_shootdown += ls.transfers_per_shootdown;
+    out.lines.push_back(std::move(ls));
+  }
+  out.cross_socket_transfers_per_shootdown =
+      static_cast<double>(coh.global_stats().cross_socket_transfers) / measured;
+  out.metrics = SystemMetricsJson(sys);
+  return out;
+}
+
+void Report(bool consolidated, const LayoutResult& r, BenchReport* report) {
+  std::printf("== %s layout ==\n", consolidated ? "Consolidated (Fig 4b)" : "Split (Fig 4a)");
   Json row = Json::Object();
   row["layout"] = consolidated ? "consolidated" : "split";
   Json& line_rows = row["lines"];
   line_rows = Json::Object();
-  for (const NamedLine& nl : lines) {
-    auto s = coh.StatsFor(nl.line);
-    std::printf("  %-52s %6.2f transfers/shootdown (%llu invalidations)\n", nl.what,
-                static_cast<double>(s.transfers) / measured,
-                static_cast<unsigned long long>(s.invalidations));
-    total += static_cast<double>(s.transfers) / measured;
+  for (const LineStat& ls : r.lines) {
+    std::printf("  %-52s %6.2f transfers/shootdown (%llu invalidations)\n", ls.what.c_str(),
+                ls.transfers_per_shootdown, static_cast<unsigned long long>(ls.invalidations));
     Json lj = Json::Object();
-    lj["transfers_per_shootdown"] = static_cast<double>(s.transfers) / measured;
-    lj["invalidations"] = s.invalidations;
-    line_rows[nl.what] = std::move(lj);
+    lj["transfers_per_shootdown"] = ls.transfers_per_shootdown;
+    lj["invalidations"] = ls.invalidations;
+    line_rows[ls.what] = std::move(lj);
   }
-  std::printf("  %-52s %6.2f transfers/shootdown\n", "TOTAL contended kernel lines", total);
+  std::printf("  %-52s %6.2f transfers/shootdown\n", "TOTAL contended kernel lines",
+              r.total_transfers_per_shootdown);
   std::printf("  global cross-socket transfers/shootdown: %.2f\n\n",
-              static_cast<double>(coh.global_stats().cross_socket_transfers) / measured);
-  row["total_transfers_per_shootdown"] = total;
-  row["cross_socket_transfers_per_shootdown"] =
-      static_cast<double>(coh.global_stats().cross_socket_transfers) / measured;
+              r.cross_socket_transfers_per_shootdown);
+  row["total_transfers_per_shootdown"] = r.total_transfers_per_shootdown;
+  row["cross_socket_transfers_per_shootdown"] = r.cross_socket_transfers_per_shootdown;
   report->AddRow(std::move(row));
-  report->Snapshot(sys);
 }
 
 }  // namespace
@@ -98,7 +130,17 @@ int main(int argc, char** argv) {
   BenchReport report("fig4_cacheline_consolidation", argc, argv);
   std::printf("# Figure 4: cacheline contention during shootdowns (100 x 4-PTE madvise,\n");
   std::printf("# initiator cpu0, responder cpu30 cross-socket, safe mode).\n\n");
-  RunLayout(false, &report);
-  RunLayout(true, &report);
+
+  std::vector<std::function<LayoutResult()>> jobs;
+  jobs.emplace_back([] { return RunLayout(false); });
+  jobs.emplace_back([] { return RunLayout(true); });
+  SweepRunner runner(report.threads());
+  std::vector<LayoutResult> results = runner.Run(std::move(jobs));
+
+  Report(false, results[0], &report);
+  Report(true, results[1], &report);
+  // Same key Snapshot() used: the consolidated run's registry, last writer.
+  report.Set("metrics", std::move(results[1].metrics));
+  report.SetHost(runner);
   return report.Finish(0);
 }

@@ -2,9 +2,12 @@
 // fault, with all previous optimizations (all) vs all + CoW flush avoidance,
 // in safe and unsafe mode.
 #include <cstdio>
+#include <functional>
 #include <utility>
+#include <vector>
 
 #include "bench/report.h"
+#include "src/exec/sweep.h"
 #include "src/sim/stats.h"
 #include "src/workloads/microbench.h"
 
@@ -12,6 +15,7 @@ namespace tlbsim {
 namespace {
 
 constexpr int kRuns = 5;
+constexpr int kQuickRuns = 2;
 
 struct Measured {
   RunningStat across_runs;
@@ -20,21 +24,14 @@ struct Measured {
   Json metrics;  // from the last run
 };
 
-Measured Measure(bool pti, bool cow_avoidance) {
+// Aggregates `runs` consecutive sweep results into one table cell.
+Measured Aggregate(std::vector<CowResult>::iterator it, int runs) {
   Measured m;
-  for (int run = 0; run < kRuns; ++run) {
-    CowConfig cfg;
-    cfg.pti = pti;
-    cfg.opts = OptimizationSet::AllGeneral();
-    cfg.opts.cow_avoidance = cow_avoidance;
-    cfg.pages = 64;
-    cfg.rounds = 4;
-    cfg.seed = 40 + static_cast<uint64_t>(run);
-    CowResult r = RunCowMicrobench(cfg);
-    m.across_runs.Add(r.write_cycles.mean());
-    m.cow_faults = r.cow_faults;
-    m.flushes_avoided = r.flushes_avoided;
-    m.metrics = std::move(r.metrics);
+  for (int run = 0; run < runs; ++run, ++it) {
+    m.across_runs.Add(it->write_cycles.mean());
+    m.cow_faults = it->cow_faults;
+    m.flushes_avoided = it->flushes_avoided;
+    m.metrics = std::move(it->metrics);
   }
   return m;
 }
@@ -56,20 +53,44 @@ Json Row(bool pti, const char* config, const Measured& m) {
 int main(int argc, char** argv) {
   using namespace tlbsim;
   BenchReport report("fig9_cow", argc, argv);
+  const int runs = report.quick() ? kQuickRuns : kRuns;
   Json config = Json::Object();
-  config["runs"] = kRuns;
+  config["runs"] = runs;
   config["pages"] = 64;
   config["rounds"] = 4;
   report.Set("config", std::move(config));
+
+  // Jobs in cell-major order: (safe all, safe all+cow, unsafe all,
+  // unsafe all+cow), `runs` seeds each.
+  std::vector<std::function<CowResult()>> jobs;
+  for (bool pti : {true, false}) {
+    for (bool cow_avoidance : {false, true}) {
+      for (int run = 0; run < runs; ++run) {
+        CowConfig cfg;
+        cfg.pti = pti;
+        cfg.opts = OptimizationSet::AllGeneral();
+        cfg.opts.cow_avoidance = cow_avoidance;
+        cfg.pages = 64;
+        cfg.rounds = 4;
+        cfg.seed = 40 + static_cast<uint64_t>(run);
+        jobs.emplace_back([cfg] { return RunCowMicrobench(cfg); });
+      }
+    }
+  }
+  SweepRunner runner(report.threads());
+  std::vector<CowResult> results = runner.Run(std::move(jobs));
 
   std::printf("# Figure 9: CoW page-fault write latency (cycles per event)\n");
   std::printf("# paper: CoW avoidance saves ~130 cycles (~3%% safe, ~5%% unsafe)\n\n");
   std::printf("%-8s %-10s %12s\n", "mode", "config", "cycles");
   int rc = 0;
   Json last_metrics;
+  auto it = results.begin();
   for (bool pti : {true, false}) {
-    Measured all = Measure(pti, false);
-    Measured all_cow = Measure(pti, true);
+    Measured all = Aggregate(it, runs);
+    it += runs;
+    Measured all_cow = Aggregate(it, runs);
+    it += runs;
     std::printf("%-8s %-10s %8.0f +-%3.0f\n", pti ? "safe" : "unsafe", "all",
                 all.across_runs.mean(), all.across_runs.stddev());
     std::printf("%-8s %-10s %8.0f +-%3.0f   (saves %.0f cycles, %.1f%%)\n",
@@ -86,5 +107,6 @@ int main(int argc, char** argv) {
   }
   // Snapshot from the last all+cow run: CI probes shootdown.cow_flush_avoided.
   report.Set("metrics", std::move(last_metrics));
+  report.SetHost(runner);
   return report.Finish(rc);
 }

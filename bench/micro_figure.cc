@@ -1,9 +1,12 @@
 #include "bench/micro_figure.h"
 
 #include <cstdio>
+#include <functional>
 #include <utility>
+#include <vector>
 
 #include "bench/report.h"
+#include "src/exec/sweep.h"
 #include "src/sim/stats.h"
 #include "src/workloads/microbench.h"
 
@@ -11,41 +14,37 @@ namespace tlbsim {
 
 namespace {
 constexpr int kRuns = 5;          // the paper's 5-run methodology
+constexpr int kQuickRuns = 2;     // --quick: local iteration
 constexpr int kIterations = 300;  // madvise calls per run (paper: 100k; the
                                   // simulator's variance is far lower)
+
+constexpr Placement kPlacements[] = {Placement::kSameCore, Placement::kSameSocket,
+                                     Placement::kOtherSocket};
 }  // namespace
 
 int RunMicroFigure(const char* bench_name, const char* figure_name, bool pti, int pages, int argc,
                    char** argv) {
   BenchReport report(bench_name, argc, argv);
+  const int runs = report.quick() ? kQuickRuns : kRuns;
   Json config = Json::Object();
   config["figure"] = figure_name;
   config["pti"] = pti;
   config["pages"] = pages;
-  config["runs"] = kRuns;
+  config["runs"] = runs;
   config["iterations"] = kIterations;
   report.Set("config", std::move(config));
 
-  std::printf("# %s: madvise(DONTNEED) microbenchmark, %s mode, flush %d PTE%s\n", figure_name,
-              pti ? "safe" : "unsafe", pages, pages == 1 ? "" : "s");
-  std::printf("# cycles per operation, mean +- stddev over %d runs x %d iterations\n", kRuns,
-              kIterations);
-  std::printf("%-13s %-12s %14s %14s %10s\n", "placement", "opts", "initiator", "responder",
-              "vs-base");
-
   // In unsafe mode there is no PTI, hence no in-context flushing bar.
-  int max_level = pti ? 4 : 3;
-  int rc = 0;
-  Json last_metrics;
-  for (Placement place :
-       {Placement::kSameCore, Placement::kSameSocket, Placement::kOtherSocket}) {
-    double base_initiator = 0.0;
+  const int max_level = pti ? 4 : 3;
+
+  // One job per (placement, level, run): each constructs and runs its own
+  // simulation, returning the result by value. Submission order is the
+  // sequential loop order, and SweepRunner collects in submission order, so
+  // aggregation below sees exactly the sequence the serial code produced.
+  std::vector<std::function<MicroResult()>> jobs;
+  for (Placement place : kPlacements) {
     for (int level = 0; level <= max_level; ++level) {
-      RunningStat initiator_runs;
-      RunningStat responder_runs;
-      uint64_t shootdowns = 0;
-      uint64_t early_acks = 0;
-      for (int run = 0; run < kRuns; ++run) {
+      for (int run = 0; run < runs; ++run) {
         MicroConfig cfg;
         cfg.pti = pti;
         cfg.opts = OptimizationSet::Cumulative(level);
@@ -53,7 +52,32 @@ int RunMicroFigure(const char* bench_name, const char* figure_name, bool pti, in
         cfg.placement = place;
         cfg.iterations = kIterations;
         cfg.seed = 1000 + static_cast<uint64_t>(run);
-        MicroResult r = RunMadviseMicrobench(cfg);
+        jobs.emplace_back([cfg] { return RunMadviseMicrobench(cfg); });
+      }
+    }
+  }
+  SweepRunner runner(report.threads());
+  std::vector<MicroResult> results = runner.Run(std::move(jobs));
+
+  std::printf("# %s: madvise(DONTNEED) microbenchmark, %s mode, flush %d PTE%s\n", figure_name,
+              pti ? "safe" : "unsafe", pages, pages == 1 ? "" : "s");
+  std::printf("# cycles per operation, mean +- stddev over %d runs x %d iterations\n", runs,
+              kIterations);
+  std::printf("%-13s %-12s %14s %14s %10s\n", "placement", "opts", "initiator", "responder",
+              "vs-base");
+
+  int rc = 0;
+  Json last_metrics;
+  size_t next = 0;
+  for (Placement place : kPlacements) {
+    double base_initiator = 0.0;
+    for (int level = 0; level <= max_level; ++level) {
+      RunningStat initiator_runs;
+      RunningStat responder_runs;
+      uint64_t shootdowns = 0;
+      uint64_t early_acks = 0;
+      for (int run = 0; run < runs; ++run) {
+        MicroResult& r = results[next++];
         initiator_runs.Add(r.initiator.mean());
         responder_runs.Add(r.responder_cycles_per_op);
         shootdowns = r.shootdowns;
@@ -91,6 +115,7 @@ int RunMicroFigure(const char* bench_name, const char* figure_name, bool pti, in
   // Full registry snapshot of the last run (cross-socket, all optimizations):
   // the configuration CI's bench-smoke gate probes for nonzero IPI counters.
   report.Set("metrics", std::move(last_metrics));
+  report.SetHost(runner);
   return report.Finish(rc);
 }
 

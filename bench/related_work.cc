@@ -4,13 +4,16 @@
 // multi-initiator stress that exposes FreeBSD's smp_ipi_mtx serialization
 // and LATR's asynchrony.
 #include <cstdio>
+#include <functional>
 #include <memory>
 #include <utility>
+#include <vector>
 
 #include "bench/report.h"
 #include "src/core/alternatives.h"
 #include "src/core/snapshot.h"
 #include "src/core/system.h"
+#include "src/exec/sweep.h"
 #include "src/sim/stats.h"
 
 namespace tlbsim {
@@ -112,6 +115,12 @@ struct Design {
   std::function<std::unique_ptr<TlbFlushBackend>(Kernel*)> make;
 };
 
+// Both experiments for one (design, mode) table row.
+struct DesignResult {
+  Measured micro;
+  double concurrent_ops_per_mcycle = 0.0;
+};
+
 }  // namespace
 }  // namespace tlbsim
 
@@ -140,23 +149,40 @@ int main(int argc, char** argv) {
        }},
   };
 
+  // One job per (mode, design) row, in print order.
+  std::vector<std::function<DesignResult()>> jobs;
+  for (bool pti : {true, false}) {
+    for (auto& d : designs) {
+      auto make = d.make;
+      jobs.emplace_back([make, pti] {
+        DesignResult r;
+        r.micro = RunMicro(make, pti);
+        r.concurrent_ops_per_mcycle = RunConcurrent(make, pti);
+        return r;
+      });
+    }
+  }
+  SweepRunner runner(report.threads());
+  std::vector<DesignResult> results = runner.Run(std::move(jobs));
+
+  size_t next = 0;
   for (bool pti : {true, false}) {
     std::printf("# Related-work comparison (%s mode), 10-PTE cross-socket madvise\n",
                 pti ? "safe" : "unsafe");
     std::printf("%-24s %12s %12s %8s %18s\n", "design", "initiator", "responder", "IPIs",
                 "4-initiator ops/Mc");
     for (auto& d : designs) {
-      Measured m = RunMicro(d.make, pti);
-      double conc = RunConcurrent(d.make, pti);
+      DesignResult& r = results[next++];
+      Measured& m = r.micro;
       std::printf("%-24s %10.0f c %10.0f c %8llu %18.2f\n", d.name, m.initiator, m.responder,
-                  static_cast<unsigned long long>(m.ipis), conc);
+                  static_cast<unsigned long long>(m.ipis), r.concurrent_ops_per_mcycle);
       Json row = Json::Object();
       row["design"] = d.name;
       row["mode"] = pti ? "safe" : "unsafe";
       row["initiator_cycles"] = m.initiator;
       row["responder_cycles"] = m.responder;
       row["ipis"] = m.ipis;
-      row["concurrent_ops_per_mcycle"] = conc;
+      row["concurrent_ops_per_mcycle"] = r.concurrent_ops_per_mcycle;
       report.AddRow(std::move(row));
       report.Set("metrics", std::move(m.metrics));  // last design's snapshot
     }
@@ -164,5 +190,6 @@ int main(int argc, char** argv) {
         "# note: LATR's initiator latency omits the correctness cost the paper\n"
         "# documents (changed munmap semantics; see tests/alternatives_test.cc).\n\n");
   }
+  report.SetHost(runner);
   return report.Finish(0);
 }

@@ -25,7 +25,25 @@ std::string ResolvePath(std::string_view raw, std::string_view bench) {
 
 }  // namespace
 
-BenchReport::BenchReport(const char* name, int argc, char** argv) : name_(name) {
+namespace {
+
+int ParseThreads(std::string_view raw) {
+  int v = 0;
+  for (char c : raw) {
+    if (c < '0' || c > '9' || v > 4096) {
+      std::fprintf(stderr, "BenchReport: bad --threads value '%.*s'; using 1\n",
+                   static_cast<int>(raw.size()), raw.data());
+      return 1;
+    }
+    v = v * 10 + (c - '0');
+  }
+  return v < 1 ? 1 : v;
+}
+
+}  // namespace
+
+BenchReport::BenchReport(const char* name, int argc, char** argv)
+    : name_(name), threads_(ThreadPool::DefaultThreadCount()) {
   for (int i = 1; i < argc; ++i) {
     std::string_view arg(argv[i]);
     if (arg == "--json" && i + 1 < argc) {
@@ -35,6 +53,13 @@ BenchReport::BenchReport(const char* name, int argc, char** argv) : name_(name) 
       std::fprintf(stderr, "BenchReport: --json needs a path; no report will be written\n");
     } else if (arg.rfind("--json=", 0) == 0) {
       path_ = ResolvePath(arg.substr(7), name_);
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads_ = ParseThreads(argv[i + 1]);
+      ++i;
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      threads_ = ParseThreads(arg.substr(10));
+    } else if (arg == "--quick") {
+      quick_ = true;
     }
   }
   root_ = Json::Object();

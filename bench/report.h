@@ -6,16 +6,25 @@
 // BENCH_<bench>.json inside it, which is the layout scripts/run_all.sh and CI
 // collect.
 //
-// The document is deterministic by construction: it contains only virtual-
-// simulation quantities (no wall-clock timestamps, no host identifiers), and
-// Json preserves insertion order — two identical seeded runs emit
-// byte-identical files, so CI can diff them (the determinism gate).
+// The document is deterministic by construction with one carve-out: every
+// virtual-simulation quantity (config/rows/metrics) contains no wall-clock
+// timestamps or host identifiers, and Json preserves insertion order — two
+// identical seeded runs emit byte-identical files for those sections, so CI
+// can diff them (the determinism gate). Host-side quantities (sweep wall
+// time, realized parallel speedup) live exclusively under the "host" key,
+// which CI strips before comparing (scripts/strip_nondeterministic.py).
+//
+// Sweep-shaped benches additionally accept `--threads N` (host threads for
+// the SweepRunner fan-out; default hardware_concurrency; 1 = sequential) and
+// `--quick` (reduced seed count for local iteration — changes the emitted
+// document, so CI never passes it).
 //
 // Canonical shape:
 //   {"bench": <name>, "schema_version": 1,
 //    "config": {...},            // bench-specific knobs (optional)
 //    "rows": [...],              // one object per printed result row
 //    "metrics": {...},           // full MetricsRegistry snapshot (optional)
+//    "host": {...},              // non-deterministic host section (optional)
 //    "status": "pass"|"fail"}
 #ifndef TLBSIM_BENCH_REPORT_H_
 #define TLBSIM_BENCH_REPORT_H_
@@ -23,6 +32,7 @@
 #include <string>
 
 #include "src/core/system.h"
+#include "src/exec/sweep.h"
 #include "src/sim/json.h"
 
 namespace tlbsim {
@@ -30,8 +40,8 @@ namespace tlbsim {
 class BenchReport {
  public:
   // `name` is the bench target name (e.g. "fig5_safe_1pte"); argv is scanned
-  // for --json. Unrecognized arguments are ignored so targets stay usable
-  // under wrappers that append their own flags.
+  // for --json, --threads and --quick. Unrecognized arguments are ignored so
+  // targets stay usable under wrappers that append their own flags.
   BenchReport(const char* name, int argc, char** argv);
 
   // True when --json was requested (callers may skip expensive collection).
@@ -52,6 +62,18 @@ class BenchReport {
   // Sets root()[key] = value (convenience for config/ablation sections).
   void Set(const char* key, Json value);
 
+  // Host threads requested via --threads (defaults to the machine's
+  // hardware concurrency). Feed this to a SweepRunner.
+  int threads() const { return threads_; }
+
+  // True when --quick was passed: benches with seed loops cut them down for
+  // fast local iteration.
+  bool quick() const { return quick_; }
+
+  // Embeds `runner`'s accumulated host-side stats (wall seconds, realized
+  // speedup) under root()["host"] — the one non-deterministic section.
+  void SetHost(const SweepRunner& runner) { root_["host"] = runner.HostJson(); }
+
   // Records pass/fail from `rc`, writes the file when enabled, and returns
   // `rc` unchanged so mains can `return report.Finish(rc);`. Reports write
   // failures on stderr and turns them into a nonzero exit code.
@@ -60,6 +82,8 @@ class BenchReport {
  private:
   std::string name_;
   std::string path_;  // empty: reporting disabled
+  int threads_;
+  bool quick_ = false;
   Json root_;
 };
 

@@ -3,9 +3,12 @@
 // fracturing behaviour of §7 / Figure 12, plus the proposed mitigation as an
 // ablation.
 #include <cstdio>
+#include <functional>
 #include <utility>
+#include <vector>
 
 #include "bench/report.h"
+#include "src/exec/sweep.h"
 #include "src/workloads/fracture.h"
 
 namespace tlbsim {
@@ -47,7 +50,6 @@ int main(int argc, char** argv) {
   std::printf("# behaves like a full flush (paper: 102M vs 102M on that row).\n\n");
   std::printf("%-11s %-8s %-8s %12s %16s %14s\n", "", "Host pg", "Guest pg", "Full Flush",
               "Selective Flush", "forced-full");
-  int rc = 0;
   struct Row {
     PageSize host;
     PageSize guest;
@@ -58,10 +60,30 @@ int main(int argc, char** argv) {
       {PageSize::k2M, PageSize::k4K},
       {PageSize::k2M, PageSize::k2M},
   };
-  Json fracture_metrics;
+
+  // Jobs in the sequential measurement order: (full, selective) per VM row,
+  // then per bare-metal size, then the §7 mitigation ablation last.
+  std::vector<std::function<FractureResult()>> jobs;
   for (const Row& row : rows) {
-    FractureResult full = Run(true, row.host, row.guest, false);
-    FractureResult sel = Run(true, row.host, row.guest, true);
+    jobs.emplace_back([row] { return Run(true, row.host, row.guest, false); });
+    jobs.emplace_back([row] { return Run(true, row.host, row.guest, true); });
+  }
+  for (PageSize host : {PageSize::k4K, PageSize::k2M}) {
+    jobs.emplace_back([host] { return Run(false, host, host, false); });
+    jobs.emplace_back([host] { return Run(false, host, host, true); });
+  }
+  jobs.emplace_back([] {
+    return Run(true, PageSize::k4K, PageSize::k2M, true, /*mitigated=*/true);
+  });
+  SweepRunner runner(report.threads());
+  std::vector<FractureResult> results = runner.Run(std::move(jobs));
+
+  int rc = 0;
+  Json fracture_metrics;
+  size_t next = 0;
+  for (const Row& row : rows) {
+    FractureResult& full = results[next++];
+    FractureResult& sel = results[next++];
     std::printf("%-11s %-8s %-8s %12llu %16llu %14llu\n", "VM", Sz(row.host), Sz(row.guest),
                 static_cast<unsigned long long>(full.dtlb_misses),
                 static_cast<unsigned long long>(sel.dtlb_misses),
@@ -82,8 +104,8 @@ int main(int argc, char** argv) {
     }
   }
   for (PageSize host : {PageSize::k4K, PageSize::k2M}) {
-    FractureResult full = Run(false, host, host, false);
-    FractureResult sel = Run(false, host, host, true);
+    FractureResult& full = results[next++];
+    FractureResult& sel = results[next++];
     std::printf("%-11s %-8s %-8s %12llu %16llu %14llu\n", "Bare-Metal", Sz(host), "-",
                 static_cast<unsigned long long>(full.dtlb_misses),
                 static_cast<unsigned long long>(sel.dtlb_misses),
@@ -93,7 +115,7 @@ int main(int argc, char** argv) {
 
   // §7 mitigation ablation: with the ISA/paravirtual fix, the fracturing row
   // keeps its selective flushes selective.
-  FractureResult fixed = Run(true, PageSize::k4K, PageSize::k2M, true, /*mitigated=*/true);
+  FractureResult& fixed = results[next++];
   std::printf("\n# With the proposed mitigation (no fracture degrade): selective on the\n");
   std::printf("# fracturing configuration drops to %llu misses.\n",
               static_cast<unsigned long long>(fixed.dtlb_misses));
@@ -102,5 +124,6 @@ int main(int argc, char** argv) {
   report.Set("mitigation", std::move(mitigation));
   // Machine-level snapshot from the fracturing VM row's selective run.
   report.Set("metrics", std::move(fracture_metrics));
+  report.SetHost(runner);
   return report.Finish(rc);
 }

@@ -48,6 +48,29 @@ def fail(path, msg):
     return 1
 
 
+def check_histograms(path, node, where=""):
+    """Recursively reject histograms that dropped samples. The decimating
+    reservoir keeps percentiles meaningful up to a ~4G-arrival stride
+    ceiling; dropped_samples > 0 means a workload blew past it and the
+    percentile fields silently describe a truncated prefix of the run.
+    """
+    rc = 0
+    if isinstance(node, dict):
+        dropped = node.get("dropped_samples")
+        if isinstance(dropped, (int, float)) and dropped > 0:
+            rc |= fail(
+                path,
+                f"histogram {where or '<root>'} dropped {int(dropped)} samples;"
+                " its percentiles no longer describe the whole run",
+            )
+        for key, child in node.items():
+            rc |= check_histograms(path, child, f"{where}.{key}" if where else key)
+    elif isinstance(node, list):
+        for i, child in enumerate(node):
+            rc |= check_histograms(path, child, f"{where}[{i}]")
+    return rc
+
+
 def check_sim_throughput(path, doc):
     """Self-benchmark gate: the simulator must actually move, and the engine
     hot path must be allocation-free in steady state (the whole point of the
@@ -95,6 +118,7 @@ def check(path):
         rc |= fail(path, f'unexpected schema_version {doc.get("schema_version")!r}')
     if doc.get("status") != "pass":
         rc |= fail(path, f'status is {doc.get("status")!r}, expected "pass"')
+    rc |= check_histograms(path, doc.get("metrics", {}).get("histograms", {}))
 
     if name == "sim_throughput":
         return rc | check_sim_throughput(path, doc)

@@ -1,8 +1,19 @@
 #!/bin/sh
 # Build, test, and regenerate every paper table/figure. JSON snapshots of
 # each bench (BENCH_<name>.json) are collected under results/.
+#
+# Usage: run_all.sh [--quick]
+#   --quick  reduced seed/run counts in the sweep benches — faster local
+#            iteration, same table shapes.
 set -e
 cd "$(dirname "$0")/.."
+quick=""
+for arg in "$@"; do
+  case "$arg" in
+    --quick) quick="--quick" ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
 # Pick Ninja only when configuring fresh: an already-configured build dir
 # keeps its generator (re-running with -G on it is a CMake error).
 if [ ! -f build/CMakeCache.txt ] && command -v ninja >/dev/null 2>&1; then
@@ -10,16 +21,19 @@ if [ ! -f build/CMakeCache.txt ] && command -v ninja >/dev/null 2>&1; then
 else
   cmake -B build -S .
 fi
-cmake --build build -j "$(nproc 2>/dev/null || echo 4)"
+nproc_val="$(nproc 2>/dev/null || echo 4)"
+cmake --build build -j "$nproc_val"
 ctest --test-dir build --output-on-failure
 mkdir -p results
 for b in build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] || continue
   case "$(basename "$b")" in
-    prim_ops) json_args="" ;;  # google-benchmark harness owns its CLI
-    *) json_args="--json results/" ;;
+    prim_ops) bench_args="" ;;  # google-benchmark harness owns its CLI
+    # Sweep-shaped benches fan out across host threads (BenchReport ignores
+    # flags a bench doesn't use, so passing them generically is safe).
+    *) bench_args="--json results/ --threads $nproc_val $quick" ;;
   esac
   echo "===== $b ====="
   # shellcheck disable=SC2086
-  "$b" $json_args
+  "$b" $bench_args
 done

@@ -143,7 +143,7 @@ Co<void> ShootdownEngine::LocalFlushAll(SimCpu& cpu, MmStruct& mm,
 
 Co<void> ShootdownEngine::DoShootdown(SimCpu& cpu, MmStruct& mm, std::vector<FlushTlbInfo> infos) {
   assert(!infos.empty());
-  ScopedCycleTimer timer(h_initiator_cycles_, [&cpu] { return cpu.now(); });
+  ScopedCycleTimer timer(h_initiator_cycles_, &cpu);
   c_initiated_->Inc(cpu.id());
   const CostModel& costs = kernel_->machine().costs();
   cpu.TracePhase("initiator: flush dispatch");
@@ -400,7 +400,7 @@ Co<void> ShootdownEngine::OnSwitchIn(SimCpu& cpu, MmStruct& mm) {
 }
 
 Co<void> ShootdownEngine::HandleFlushIrq(SimCpu& cpu) {
-  ScopedCycleTimer timer(h_flush_irq_cycles_, [&cpu] { return cpu.now(); });
+  ScopedCycleTimer timer(h_flush_irq_cycles_, &cpu);
   c_flush_irqs_->Inc(cpu.id());
   const CostModel& costs = kernel_->machine().costs();
   PerCpu& pc = kernel_->percpu(cpu.id());

@@ -1,0 +1,59 @@
+#include "src/exec/sweep.h"
+
+namespace tlbsim {
+
+SweepRunner::SweepRunner(int threads) : threads_(threads < 1 ? 1 : threads) {}
+
+SweepRunner::~SweepRunner() = default;
+
+ThreadPool* SweepRunner::EnsurePool() {
+  // The calling thread helps from AwaitAll(), so N requested threads means
+  // N-1 pool workers + the caller.
+  if (!pool_) {
+    pool_ = std::make_unique<ThreadPool>(threads_ - 1);
+  }
+  return pool_.get();
+}
+
+void SweepRunner::AwaitAll(Fanin* fanin, size_t n) {
+  for (;;) {
+    // Help: execute queued jobs (this sweep's or a concurrent nested one)
+    // on this thread instead of blocking — the no-deadlock guarantee.
+    while (pool_->RunOneTask()) {
+    }
+    std::unique_lock<std::mutex> lk(fanin->mu);
+    if (fanin->done == n) {
+      return;
+    }
+    fanin->cv.wait_for(lk, std::chrono::milliseconds(1),
+                       [fanin, n] { return fanin->done == n; });
+    if (fanin->done == n) {
+      return;
+    }
+  }
+}
+
+void SweepRunner::Account(size_t jobs, double wall_seconds, double job_seconds) {
+  std::lock_guard<std::mutex> lk(stats_mu_);
+  stats_.threads = threads_;
+  stats_.jobs += jobs;
+  stats_.wall_seconds += wall_seconds;
+  stats_.job_seconds += job_seconds;
+}
+
+Json SweepRunner::HostJson() const {
+  SweepStats s;
+  {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    s = stats_;
+  }
+  Json h = Json::Object();
+  h["threads"] = s.threads;
+  h["jobs"] = s.jobs;
+  h["wall_seconds"] = s.wall_seconds;
+  h["job_seconds"] = s.job_seconds;
+  h["parallel_speedup"] = s.speedup();
+  return h;
+}
+
+}  // namespace tlbsim

@@ -1,0 +1,162 @@
+#include "src/exec/thread_pool.h"
+
+#include <chrono>
+#include <memory>
+#include <utility>
+
+namespace tlbsim {
+
+namespace {
+
+// Which pool (if any) owns the current thread, and its worker index there.
+// Lets Submit() route a worker's nested submissions to its own deque and
+// RunOneTask() start the steal scan at the right slot.
+thread_local ThreadPool* tl_pool = nullptr;
+thread_local int tl_worker = -1;
+
+}  // namespace
+
+int ThreadPool::DefaultThreadCount() {
+  unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+ThreadPool::ThreadPool(int workers) {
+  if (workers < 0) {
+    workers = 0;
+  }
+  queues_.reserve(static_cast<size_t>(workers) + 1);
+  for (int i = 0; i <= workers; ++i) {
+    queues_.push_back(std::make_unique<Queue>());
+  }
+  threads_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  Drain();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+}
+
+void ThreadPool::Submit(InlineFn task) {
+  size_t qi;
+  if (tl_pool == this && tl_worker >= 0) {
+    qi = static_cast<size_t>(tl_worker);  // nested submission: own deque
+  } else if (threads_.empty()) {
+    qi = 0;  // no workers: everything lands in the overflow slot
+  } else {
+    std::lock_guard<std::mutex> lk(mu_);
+    qi = next_submit_++ % threads_.size();
+  }
+  {
+    Queue& q = *queues_[qi];
+    std::lock_guard<std::mutex> lk(q.mu);
+    q.tasks.push_back(std::move(task));
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++unfinished_;
+    ++queued_;
+  }
+  work_ready_.notify_one();
+}
+
+bool ThreadPool::PopTask(int self, InlineFn* out) {
+  bool found = false;
+  {
+    // Own deque first, oldest task first.
+    Queue& q = *queues_[static_cast<size_t>(self)];
+    std::lock_guard<std::mutex> lk(q.mu);
+    if (!q.tasks.empty()) {
+      *out = std::move(q.tasks.front());
+      q.tasks.pop_front();
+      found = true;
+    }
+  }
+  for (size_t i = 1; !found && i < queues_.size(); ++i) {
+    // Steal from the opposite end of a victim's deque.
+    Queue& q = *queues_[(static_cast<size_t>(self) + i) % queues_.size()];
+    std::lock_guard<std::mutex> lk(q.mu);
+    if (!q.tasks.empty()) {
+      *out = std::move(q.tasks.back());
+      q.tasks.pop_back();
+      found = true;
+    }
+  }
+  if (!found) {
+    return false;
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  --queued_;
+  return true;
+}
+
+void ThreadPool::RunTask(InlineFn task) {
+  // Contract: tasks do not throw. SweepRunner wraps every job in a
+  // catch-all; a throwing raw Submit() task would strand unfinished_.
+  task();
+  std::lock_guard<std::mutex> lk(mu_);
+  if (--unfinished_ == 0) {
+    all_done_.notify_all();
+  }
+}
+
+void ThreadPool::WorkerLoop(int self) {
+  tl_pool = this;
+  tl_worker = self;
+  for (;;) {
+    InlineFn task;
+    if (PopTask(self, &task)) {
+      RunTask(std::move(task));
+      continue;
+    }
+    std::unique_lock<std::mutex> lk(mu_);
+    work_ready_.wait(lk, [this] { return stop_ || queued_ > 0; });
+    if (stop_ && queued_ == 0) {
+      return;
+    }
+  }
+}
+
+bool ThreadPool::RunOneTask() {
+  int self = (tl_pool == this && tl_worker >= 0) ? tl_worker : workers();
+  InlineFn task;
+  if (!PopTask(self, &task)) {
+    return false;
+  }
+  RunTask(std::move(task));
+  return true;
+}
+
+size_t ThreadPool::pending() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return unfinished_;
+}
+
+void ThreadPool::Drain() {
+  for (;;) {
+    while (RunOneTask()) {
+    }
+    std::unique_lock<std::mutex> lk(mu_);
+    if (unfinished_ == 0) {
+      return;
+    }
+    // In-flight tasks may submit more work; wake periodically to help.
+    all_done_.wait_for(lk, std::chrono::milliseconds(1),
+                       [this] { return unfinished_ == 0 || queued_ > 0; });
+    if (unfinished_ == 0) {
+      return;
+    }
+  }
+}
+
+}  // namespace tlbsim

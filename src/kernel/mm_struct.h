@@ -18,6 +18,12 @@ inline constexpr int kMaxCpus = 64;
 struct MmStruct {
   MmStruct(uint64_t id, Engine* engine, CoherenceModel* coherence)
       : id(id),
+        // Root id derived from the kernel-scoped mm id, not the global
+        // PageTable counter: the id reaches coherence-line addresses
+        // (kernel.cc LineOf), so it must not depend on how many simulations
+        // this process ran before — sweep jobs execute in any order on any
+        // host thread and must still replay identically.
+        pt(id + 1),
         // PCIDs 0/1 are reserved for the init/idle address space.
         kernel_pcid(static_cast<uint16_t>(2 + (id * 2) % 1022)),
         user_pcid(static_cast<uint16_t>(2 + (id * 2 + 1) % 1022)),

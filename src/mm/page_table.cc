@@ -1,13 +1,18 @@
 #include "src/mm/page_table.h"
 
+#include <atomic>
 #include <cassert>
 
 namespace tlbsim {
 
 namespace {
 uint64_t NextRootId() {
-  static uint64_t next = 1;
-  return next++;
+  // Atomic: page tables are constructed concurrently when a sweep fans
+  // simulation jobs across host threads (src/exec/sweep.h). Ids handed out
+  // here are only uniqueness tokens — anything deterministic derives from
+  // the explicit-id constructor instead.
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
 }
 
 // Virtual-address span covered by one entry at `level`.
@@ -15,6 +20,8 @@ constexpr uint64_t SpanAt(int level) { return 1ULL << (kPageShift + kPtIndexBits
 }  // namespace
 
 PageTable::PageTable() : root_(std::make_unique<Node>()), root_id_(NextRootId()) {}
+
+PageTable::PageTable(uint64_t root_id) : root_(std::make_unique<Node>()), root_id_(root_id) {}
 
 PageTable::Node* PageTable::NodeFor(uint64_t va, PageSize size, bool create) {
   int leaf_level = size == PageSize::k4K ? 0 : 1;

@@ -19,7 +19,13 @@ namespace tlbsim {
 
 class PageTable {
  public:
+  // Draws root_id from a process-wide counter — fine for standalone tables
+  // (tests, EPT pairs) whose id never feeds simulated state.
   PageTable();
+  // Deterministic root id, required for tables whose id reaches simulated
+  // quantities (MmStruct derives coherence-line addresses from it): parallel
+  // sweep jobs must not observe a cross-job allocation order.
+  explicit PageTable(uint64_t root_id);
   PageTable(const PageTable&) = delete;
   PageTable& operator=(const PageTable&) = delete;
 

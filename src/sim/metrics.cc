@@ -1,6 +1,23 @@
 #include "src/sim/metrics.h"
 
+#include <algorithm>
+
 namespace tlbsim {
+
+double Histogram::Percentile(double p) const {
+  if (reservoir_.empty()) {
+    return 0.0;
+  }
+  // Copy-and-sort keeps Record()'s arrival order intact (decimation depends
+  // on it); the reservoir is at most kMaxSamples doubles.
+  std::vector<double> sorted(reservoir_);
+  std::sort(sorted.begin(), sorted.end());
+  double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  auto lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
 
 Json Histogram::ToJson() const {
   Json h = Json::Object();
@@ -13,10 +30,16 @@ Json Histogram::ToJson() const {
   h["p50"] = Percentile(50);
   h["p90"] = Percentile(90);
   h["p99"] = Percentile(99);
+  if (stride_ > 1) {
+    // Percentiles above come from every stride-th observation; moments
+    // (count/mean/stddev/min/max/sum) remain exact.
+    h["percentile_samples"] = static_cast<uint64_t>(reservoir_.size());
+    h["percentile_stride"] = stride_;
+  }
   if (dropped_ > 0) {
-    // Percentiles above are from the first kMaxSamples observations only;
-    // moments (count/mean/stddev/min/max/sum) remain exact.
-    h["percentile_samples"] = static_cast<uint64_t>(kMaxSamples);
+    // Only reachable past the stride ceiling: percentiles no longer cover
+    // the stream's tail. check_bench_json.py fails reports carrying this.
+    h["dropped_samples"] = dropped_;
   }
   return h;
 }

@@ -89,18 +89,44 @@ class PerCpuCounter {
 
 // Histogram over doubles (typically virtual cycles): exact count/mean/stddev/
 // min/max via RunningStat for every sample; percentiles from a deterministic
-// first-N reservoir.
+// decimating reservoir.
+//
+// The reservoir keeps every stride-th arrival. When it fills, it discards
+// every other retained sample and doubles the stride, so the kept set always
+// spans the whole stream (systematic sampling) instead of just its first
+// kMaxSamples observations — a first-N reservoir silently biases percentiles
+// on long runs (CI now rejects reports with dropped_samples > 0, see
+// scripts/check_bench_json.py). Decimation is purely arrival-indexed, hence
+// byte-identical across reruns and thread counts. Samples are dropped (and
+// counted) only past the stride ceiling, ~2^32 recordings.
 class Histogram {
  public:
   static constexpr size_t kMaxSamples = 4096;
+  static constexpr uint64_t kMaxStride = 1ULL << 20;
 
   void Record(double x) {
     stat_.Add(x);
-    if (samples_.size() < kMaxSamples) {
-      samples_.Add(x);
-    } else {
-      ++dropped_;
+    uint64_t idx = arrivals_++;
+    if (idx % stride_ != 0) {
+      return;
     }
+    if (reservoir_.size() >= kMaxSamples) {
+      if (stride_ >= kMaxStride) {
+        ++dropped_;
+        return;
+      }
+      // Keep arrivals = 0 (mod 2*stride): the even reservoir positions.
+      size_t keep = 0;
+      for (size_t i = 0; i < reservoir_.size(); i += 2) {
+        reservoir_[keep++] = reservoir_[i];
+      }
+      reservoir_.resize(keep);
+      stride_ *= 2;
+      if (idx % stride_ != 0) {
+        return;
+      }
+    }
+    reservoir_.push_back(x);
   }
 
   uint64_t count() const { return stat_.count(); }
@@ -109,39 +135,61 @@ class Histogram {
   double min() const { return stat_.min(); }
   double max() const { return stat_.max(); }
   double sum() const { return stat_.sum(); }
-  double Percentile(double p) const { return samples_.Percentile(p); }
+  double Percentile(double p) const;
+  // Samples recorded but unrepresented in the percentile reservoir. Stays 0
+  // until the stride ceiling; any positive value means biased percentiles.
   uint64_t dropped_samples() const { return dropped_; }
+  uint64_t percentile_stride() const { return stride_; }
+  size_t percentile_samples() const { return reservoir_.size(); }
 
   Json ToJson() const;
   void Reset() {
     stat_.Reset();
-    samples_.Clear();
+    reservoir_.clear();
+    arrivals_ = 0;
+    stride_ = 1;
     dropped_ = 0;
   }
 
  private:
   RunningStat stat_;
-  mutable Samples samples_;  // Percentile() sorts lazily
+  std::vector<double> reservoir_;  // arrivals = 0 (mod stride_), in order
+  uint64_t arrivals_ = 0;
+  uint64_t stride_ = 1;
   uint64_t dropped_ = 0;
 };
 
-// Records `now() - start` into a histogram when destroyed. `now` must return
-// a virtual clock (e.g. the owning SimCpu's local time), never host time.
+// Records `now() - start` into a histogram when destroyed. The clock must be
+// a virtual one (e.g. the owning SimCpu's local time), never host time.
+//
+// The clock is captured as a plain function pointer plus a context pointer —
+// not std::function, whose capture can hit the allocator. Timers sit at the
+// top of protocol coroutines on the hot path; constructing one must cost two
+// stores and a clock read, nothing more.
 class ScopedCycleTimer {
  public:
-  ScopedCycleTimer(Histogram* hist, std::function<Cycles()> now)
-      : hist_(hist), now_(std::move(now)), start_(now_ ? now_() : 0) {}
+  // `clock` is any object with a `Cycles now() const` method (SimCpu, or a
+  // test fixture); it must outlive the timer. Null disables the timer.
+  template <typename C>
+  ScopedCycleTimer(Histogram* hist, const C* clock)
+      : hist_(hist),
+        clock_(clock),
+        now_(clock == nullptr
+                 ? nullptr
+                 : +[](const void* c) { return static_cast<const C*>(c)->now(); }),
+        start_(clock == nullptr ? 0 : clock->now()) {}
   ScopedCycleTimer(const ScopedCycleTimer&) = delete;
   ScopedCycleTimer& operator=(const ScopedCycleTimer&) = delete;
   ~ScopedCycleTimer() {
-    if (hist_ != nullptr && now_) {
-      hist_->Record(static_cast<double>(now_() - start_));
+    if (hist_ != nullptr && now_ != nullptr) {
+      hist_->Record(static_cast<double>(now_(clock_) - start_));
     }
   }
 
  private:
   Histogram* hist_;
-  std::function<Cycles()> now_;
+  const void* clock_;
+  Cycles (*now_)(const void*);
   Cycles start_;
 };
 

@@ -1,0 +1,188 @@
+// Tests for the host-side sweep executor (src/exec): ThreadPool work
+// distribution, SweepRunner ordering/exception/nesting semantics, and the
+// contract the converted benches rely on — results independent of the host
+// thread count.
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/exec/sweep.h"
+#include "src/exec/thread_pool.h"
+#include "src/workloads/microbench.h"
+
+namespace tlbsim {
+namespace {
+
+TEST(ThreadPoolTest, DefaultThreadCountIsPositive) {
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1);
+}
+
+TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.Drain();
+    EXPECT_EQ(pool.pending(), 0u);
+  }
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ZeroWorkersRunsTasksOnCallingThread) {
+  ThreadPool pool(0);
+  int count = 0;
+  for (int i = 0; i < 5; ++i) {
+    pool.Submit([&count] { ++count; });
+  }
+  while (pool.RunOneTask()) {
+  }
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(pool.pending(), 0u);
+  EXPECT_FALSE(pool.RunOneTask());
+}
+
+TEST(ThreadPoolTest, NestedSubmissionIsDrained) {
+  std::atomic<int> count{0};
+  ThreadPool pool(2);
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&pool, &count] {
+      count.fetch_add(1, std::memory_order_relaxed);
+      pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    });
+  }
+  pool.Drain();
+  EXPECT_EQ(count.load(), 16);
+}
+
+TEST(SweepRunnerTest, ReturnsResultsInSubmissionOrder) {
+  // Later jobs sleep less, so under 4 threads they *finish* out of order;
+  // Run() must still hand results back in submission order.
+  const int n = 24;
+  std::vector<std::function<int()>> jobs;
+  for (int i = 0; i < n; ++i) {
+    jobs.emplace_back([i] {
+      std::this_thread::sleep_for(std::chrono::microseconds(200 * (n - i)));
+      return i;
+    });
+  }
+  SweepRunner runner(4);
+  std::vector<int> results = runner.Run(std::move(jobs));
+  ASSERT_EQ(results.size(), static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(results[static_cast<size_t>(i)], i);
+  }
+  EXPECT_EQ(runner.stats().jobs, static_cast<uint64_t>(n));
+  EXPECT_GT(runner.stats().job_seconds, 0.0);
+}
+
+TEST(SweepRunnerTest, SequentialAndParallelAgree) {
+  auto make_jobs = [] {
+    std::vector<std::function<uint64_t()>> jobs;
+    for (uint64_t i = 0; i < 16; ++i) {
+      jobs.emplace_back([i] { return i * i + 7; });
+    }
+    return jobs;
+  };
+  SweepRunner seq(1);
+  SweepRunner par(4);
+  EXPECT_EQ(seq.Run(make_jobs()), par.Run(make_jobs()));
+}
+
+TEST(SweepRunnerTest, RethrowsLowestIndexException) {
+  std::vector<std::function<int()>> jobs;
+  for (int i = 0; i < 8; ++i) {
+    jobs.emplace_back([i]() -> int {
+      if (i == 2 || i == 5) {
+        throw std::runtime_error("job " + std::to_string(i));
+      }
+      return i;
+    });
+  }
+  SweepRunner runner(4);
+  try {
+    runner.Run(std::move(jobs));
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "job 2");
+  }
+}
+
+TEST(SweepRunnerTest, NestedRunOnSameRunnerDoesNotDeadlock) {
+  SweepRunner runner(2);
+  std::vector<std::function<int()>> outer;
+  for (int i = 0; i < 2; ++i) {
+    outer.emplace_back([&runner, i] {
+      std::vector<std::function<int()>> inner;
+      for (int j = 0; j < 4; ++j) {
+        inner.emplace_back([i, j] { return 10 * i + j; });
+      }
+      std::vector<int> r = runner.Run(std::move(inner));
+      int sum = 0;
+      for (int v : r) {
+        sum += v;
+      }
+      return sum;
+    });
+  }
+  std::vector<int> results = runner.Run(std::move(outer));
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0], 0 + 1 + 2 + 3);
+  EXPECT_EQ(results[1], 10 + 11 + 12 + 13);
+}
+
+TEST(SweepRunnerTest, HostJsonReportsAccumulatedStats) {
+  SweepRunner runner(2);
+  std::vector<std::function<int()>> jobs;
+  for (int i = 0; i < 6; ++i) {
+    jobs.emplace_back([i] { return i; });
+  }
+  (void)runner.Run(std::move(jobs));
+  Json host = runner.HostJson();
+  EXPECT_EQ(host["threads"].AsInt(), 2);
+  EXPECT_EQ(host["jobs"].AsInt(), 6);
+}
+
+// The bench contract: a sweep of real simulation jobs produces identical
+// results — including the full metrics-registry snapshot — regardless of
+// how many host threads execute it.
+TEST(SweepRunnerTest, SimulationSweepIsThreadCountInvariant) {
+  auto make_jobs = [] {
+    std::vector<std::function<MicroResult()>> jobs;
+    int i = 0;
+    for (Placement place : {Placement::kSameSocket, Placement::kOtherSocket}) {
+      for (int run = 0; run < 2; ++run, ++i) {
+        MicroConfig cfg;
+        cfg.pti = true;
+        cfg.opts = OptimizationSet::AllGeneral();
+        cfg.pages = 1;
+        cfg.placement = place;
+        cfg.iterations = 20;
+        cfg.seed = 100 + static_cast<uint64_t>(run);
+        jobs.emplace_back([cfg] { return RunMadviseMicrobench(cfg); });
+      }
+    }
+    return jobs;
+  };
+  SweepRunner seq(1);
+  SweepRunner par(4);
+  std::vector<MicroResult> a = seq.Run(make_jobs());
+  std::vector<MicroResult> b = par.Run(make_jobs());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].initiator.mean(), b[i].initiator.mean()) << "job " << i;
+    EXPECT_DOUBLE_EQ(a[i].responder_cycles_per_op, b[i].responder_cycles_per_op) << "job " << i;
+    EXPECT_EQ(a[i].shootdowns, b[i].shootdowns) << "job " << i;
+    EXPECT_EQ(a[i].metrics.Dump(), b[i].metrics.Dump()) << "job " << i;
+  }
+}
+
+}  // namespace
+}  // namespace tlbsim

@@ -116,29 +116,57 @@ TEST(MetricsTest, HistogramMomentsAndPercentiles) {
   ASSERT_NE(j.Find("p90"), nullptr);
 }
 
-TEST(MetricsTest, HistogramReservoirCapsDeterministically) {
+TEST(MetricsTest, HistogramReservoirDecimatesWithoutBias) {
   Histogram h;
-  const size_t n = Histogram::kMaxSamples + 500;
+  // 8x the reservoir capacity of strictly increasing values: a first-N
+  // reservoir would report p50 from the stream's first eighth; the
+  // decimating reservoir must track the full range.
+  const size_t n = 8 * Histogram::kMaxSamples;
   for (size_t i = 0; i < n; ++i) {
-    h.Record(1.0);
+    h.Record(static_cast<double>(i));
   }
   EXPECT_EQ(h.count(), n);
-  EXPECT_EQ(h.dropped_samples(), 500u);
+  EXPECT_EQ(h.dropped_samples(), 0u);  // decimated, not dropped
+  EXPECT_GT(h.percentile_stride(), 1u);
+  EXPECT_LE(h.percentile_samples(), Histogram::kMaxSamples);
+  EXPECT_NEAR(h.Percentile(50), static_cast<double>(n) / 2, static_cast<double>(n) * 0.01);
+  EXPECT_NEAR(h.Percentile(99), static_cast<double>(n) * 0.99, static_cast<double>(n) * 0.01);
   // Moments still see every sample.
-  EXPECT_DOUBLE_EQ(h.sum(), static_cast<double>(n));
+  EXPECT_DOUBLE_EQ(h.sum(), static_cast<double>(n) * (static_cast<double>(n) - 1) / 2);
+  // The JSON form discloses the decimation but carries no dropped_samples
+  // (the CI gate rejects reports with any).
+  Json j = h.ToJson();
+  ASSERT_NE(j.Find("percentile_stride"), nullptr);
+  EXPECT_EQ(j.Find("dropped_samples"), nullptr);
+}
+
+TEST(MetricsTest, HistogramDecimationIsArrivalDeterministic) {
+  Histogram a;
+  Histogram b;
+  for (size_t i = 0; i < 3 * Histogram::kMaxSamples; ++i) {
+    double x = static_cast<double>((i * 2654435761u) % 100000);
+    a.Record(x);
+    b.Record(x);
+  }
+  EXPECT_EQ(a.ToJson().Dump(), b.ToJson().Dump());
 }
 
 TEST(MetricsTest, ScopedCycleTimerRecordsVirtualDelta) {
+  struct FakeClock {
+    Cycles t = 0;
+    Cycles now() const { return t; }
+  };
   Histogram h;
-  Cycles clock = 100;
+  FakeClock clock{100};
   {
-    ScopedCycleTimer t(&h, [&clock] { return clock; });
-    clock = 350;
+    ScopedCycleTimer t(&h, &clock);
+    clock.t = 350;
   }
   EXPECT_EQ(h.count(), 1u);
   EXPECT_DOUBLE_EQ(h.mean(), 250.0);
   {
-    ScopedCycleTimer t(nullptr, {});  // null-safe: no histogram, no clock
+    // Null-safe: no histogram, no clock.
+    ScopedCycleTimer t(nullptr, static_cast<const FakeClock*>(nullptr));
   }
   EXPECT_EQ(h.count(), 1u);
 }
