@@ -5,6 +5,7 @@
 #include <fstream>
 #include <string_view>
 
+#include "src/check/check_context.h"
 #include "src/core/snapshot.h"
 
 namespace tlbsim {
@@ -60,7 +61,14 @@ BenchReport::BenchReport(const char* name, int argc, char** argv)
       threads_ = ParseThreads(arg.substr(10));
     } else if (arg == "--quick") {
       quick_ = true;
+    } else if (arg == "--check") {
+      check_ = true;
     }
+  }
+  if (check_) {
+    // Before any System exists: every simulation this process runs gets a
+    // CheckContext, publishing into the global sink Finish() drains.
+    EnableTlbCheckEverywhere();
   }
   root_ = Json::Object();
   root_["bench"] = name_;
@@ -82,6 +90,15 @@ void BenchReport::Snapshot(System& system, const char* key) {
 void BenchReport::Set(const char* key, Json value) { root_[key] = std::move(value); }
 
 int BenchReport::Finish(int rc) {
+  if (check_) {
+    root_["tlbcheck"] = GlobalTlbCheckReport();
+    uint64_t violations = GlobalTlbCheckViolationCount();
+    if (violations > 0 && rc == 0) {
+      std::fprintf(stderr, "BenchReport: tlbcheck found %llu violation(s)\n",
+                   static_cast<unsigned long long>(violations));
+      rc = 1;
+    }
+  }
   root_["status"] = rc == 0 ? "pass" : "fail";
   if (path_.empty()) {
     return rc;

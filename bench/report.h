@@ -19,6 +19,13 @@
 // `--quick` (reduced seed count for local iteration — changes the emitted
 // document, so CI never passes it).
 //
+// `--check` turns the tlbcheck analysis subsystem (src/check/) on for every
+// System the bench constructs: the stale-translation oracle, the protocol
+// invariant checker and lockdep all run inside the simulation. Finish()
+// embeds the accumulated violation report under root()["tlbcheck"] and
+// forces a nonzero exit code when any violation was found — this is the CI
+// gate that runs every paper configuration under checking.
+//
 // Canonical shape:
 //   {"bench": <name>, "schema_version": 1,
 //    "config": {...},            // bench-specific knobs (optional)
@@ -70,6 +77,9 @@ class BenchReport {
   // fast local iteration.
   bool quick() const { return quick_; }
 
+  // True when --check was passed (tlbcheck enabled for every System).
+  bool check() const { return check_; }
+
   // Embeds `runner`'s accumulated host-side stats (wall seconds, realized
   // speedup) under root()["host"] — the one non-deterministic section.
   void SetHost(const SweepRunner& runner) { root_["host"] = runner.HostJson(); }
@@ -84,6 +94,7 @@ class BenchReport {
   std::string path_;  // empty: reporting disabled
   int threads_;
   bool quick_ = false;
+  bool check_ = false;
   Json root_;
 };
 

@@ -7,7 +7,32 @@ namespace tlbsim {
 
 LineId CoherenceModel::AllocateLine(std::string name) {
   LineId id = next_named_++;
-  names_.emplace(id, std::move(name));
+  NameRec rec;
+  rec.custom = std::move(name);
+  named_.push_back(std::move(rec));
+  return id;
+}
+
+LineId CoherenceModel::AllocateLine(const char* prefix, uint64_t index, const char* suffix) {
+  LineId id = next_named_++;
+  NameRec rec;
+  rec.prefix = prefix;
+  rec.index = index;
+  rec.mid = suffix;
+  named_.push_back(std::move(rec));
+  return id;
+}
+
+LineId CoherenceModel::AllocateLine(const char* prefix, uint64_t index, const char* mid,
+                                    uint64_t index2, const char* suffix) {
+  LineId id = next_named_++;
+  NameRec rec;
+  rec.prefix = prefix;
+  rec.index = index;
+  rec.mid = mid;
+  rec.index2 = index2;
+  rec.suffix = suffix;
+  named_.push_back(std::move(rec));
   return id;
 }
 
@@ -135,7 +160,7 @@ Cycles CoherenceModel::Access(int cpu, LineId line, AccessType type) {
 
 void CoherenceModel::ResetStats() {
   global_ = GlobalStats{};
-  for (auto& [id, e] : lines_) {
+  for (auto& [id, e] : lines_) {  // det-ok: order-independent (zeroes every entry)
     e.stats = LineStats{};
   }
 }
@@ -145,10 +170,22 @@ CoherenceModel::LineStats CoherenceModel::StatsFor(LineId line) const {
   return it == lines_.end() ? LineStats{} : it->second.stats;
 }
 
-const std::string& CoherenceModel::NameOf(LineId line) const {
-  static const std::string kUnnamed = "<data>";
-  auto it = names_.find(line);
-  return it == names_.end() ? kUnnamed : it->second;
+std::string CoherenceModel::NameOf(LineId line) const {
+  if (line == 0 || line > named_.size()) {
+    return "<data>";
+  }
+  const NameRec& rec = named_[static_cast<size_t>(line - 1)];
+  if (rec.prefix == nullptr) {
+    return rec.custom;
+  }
+  std::string name = rec.prefix;
+  name += std::to_string(rec.index);
+  name += rec.mid;
+  if (rec.suffix != nullptr) {
+    name += std::to_string(rec.index2);
+    name += rec.suffix;
+  }
+  return name;
 }
 
 }  // namespace tlbsim

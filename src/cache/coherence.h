@@ -72,6 +72,15 @@ class CoherenceModel {
   // diagnostics / the Figure-4 harness).
   LineId AllocateLine(std::string name);
 
+  // Allocation-free variants for hot construction paths (per-mm and per-cpu
+  // objects are built inside sweep jobs, thousands of times per bench): the
+  // name is stored as {literal, index, literal[, index, literal]} pieces and
+  // only materialized if NameOf is actually called. The char* arguments must
+  // be string literals (or otherwise outlive the model).
+  LineId AllocateLine(const char* prefix, uint64_t index, const char* suffix);
+  LineId AllocateLine(const char* prefix, uint64_t index, const char* mid, uint64_t index2,
+                      const char* suffix);
+
   // Derives a LineId for a physical data address (separate id space from
   // named lines).
   static LineId LineOfAddress(uint64_t phys_addr) {
@@ -90,12 +99,25 @@ class CoherenceModel {
 
   // Per-line statistics (zero-initialized for untouched lines).
   LineStats StatsFor(LineId line) const;
-  const std::string& NameOf(LineId line) const;
+  // Diagnostic name of a named line ("<data>" for address-derived ids).
+  // Composed on demand — named lines store their name in pieces.
+  std::string NameOf(LineId line) const;
 
  private:
   struct Entry {
     LineState state;
     LineStats stats;
+  };
+
+  // Deferred name of one named line (see the AllocateLine overloads). Either
+  // `custom` is set, or the name is prefix + index + mid [+ index2 + suffix].
+  struct NameRec {
+    const char* prefix = nullptr;
+    uint64_t index = 0;
+    const char* mid = nullptr;
+    uint64_t index2 = 0;
+    const char* suffix = nullptr;
+    std::string custom;
   };
 
   // Distance from `cpu` to the nearest current holder of `e`.
@@ -105,7 +127,7 @@ class CoherenceModel {
   const Topology topo_;
   const CacheCosts costs_;
   std::unordered_map<LineId, Entry> lines_;
-  std::unordered_map<LineId, std::string> names_;
+  std::vector<NameRec> named_;  // indexed by LineId - 1 (named ids are dense)
   GlobalStats global_;
   LineId next_named_ = 1;
 };

@@ -1,0 +1,103 @@
+#include "src/check/lockdep.h"
+
+#include <algorithm>
+
+#include "src/hw/cpu.h"
+
+namespace tlbsim {
+
+int LockdepChecker::ClassOf(const char* name) {
+  auto [it, inserted] = class_ids_.emplace(name, static_cast<int>(classes_.size()));
+  if (inserted) {
+    ClassInfo info;
+    info.name = name;
+    classes_.push_back(std::move(info));
+    edges_.emplace_back();
+  }
+  return it->second;
+}
+
+bool LockdepChecker::Reaches(int from, int to, std::vector<int>* seen) const {
+  if (from == to) {
+    return true;
+  }
+  if (std::find(seen->begin(), seen->end(), from) != seen->end()) {
+    return false;
+  }
+  seen->push_back(from);
+  for (int next : edges_[static_cast<size_t>(from)]) {
+    if (Reaches(next, to, seen)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void LockdepChecker::Emit(SimCpu& cpu, ViolationKind kind, std::string detail) {
+  Violation v;
+  v.kind = kind;
+  v.time = cpu.now();
+  v.cpu = cpu.id();
+  v.detail = std::move(detail);
+  report_(ctx_, std::move(v));
+}
+
+void LockdepChecker::OnAcquire(SimCpu& cpu, const void* lock, const char* lock_class,
+                               bool exclusive) {
+  int cls = ClassOf(lock_class);
+  ClassInfo& info = classes_[static_cast<size_t>(cls)];
+  bool in_irq = cpu.in_irq() || cpu.in_nmi();
+  if (in_irq) {
+    info.acquired_in_irq = true;
+  }
+  if (cpu.irqs_enabled()) {
+    info.held_with_irqs_on = true;
+  }
+  if (info.acquired_in_irq && info.held_with_irqs_on && !info.irq_reported) {
+    // The class is taken from IRQ context, yet is (or was) held with IRQs
+    // enabled: an IRQ landing on the holder self-deadlocks.
+    info.irq_reported = true;
+    Emit(cpu, ViolationKind::kIrqUnsafeLock,
+         "lock class '" + info.name + "' acquired in IRQ context and held with IRQs enabled");
+  }
+
+  std::vector<Held>& stack = held_[cpu.id()];
+  for (const Held& h : stack) {
+    if (h.cls == cls) {
+      if (exclusive || h.exclusive) {
+        Emit(cpu, ViolationKind::kRecursiveLock,
+             "lock class '" + info.name + "' acquired while already held on cpu" +
+                 std::to_string(cpu.id()));
+      }
+      continue;  // shared/shared re-acquisition: permitted, adds no edge
+    }
+    // Order edge h.cls -> cls; first check whether the reverse order was
+    // already established (cls reaches h.cls through existing edges).
+    std::vector<int> seen;
+    if (Reaches(cls, h.cls, &seen)) {
+      Emit(cpu, ViolationKind::kLockOrderInversion,
+           "acquiring '" + info.name + "' while holding '" +
+               classes_[static_cast<size_t>(h.cls)].name + "' inverts the established order");
+    }
+    std::vector<int>& out = edges_[static_cast<size_t>(h.cls)];
+    if (std::find(out.begin(), out.end(), cls) == out.end()) {
+      out.push_back(cls);
+    }
+  }
+  stack.push_back(Held{cls, lock, exclusive, in_irq});
+}
+
+void LockdepChecker::OnRelease(SimCpu& cpu, const void* lock, const char* lock_class) {
+  (void)lock_class;
+  std::vector<Held>& stack = held_[cpu.id()];
+  // Release the most recent matching instance (locks may unlock out of
+  // LIFO order; rwsem readers do).
+  for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+    if (it->instance == lock) {
+      stack.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+}  // namespace tlbsim

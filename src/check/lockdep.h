@@ -1,0 +1,64 @@
+// Lockdep-style lock-order and IRQ-context checker for the mini-kernel's
+// locks (rwsem today; keyed by class name so future spinlocks join for free).
+//
+// Like Linux's lockdep it reasons over lock *classes*, not instances: every
+// observed "class A held while acquiring class B" adds an order edge A -> B,
+// and a cycle in the edge graph is a potential deadlock even if this run
+// never deadlocked. Two context rules ride along: a class acquired in IRQ
+// context must never be held with IRQs enabled (classic AB-IRQ deadlock),
+// and an exclusive acquisition of an already-held class is flagged as
+// recursion (shared/shared is permitted, like down_read twice).
+#ifndef TLBSIM_SRC_CHECK_LOCKDEP_H_
+#define TLBSIM_SRC_CHECK_LOCKDEP_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/check/violation.h"
+
+namespace tlbsim {
+
+class SimCpu;
+
+class LockdepChecker {
+ public:
+  // `report` receives each violation; deduplication happens in the caller.
+  using Report = void (*)(void* ctx, Violation v);
+  LockdepChecker(Report report, void* report_ctx) : report_(report), ctx_(report_ctx) {}
+
+  void OnAcquire(SimCpu& cpu, const void* lock, const char* lock_class, bool exclusive);
+  void OnRelease(SimCpu& cpu, const void* lock, const char* lock_class);
+
+ private:
+  struct Held {
+    int cls = -1;
+    const void* instance = nullptr;
+    bool exclusive = false;
+    bool in_irq = false;
+  };
+  struct ClassInfo {
+    std::string name;
+    bool acquired_in_irq = false;    // ever taken from IRQ context
+    bool held_with_irqs_on = false;  // ever held while IRQs were enabled
+    bool irq_reported = false;       // one kIrqUnsafeLock per class
+  };
+
+  int ClassOf(const char* name);
+  // DFS over order edges: is `to` reachable from `from`?
+  bool Reaches(int from, int to, std::vector<int>* seen) const;
+  void Emit(SimCpu& cpu, ViolationKind kind, std::string detail);
+
+  Report report_;
+  void* ctx_;
+  std::map<std::string, int> class_ids_;
+  std::vector<ClassInfo> classes_;
+  // Order edges: edges_[a] holds every class observed acquired while a held.
+  std::vector<std::vector<int>> edges_;
+  std::map<int, std::vector<Held>> held_;  // per-CPU held stack
+};
+
+}  // namespace tlbsim
+
+#endif  // TLBSIM_SRC_CHECK_LOCKDEP_H_

@@ -1,0 +1,48 @@
+// Fixed-width vector clocks over simulated CPUs, tracking the happens-before
+// order of protocol events (PTE write -> tlb_gen bump -> IPI -> ack -> local
+// flush). The single-threaded cooperative engine gives tlbcheck a consistent
+// global view at every hook, so the clocks are *evidence*, not the decision
+// procedure: the oracle decides staleness from the generation protocol and
+// reports `hb_established` from the clocks alongside.
+#ifndef TLBSIM_SRC_CHECK_VECTOR_CLOCK_H_
+#define TLBSIM_SRC_CHECK_VECTOR_CLOCK_H_
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+
+#include "src/kernel/mm_struct.h"  // kMaxCpus
+
+namespace tlbsim {
+
+class VectorClock {
+ public:
+  void Tick(int cpu) { ++c_[static_cast<size_t>(cpu)]; }
+
+  uint64_t At(int cpu) const { return c_[static_cast<size_t>(cpu)]; }
+
+  // Pointwise max (join): this clock now dominates `other` too.
+  void Join(const VectorClock& other) {
+    for (size_t i = 0; i < c_.size(); ++i) {
+      c_[i] = std::max(c_[i], other.c_[i]);
+    }
+  }
+
+  // True if every component of this clock is >= `other`'s: everything
+  // `other` had seen happens-before (or equals) this clock's frontier.
+  bool Dominates(const VectorClock& other) const {
+    for (size_t i = 0; i < c_.size(); ++i) {
+      if (c_[i] < other.c_[i]) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  std::array<uint64_t, kMaxCpus> c_{};
+};
+
+}  // namespace tlbsim
+
+#endif  // TLBSIM_SRC_CHECK_VECTOR_CLOCK_H_

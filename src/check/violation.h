@@ -1,0 +1,94 @@
+// Violation records produced by the tlbcheck checkers (src/check/).
+#ifndef TLBSIM_SRC_CHECK_VIOLATION_H_
+#define TLBSIM_SRC_CHECK_VIOLATION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/sim/json.h"
+#include "src/sim/time.h"
+
+namespace tlbsim {
+
+enum class ViolationKind {
+  // Stale-translation oracle: a CPU consumed a TLB entry predating an
+  // incompatible PTE write whose flush generation it had already applied.
+  kLostFlush,
+  // Invariant: a completed shootdown left a non-lazy CPU in mm_cpumask with a
+  // loaded generation older than the shootdown's.
+  kShootdownLeftStaleCpu,
+  // Invariant: mm->context.tlb_gen published non-monotonically.
+  kNonMonotoneGen,
+  // Invariant: early ack (§3.2) without the unfinished_flushes guard.
+  kEarlyAckUnguarded,
+  // Invariant: PTI full flush did not pair the kernel-PCID flush with
+  // user-PCID coverage (flush or deferred-flush marking).
+  kPtiPairingMissing,
+  // Invariant: CoW avoidance (§4.1) applied where the paper forbids it
+  // (executable mapping / writable stale entry left behind).
+  kCowUnsafeAvoidance,
+  // Lockdep: acquisition order contradicts an established order edge.
+  kLockOrderInversion,
+  // Lockdep: same lock class acquired twice on one CPU (exclusively).
+  kRecursiveLock,
+  // Lockdep: lock class used both in and outside IRQ context with IRQs on.
+  kIrqUnsafeLock,
+};
+
+inline const char* ViolationKindName(ViolationKind k) {
+  switch (k) {
+    case ViolationKind::kLostFlush:
+      return "lost_flush";
+    case ViolationKind::kShootdownLeftStaleCpu:
+      return "shootdown_left_stale_cpu";
+    case ViolationKind::kNonMonotoneGen:
+      return "non_monotone_tlb_gen";
+    case ViolationKind::kEarlyAckUnguarded:
+      return "early_ack_unguarded";
+    case ViolationKind::kPtiPairingMissing:
+      return "pti_pairing_missing";
+    case ViolationKind::kCowUnsafeAvoidance:
+      return "cow_unsafe_avoidance";
+    case ViolationKind::kLockOrderInversion:
+      return "lock_order_inversion";
+    case ViolationKind::kRecursiveLock:
+      return "recursive_lock";
+    case ViolationKind::kIrqUnsafeLock:
+      return "irq_unsafe_lock";
+  }
+  return "unknown";
+}
+
+struct Violation {
+  ViolationKind kind = ViolationKind::kLostFlush;
+  Cycles time = 0;  // consuming CPU's local virtual time
+  int cpu = -1;
+  uint64_t mm_id = 0;
+  uint64_t va = 0;
+  uint16_t pcid = 0;
+  uint64_t write_gen = 0;    // generation covering the offending PTE write
+  uint64_t applied_gen = 0;  // generation the CPU had applied at detection
+  // Whether the vector clocks prove the write happened-before the consuming
+  // access (supporting evidence; the decision is generation-based).
+  bool hb_established = false;
+  std::string detail;
+
+  Json ToJson() const {
+    Json j = Json::Object();
+    j["kind"] = ViolationKindName(kind);
+    j["time"] = static_cast<uint64_t>(time);
+    j["cpu"] = static_cast<int64_t>(cpu);
+    j["mm"] = mm_id;
+    j["va"] = va;
+    j["pcid"] = static_cast<uint64_t>(pcid);
+    j["write_gen"] = write_gen;
+    j["applied_gen"] = applied_gen;
+    j["hb_established"] = hb_established;
+    j["detail"] = detail;
+    return j;
+  }
+};
+
+}  // namespace tlbsim
+
+#endif  // TLBSIM_SRC_CHECK_VIOLATION_H_

@@ -1,0 +1,40 @@
+// Deliberate protocol faults for validating the tlbcheck subsystem
+// (tests/tlbcheck_test.cc). Each flag breaks exactly one link in the
+// PTE-write -> gen-bump -> IPI -> ack -> flush chain; the corresponding
+// checker must report exactly one classified violation. All flags default to
+// off and are never set outside tests.
+#ifndef TLBSIM_SRC_CORE_FAULT_INJECTION_H_
+#define TLBSIM_SRC_CORE_FAULT_INJECTION_H_
+
+namespace tlbsim {
+
+struct FaultInjection {
+  // Responder receives the flush IPI, advances its loaded generation, but
+  // performs no actual TLB invalidation (a classic lost-flush bug).
+  bool drop_responder_flush = false;
+
+  // Initiator returns from DoShootdown without spinning for acks, leaving
+  // remote CPUs with stale loaded generations at "completion".
+  bool skip_ack_wait = false;
+
+  // FlushRange decrements mm->context.tlb_gen instead of incrementing it
+  // (out-of-order generation publication).
+  bool gen_bump_decrement = false;
+
+  // Early ack (§3.2) acknowledges without raising unfinished_flushes,
+  // removing the guard that makes the early-ack window safe.
+  bool skip_early_ack_guard = false;
+
+  // Local/responder flush invalidates the kernel PCID but skips the user
+  // PCID half (selective) or fails to mark the deferred-user state (full) —
+  // breaks PTI dual-PCID pairing.
+  bool skip_user_flush = false;
+
+  // CoW avoidance (§4.1) treats executable pages as non-executable,
+  // skipping the flush the paper requires for executable mappings.
+  bool cow_avoid_executable = false;
+};
+
+}  // namespace tlbsim
+
+#endif  // TLBSIM_SRC_CORE_FAULT_INJECTION_H_

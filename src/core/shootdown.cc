@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/kernel/protocol_check.h"
+
 namespace tlbsim {
 
 ShootdownEngine::ShootdownEngine(Kernel* kernel) : kernel_(kernel) {
@@ -99,7 +101,7 @@ Co<void> ShootdownEngine::LocalFlushAll(SimCpu& cpu, MmStruct& mm,
       stats_.invlpg_issued += pages;
       co_await cpu.Execute(static_cast<Cycles>(pages) * costs.invlpg);
 
-      if (pti()) {
+      if (pti() && !inject_.skip_user_flush) {
         bool may_defer = opts().in_context_flush && !info.freed_tables;
         for (uint64_t va = info.start; va < info.end; va += stride) {
           if (may_defer) {
@@ -123,15 +125,26 @@ Co<void> ShootdownEngine::LocalFlushAll(SimCpu& cpu, MmStruct& mm,
         }
       }
       local_gen = info.new_tlb_gen;
+      if (ProtocolCheckSink* c = chk()) {
+        // Selective user work is either flushed eagerly or deferred — both
+        // count as covered (the deferred window is tracked via PerCpu).
+        c->OnLocalGenApplied(cpu, mm, local_gen, /*full=*/false,
+                             /*user_covered=*/!pti() || !inject_.skip_user_flush);
+      }
     } else {
       ++stats_.full_local_flushes;
       cpu.ArchFlushPcid(mm.kernel_pcid);
       co_await cpu.Execute(costs.cr3_write_flush);
-      if (pti()) {
+      bool user_covered = !pti();
+      if (pti() && !inject_.skip_user_flush) {
         pc.deferred_user.MarkFull();  // baseline Linux defers full user flushes
+        user_covered = true;
       }
       // A full flush catches up with everything published so far.
       local_gen = std::max(local_gen, mm.tlb_gen);
+      if (ProtocolCheckSink* c = chk()) {
+        c->OnLocalGenApplied(cpu, mm, local_gen, /*full=*/true, user_covered);
+      }
     }
   }
 
@@ -158,12 +171,20 @@ Co<void> ShootdownEngine::DoShootdown(SimCpu& cpu, MmStruct& mm, std::vector<Flu
     info.early_ack_allowed = early_ack_ok;
   }
 
+  uint64_t max_gen = 0;
+  for (const FlushTlbInfo& info : infos) {
+    max_gen = std::max(max_gen, info.new_tlb_gen);
+  }
+
   std::vector<int> targets = ComputeTargets(cpu, mm, any_freed);
   h_targets_->Record(static_cast<double>(targets.size()));
   if (targets.empty()) {
     ++stats_.local_only;
     cpu.TracePhase("initiator: local flush (no remote targets)");
     co_await LocalFlushAll(cpu, mm, infos, {});
+    if (ProtocolCheckSink* c = chk()) {
+      c->OnShootdownComplete(cpu, mm, max_gen, {});
+    }
     co_return;
   }
   ++stats_.shootdowns;
@@ -197,6 +218,9 @@ Co<void> ShootdownEngine::DoShootdown(SimCpu& cpu, MmStruct& mm, std::vector<Flu
   }
   cpu.TracePhase("initiator: send IPI");
   kernel_->machine().apic().SendIpi(cpu, targets, kCallFunctionVector);
+  if (ProtocolCheckSink* c = chk()) {
+    c->OnIpiSent(cpu, mm, max_gen, targets);
+  }
 
   if (opts().concurrent_flush) {
     // §3.1: flush the local TLB while the IPIs fly.
@@ -208,7 +232,7 @@ Co<void> ShootdownEngine::DoShootdown(SimCpu& cpu, MmStruct& mm, std::vector<Flu
   cpu.TracePhase("initiator: wait for acks");
   for (int t : targets) {
     Cfd& cfd = *my.cfd_for_target[static_cast<size_t>(t)];
-    while (true) {
+    while (!inject_.skip_ack_wait) {
       cpu.AccessLine(cfd.line, AccessType::kRead);
       if (cfd.done.is_set() && cfd.done.set_time() <= cpu.now()) {
         break;
@@ -218,6 +242,9 @@ Co<void> ShootdownEngine::DoShootdown(SimCpu& cpu, MmStruct& mm, std::vector<Flu
     cfd.in_flight = false;
   }
   cpu.TracePhase("initiator: shootdown complete");
+  if (ProtocolCheckSink* c = chk()) {
+    c->OnShootdownComplete(cpu, mm, max_gen, targets);
+  }
 }
 
 Co<void> ShootdownEngine::FlushRange(SimCpu& cpu, MmStruct& mm, uint64_t start, uint64_t end,
@@ -227,7 +254,11 @@ Co<void> ShootdownEngine::FlushRange(SimCpu& cpu, MmStruct& mm, uint64_t start, 
 
   // Bump the address-space generation (mm->context.tlb_gen).
   cpu.AccessLine(mm.gen_line, AccessType::kAtomicRmw);
-  ++mm.tlb_gen;
+  if (inject_.gen_bump_decrement && mm.tlb_gen > 1) {
+    --mm.tlb_gen;  // fault injection: publish generations out of order
+  } else {
+    ++mm.tlb_gen;
+  }
 
   FlushTlbInfo info;
   info.mm = &mm;
@@ -236,6 +267,11 @@ Co<void> ShootdownEngine::FlushRange(SimCpu& cpu, MmStruct& mm, uint64_t start, 
   info.stride_shift = stride_shift;
   info.freed_tables = freed_tables;
   info.new_tlb_gen = mm.tlb_gen;
+  if (ProtocolCheckSink* c = chk()) {
+    // Report the pre-threshold range: the generation promises at least this
+    // much; a widened-to-full flush only covers more.
+    c->OnTlbGenBump(cpu, mm, info.new_tlb_gen, start, end);
+  }
   if (info.PageCount() > threshold()) {
     info.start = 0;
     info.end = kFlushAll;
@@ -293,6 +329,9 @@ Co<void> ShootdownEngine::EndBatch(SimCpu& cpu, MmStruct& mm) {
     }
     pc.loaded_mm_tlb_gen = mm.tlb_gen;
     cpu.AccessLine(pc.tlbstate_line, AccessType::kWrite);
+    if (ProtocolCheckSink* c = chk()) {
+      c->OnLocalGenApplied(cpu, mm, pc.loaded_mm_tlb_gen, /*full=*/true, /*user_covered=*/true);
+    }
   }
 }
 
@@ -338,9 +377,15 @@ Co<void> ShootdownEngine::OnReturnToUser(SimCpu& cpu, MmStruct& mm) {
 
 Co<void> ShootdownEngine::OnCowFault(SimCpu& cpu, MmStruct& mm, uint64_t va, bool executable) {
   const CostModel& costs = kernel_->machine().costs();
-  if (opts().cow_avoidance && !executable) {
+  // Fault injection: pretend executable pages are data pages, taking the
+  // avoidance path the paper forbids for them.
+  bool exec_eff = executable && !inject_.cow_avoid_executable;
+  if (opts().cow_avoidance && !exec_eff) {
     ++stats_.cow_flush_avoided;
     cpu.TracePhase("cow: flush avoided via atomic access");
+    if (ProtocolCheckSink* c = chk()) {
+      c->OnCowAvoidance(cpu, mm, va, executable);
+    }
     // Atomic no-op RMW on the faulting address (kernel context): forces the
     // stale translation out and caches the fresh PTE (§4.1). The page fault
     // plus this access also removes the stale user-PCID entry.
@@ -377,6 +422,9 @@ Co<void> ShootdownEngine::OnCowFault(SimCpu& cpu, MmStruct& mm, uint64_t va, boo
   info.start = va;
   info.end = va + kPageSize4K;
   info.new_tlb_gen = mm.tlb_gen;
+  if (ProtocolCheckSink* c = chk()) {
+    c->OnTlbGenBump(cpu, mm, info.new_tlb_gen, info.start, info.end);
+  }
   std::vector<FlushTlbInfo> one;
   one.push_back(info);
   co_await LocalFlushAll(cpu, mm, one, {});
@@ -397,6 +445,9 @@ Co<void> ShootdownEngine::OnSwitchIn(SimCpu& cpu, MmStruct& mm) {
   }
   pc.loaded_mm_tlb_gen = mm.tlb_gen;
   cpu.AccessLine(pc.tlbstate_line, AccessType::kWrite);
+  if (ProtocolCheckSink* c = chk()) {
+    c->OnLocalGenApplied(cpu, mm, pc.loaded_mm_tlb_gen, /*full=*/true, /*user_covered=*/true);
+  }
 }
 
 Co<void> ShootdownEngine::HandleFlushIrq(SimCpu& cpu) {
@@ -433,20 +484,31 @@ Co<void> ShootdownEngine::HandleFlushIrq(SimCpu& cpu) {
       // §3.2: acknowledge as soon as it is safe — no userspace mapping can be
       // used from here until the flush below completes; NMIs are guarded by
       // nmi_uaccess_okay().
-      ++pc.unfinished_flushes;
+      if (!inject_.skip_early_ack_guard) {
+        ++pc.unfinished_flushes;
+      }
       ++stats_.early_acks;
       cpu.TracePhase("responder: early ack");
       Ack(cpu, *cfd);
+      if (ProtocolCheckSink* c = chk()) {
+        c->OnAck(cpu, cfd->initiator, /*early=*/true,
+                 /*guarded=*/!inject_.skip_early_ack_guard);
+      }
     }
     for (const FlushTlbInfo& info : work) {
       co_await ResponderFlushOne(cpu, info);
     }
     if (early) {
-      --pc.unfinished_flushes;
+      if (!inject_.skip_early_ack_guard) {
+        --pc.unfinished_flushes;
+      }
     } else {
       ++stats_.late_acks;
       cpu.TracePhase("responder: ack after flush");
       Ack(cpu, *cfd);
+      if (ProtocolCheckSink* c = chk()) {
+        c->OnAck(cpu, cfd->initiator, /*early=*/false, /*guarded=*/true);
+      }
     }
   }
 }
@@ -466,26 +528,30 @@ Co<void> ShootdownEngine::ResponderFlushOne(SimCpu& cpu, const FlushTlbInfo& inf
     co_return;
   }
   bool wants_full = info.IsFull() || info.PageCount() > threshold();
+  bool full_applied = false;
+  bool user_covered = true;
   if (!wants_full && local_gen == info.new_tlb_gen - 1) {
     ++stats_.responder_selective;
     uint64_t stride = 1ULL << info.stride_shift;
     uint64_t pages = info.PageCount();
-    for (uint64_t va = info.start; va < info.end; va += stride) {
-      cpu.ArchInvlPg(mm->kernel_pcid, va);
-    }
-    stats_.invlpg_issued += pages;
-    co_await cpu.Execute(static_cast<Cycles>(pages) * costs.invlpg);
-    if (pti()) {
-      bool may_defer = opts().in_context_flush && !info.freed_tables;
-      if (may_defer) {
-        pc.deferred_user.MergeRange(info.start, info.end, info.stride_shift, threshold());
-        stats_.deferred_selective += pages;
-        cpu.TracePhase("responder: user flush deferred in-context");
-      } else {
-        for (uint64_t va = info.start; va < info.end; va += stride) {
-          FlushUserPte(cpu, *mm, va, info.stride_shift);
+    if (!inject_.drop_responder_flush) {
+      for (uint64_t va = info.start; va < info.end; va += stride) {
+        cpu.ArchInvlPg(mm->kernel_pcid, va);
+      }
+      stats_.invlpg_issued += pages;
+      co_await cpu.Execute(static_cast<Cycles>(pages) * costs.invlpg);
+      if (pti()) {
+        bool may_defer = opts().in_context_flush && !info.freed_tables;
+        if (may_defer) {
+          pc.deferred_user.MergeRange(info.start, info.end, info.stride_shift, threshold());
+          stats_.deferred_selective += pages;
+          cpu.TracePhase("responder: user flush deferred in-context");
+        } else {
+          for (uint64_t va = info.start; va < info.end; va += stride) {
+            FlushUserPte(cpu, *mm, va, info.stride_shift);
+          }
+          co_await cpu.Execute(static_cast<Cycles>(pages) * costs.invpcid_addr);
         }
-        co_await cpu.Execute(static_cast<Cycles>(pages) * costs.invpcid_addr);
       }
     }
     local_gen = info.new_tlb_gen;
@@ -493,18 +559,26 @@ Co<void> ShootdownEngine::ResponderFlushOne(SimCpu& cpu, const FlushTlbInfo& inf
     // More than one generation behind (a flush storm), or an explicit full
     // flush: do a full flush and catch up with mm_gen entirely.
     ++stats_.responder_full;
+    full_applied = true;
     if (!info.IsFull() && info.PageCount() <= threshold()) {
       ++stats_.responder_full_storm;
     }
-    cpu.ArchFlushPcid(mm->kernel_pcid);
-    co_await cpu.Execute(costs.cr3_write_flush);
-    if (pti()) {
-      pc.deferred_user.MarkFull();
+    if (!inject_.drop_responder_flush) {
+      cpu.ArchFlushPcid(mm->kernel_pcid);
+      co_await cpu.Execute(costs.cr3_write_flush);
+      if (pti()) {
+        pc.deferred_user.MarkFull();
+      }
+    } else {
+      user_covered = !pti();
     }
     local_gen = mm_gen;
   }
   pc.loaded_mm_tlb_gen = local_gen;
   cpu.AccessLine(pc.tlbstate_line, AccessType::kWrite);
+  if (ProtocolCheckSink* c = chk()) {
+    c->OnLocalGenApplied(cpu, *mm, local_gen, full_applied, user_covered);
+  }
 }
 
 }  // namespace tlbsim

@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/core/fault_injection.h"
 #include "src/kernel/flush_backend.h"
 #include "src/kernel/kernel.h"
 #include "src/sim/metrics.h"
@@ -78,6 +79,9 @@ class ShootdownEngine final : public TlbFlushBackend {
   const Stats& stats() const { return stats_; }
   void ResetStats() { stats_ = Stats{}; }
 
+  // Deliberate protocol faults for tlbcheck validation (tests only).
+  void set_fault_injection(const FaultInjection& fi) { inject_ = fi; }
+
  private:
   const OptimizationSet& opts() const { return kernel_->config().opts; }
   bool pti() const { return kernel_->config().pti; }
@@ -109,8 +113,12 @@ class ShootdownEngine final : public TlbFlushBackend {
 
   void Ack(SimCpu& cpu, Cfd& cfd);
 
+  // tlbcheck sink (null when checking is off); shared with the kernel.
+  ProtocolCheckSink* chk() const { return kernel_->check_sink(); }
+
   Kernel* kernel_;
   Stats stats_;
+  FaultInjection inject_;
 
   // Live observability handles, resolved once in the ctor (the registry map
   // lookup stays off the per-shootdown path). Histograms measure *virtual*

@@ -1,0 +1,24 @@
+#include "src/core/system.h"
+
+namespace tlbsim {
+
+namespace {
+SystemCheckerFactory g_checker_factory = nullptr;
+bool g_check_every_system = false;
+}  // namespace
+
+void SetSystemCheckerFactory(SystemCheckerFactory factory) { g_checker_factory = factory; }
+
+void SetCheckEverySystem(bool on) { g_check_every_system = on; }
+
+bool CheckEverySystem() { return g_check_every_system; }
+
+SystemCheckerFactory GetSystemCheckerFactory() { return g_checker_factory; }
+
+void System::MaybeCreateChecker(const SystemConfig& config) {
+  if ((config.check || g_check_every_system) && g_checker_factory != nullptr) {
+    checker_ = g_checker_factory(*this);
+  }
+}
+
+}  // namespace tlbsim

@@ -12,6 +12,9 @@
 #ifndef TLBSIM_SRC_CORE_SYSTEM_H_
 #define TLBSIM_SRC_CORE_SYSTEM_H_
 
+#include <memory>
+#include <string>
+
 #include "src/core/shootdown.h"
 #include "src/hw/machine.h"
 #include "src/kernel/kernel.h"
@@ -21,12 +24,43 @@ namespace tlbsim {
 struct SystemConfig {
   MachineConfig machine;
   KernelConfig kernel;
+  // Attach a tlbcheck CheckContext (src/check/) to this system. Requires a
+  // checker factory to be installed (linking tlbsim_check does that via
+  // EnableTlbCheckEverywhere / InstallTlbCheckFactory); without one the flag
+  // is ignored, so tlbsim_core itself never depends on the check library.
+  bool check = false;
 };
+
+class System;
+
+// Abstract face of the tlbcheck CheckContext, defined here so core code and
+// tests can query violation state without linking against src/check/. The
+// concrete implementation registers itself through SetSystemCheckerFactory.
+class SystemChecker {
+ public:
+  virtual ~SystemChecker() = default;
+  virtual uint64_t violation_count() const = 0;
+  virtual std::string Summary() const = 0;
+};
+
+using SystemCheckerFactory = std::unique_ptr<SystemChecker> (*)(System&);
+
+// Installs the factory System uses to build a checker when config.check is
+// set (called by the check library; idempotent).
+void SetSystemCheckerFactory(SystemCheckerFactory factory);
+
+// Forces config.check on for every subsequently constructed System —
+// the global "--check" switch used by bench drivers.
+void SetCheckEverySystem(bool on);
+bool CheckEverySystem();
+SystemCheckerFactory GetSystemCheckerFactory();
 
 class System {
  public:
   explicit System(const SystemConfig& config = SystemConfig{})
-      : machine_(config.machine), kernel_(&machine_, config.kernel), shootdown_(&kernel_) {}
+      : machine_(config.machine), kernel_(&machine_, config.kernel), shootdown_(&kernel_) {
+    MaybeCreateChecker(config);
+  }
   System(const System&) = delete;
   System& operator=(const System&) = delete;
 
@@ -34,10 +68,19 @@ class System {
   Kernel& kernel() { return kernel_; }
   ShootdownEngine& shootdown() { return shootdown_; }
 
+  // Non-null iff checking is attached (config.check or the global switch,
+  // with a factory installed).
+  SystemChecker* checker() { return checker_.get(); }
+
  private:
+  void MaybeCreateChecker(const SystemConfig& config);
+
   Machine machine_;
   Kernel kernel_;
   ShootdownEngine shootdown_;
+  // Declared last: destroyed first, so the checker drains its reports while
+  // machine/kernel state is still alive.
+  std::unique_ptr<SystemChecker> checker_;
 };
 
 }  // namespace tlbsim

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/hw/check_sink.h"
+
 namespace tlbsim {
 
 namespace {
@@ -208,6 +210,9 @@ SimTask SimCpu::IrqTask(int vector) {
   if (is_nmi) {
     ++nmi_depth_;
   }
+  if (check_sink_ != nullptr) {
+    check_sink_->OnIrqEnter(*this, vector);
+  }
   bool prev_if = irqs_enabled_;
   bool prev_user = user_mode_;
   irqs_enabled_ = false;
@@ -240,6 +245,9 @@ SimTask SimCpu::IrqTask(int vector) {
 
   user_mode_ = prev_user;
   irqs_enabled_ = prev_if;
+  if (check_sink_ != nullptr) {
+    check_sink_->OnIrqExit(*this, vector);
+  }
   if (is_nmi) {
     --nmi_depth_;
   }

@@ -49,6 +49,7 @@
 namespace tlbsim {
 
 class PageTable;
+class HwCheckSink;
 
 // Interrupt vectors used by the simulation.
 inline constexpr int kNmiVector = 2;
@@ -175,6 +176,10 @@ class SimCpu {
   }
   Trace* trace() { return trace_; }
 
+  // tlbcheck hardware sink (src/check/); null when checking is off.
+  void set_check_sink(HwCheckSink* sink) { check_sink_ = sink; }
+  HwCheckSink* check_sink() const { return check_sink_; }
+
   // --- internals shared with the awaitables ---
   struct ArmedWait {
     virtual ~ArmedWait() = default;
@@ -236,6 +241,7 @@ class SimCpu {
   ArmedWait* armed_ = nullptr;
   std::vector<ArmedWait*> post_irq_waiters_;
   int scheduled_resumes_ = 0;  // continuations queued for this CPU
+  HwCheckSink* check_sink_ = nullptr;
 
   Stats stats_;
 };

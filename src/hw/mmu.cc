@@ -1,5 +1,7 @@
 #include "src/hw/mmu.h"
 
+#include "src/hw/check_sink.h"
+
 namespace tlbsim {
 
 bool Mmu::PermsOk(uint64_t flags, const AccessIntent& intent, FaultKind* fault) {
@@ -37,6 +39,10 @@ XlateResult Mmu::Translate(SimCpu& cpu, uint64_t va, AccessIntent intent) {
     FaultKind fault = FaultKind::kNone;
     bool needs_ad_assist = intent.write && !Pte(hit->flags).dirty();
     if (PermsOk(hit->flags, intent, &fault) && !needs_ad_assist) {
+      if (HwCheckSink* sink = cpu.check_sink()) {
+        // The entry is being consumed: the only moment staleness matters.
+        sink->OnTlbHit(cpu, intent.exec, pcid, va, *hit, intent.write, intent.exec, intent.user);
+      }
       r.ok = true;
       r.tlb_hit = true;
       r.pte = Pte::Make(hit->pfn, hit->flags);

@@ -57,6 +57,9 @@ std::optional<TlbEntry> Tlb::Probe(uint16_t pcid, uint64_t va) const {
 }
 
 void Tlb::Insert(const TlbEntry& e) {
+  if (observer_ != nullptr) {
+    observer_->OnTlbInsert(e);
+  }
   ++stats_.inserts;
   auto& arr = ArrayFor(e.size);
   int ways = WaysFor(e.size);

@@ -51,6 +51,15 @@ struct TlbEntry {
   bool fractured = false;  // guest-2M translation backed by host-4K pieces
 };
 
+// Observation hook for the tlbcheck oracle (src/check/): sees every fill so
+// the oracle can stamp each cached translation's birth time. Null unless
+// checking is enabled.
+class TlbObserver {
+ public:
+  virtual ~TlbObserver() = default;
+  virtual void OnTlbInsert(const TlbEntry& e) = 0;
+};
+
 // Sizes loosely follow Skylake's combined DTLB+STLB capacity.
 struct TlbGeometry {
   int sets_4k = 128;
@@ -121,6 +130,9 @@ class Tlb {
   // Enumerates valid entries (for coherence property checks).
   std::vector<TlbEntry> Entries() const;
 
+  // tlbcheck hook: observer sees every Insert (null when checking off).
+  void set_observer(TlbObserver* obs) { observer_ = obs; }
+
  private:
   // x86 PCIDs are 12-bit.
   static constexpr int kPcidSpace = 4096;
@@ -188,6 +200,7 @@ class Tlb {
 
   bool fractured_resident_ = false;  // sticky; recomputed only at flushes
   bool fracture_degrade_ = true;
+  TlbObserver* observer_ = nullptr;
   Stats stats_;
 };
 

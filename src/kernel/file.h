@@ -21,7 +21,7 @@ class File {
   File(const File&) = delete;
   File& operator=(const File&) = delete;
   ~File() {
-    for (auto& [off, pfn] : pages_) {
+    for (auto& [off, pfn] : pages_) {  // det-ok: order-independent (unrefs every page)
       frames_->Unref(pfn);
     }
   }

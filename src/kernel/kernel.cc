@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "src/kernel/protocol_check.h"
+
 namespace tlbsim {
 
 namespace {
@@ -63,6 +65,9 @@ Process* Kernel::CreateProcess() {
   auto p = std::make_unique<Process>();
   p->id = next_process_id_++;
   p->mm = std::make_unique<MmStruct>(p->id, &machine_->engine(), &machine_->coherence());
+  if (check_ != nullptr) {
+    check_->OnMmCreated(*p->mm);
+  }
   processes_.push_back(std::move(p));
   return processes_.back().get();
 }
@@ -130,6 +135,9 @@ Co<void> Kernel::SyscallExit(Thread& t) {
 void Kernel::ChargePteUpdate(SimCpu& cpu, MmStruct& mm, uint64_t va) {
   cpu.AccessLine(PteLine(mm, va), AccessType::kAtomicRmw);
   cpu.AdvanceInline(machine_->costs().pte_update);
+  if (check_ != nullptr) {
+    check_->OnPteCharged(cpu, mm, va);
+  }
 }
 
 Co<uint64_t> Kernel::SysMmap(Thread& t, uint64_t len, bool writable, bool shared, File* file,
@@ -667,6 +675,10 @@ Co<void> Kernel::EnterLazyMode(int cpu_id) {
 Co<void> Kernel::LeaveLazyMode(int cpu_id) {
   SimCpu& cpu = machine_->cpu(cpu_id);
   PerCpu& pc = percpu(cpu_id);
+  // From the moment the lazy flag drops until the catch-up flush below runs,
+  // initiators IPI this CPU again but its loaded generation may still be
+  // behind — a paper-sanctioned window the invariant checker must not flag.
+  pc.catching_up = true;
   co_await cpu.Execute(machine_->costs().context_switch);
   pc.is_lazy = false;
   LineId lazy_line =
@@ -680,6 +692,7 @@ Co<void> Kernel::LeaveLazyMode(int cpu_id) {
     co_await backend_->OnReturnToUser(cpu, *pc.loaded_mm);
     cpu.set_irqs_enabled(prev_if);
   }
+  pc.catching_up = false;
   cpu.set_user_mode(true);
 }
 

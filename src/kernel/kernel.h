@@ -33,6 +33,7 @@ struct KernelConfig {
 };
 
 struct Process;
+class ProtocolCheckSink;
 
 struct Thread {
   uint64_t id = 0;
@@ -140,6 +141,11 @@ class Kernel {
   // True if `opts.userspace_batching` applies to the given syscall class.
   bool BatchingEnabled() const { return config_.opts.userspace_batching; }
 
+  // tlbcheck protocol sink (src/check/); null when checking is off. Shared
+  // with the ShootdownEngine through this accessor.
+  void set_check_sink(ProtocolCheckSink* sink) { check_ = sink; }
+  ProtocolCheckSink* check_sink() const { return check_; }
+
  private:
   // Zaps present PTEs in [addr, addr+len): clears them, collects frames to
   // release after the flush completes. Returns [#pages zapped].
@@ -158,6 +164,7 @@ class Kernel {
   // modelling bandwidth saturation under many concurrent fdatasyncs.
   Cycles pmem_channel_free_at_ = 0;
   TlbFlushBackend* backend_ = nullptr;
+  ProtocolCheckSink* check_ = nullptr;
   std::vector<std::unique_ptr<PerCpu>> percpu_;
   std::vector<std::unique_ptr<Process>> processes_;
   std::vector<std::unique_ptr<File>> files_;

@@ -83,14 +83,17 @@ struct DeferredUserFlush {
 
 struct PerCpu {
   PerCpu(Engine* engine, CoherenceModel* coherence, int cpu, int num_cpus) {
-    tlbstate_line = coherence->AllocateLine("cpu" + std::to_string(cpu) + ".tlbstate");
-    csq_line = coherence->AllocateLine("cpu" + std::to_string(cpu) + ".call_single_queue");
-    stack_info_line = coherence->AllocateLine("cpu" + std::to_string(cpu) + ".stack_flush_info");
+    // Allocation-free naming (names materialize only if NameOf is called):
+    // PerCpu construction runs once per CPU per simulated System, thousands
+    // of times across a bench sweep.
+    uint64_t c = static_cast<uint64_t>(cpu);
+    tlbstate_line = coherence->AllocateLine("cpu", c, ".tlbstate");
+    csq_line = coherence->AllocateLine("cpu", c, ".call_single_queue");
+    stack_info_line = coherence->AllocateLine("cpu", c, ".stack_flush_info");
     cfd_for_target.reserve(static_cast<size_t>(num_cpus));
     for (int t = 0; t < num_cpus; ++t) {
       auto cfd = std::make_unique<Cfd>(engine);
-      cfd->line = coherence->AllocateLine("cpu" + std::to_string(cpu) + ".cfd[" +
-                                          std::to_string(t) + "]");
+      cfd->line = coherence->AllocateLine("cpu", c, ".cfd[", static_cast<uint64_t>(t), "]");
       cfd_for_target.push_back(std::move(cfd));
     }
   }
@@ -101,6 +104,10 @@ struct PerCpu {
   MmStruct* loaded_mm = nullptr;
   uint64_t loaded_mm_tlb_gen = 0;  // generation this CPU's TLB is sync'd to
   bool is_lazy = false;            // running a kernel thread on a borrowed mm
+  // Leaving lazy mode: the lazy flag is already down but the catch-up flush
+  // has not run yet; shootdowns completing in this window legitimately leave
+  // the CPU behind (tlbcheck must not flag it).
+  bool catching_up = false;
 
   // --- deferred flushes (PTI / §3.4) ---
   DeferredUserFlush deferred_user;

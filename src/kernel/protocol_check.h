@@ -1,0 +1,67 @@
+// Kernel/protocol-side observation interface for the tlbcheck analysis
+// subsystem (src/check/). The Kernel holds one nullable sink pointer shared
+// with the ShootdownEngine; all call sites are null-guarded, so the hooks are
+// zero-cost when checking is off.
+//
+// The events trace exactly the happens-before edges the shootdown protocol's
+// correctness argument is built on:
+//
+//   PTE write -> tlb_gen bump -> IPI send -> responder ack -> local flush
+//
+// plus the state transitions (catch-up windows, CoW avoidance) whose timing
+// the invariant checker must know about to avoid false positives.
+#ifndef TLBSIM_SRC_KERNEL_PROTOCOL_CHECK_H_
+#define TLBSIM_SRC_KERNEL_PROTOCOL_CHECK_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace tlbsim {
+
+class SimCpu;
+struct MmStruct;
+
+class ProtocolCheckSink {
+ public:
+  virtual ~ProtocolCheckSink() = default;
+
+  // An address space came to life (CreateProcess); the checker registers its
+  // PCIDs and installs the PTE-write observer on its page table.
+  virtual void OnMmCreated(MmStruct& mm) = 0;
+
+  // ChargePteUpdate: attributes the most recent PTE store in `mm` at `va` to
+  // `cpu` (the page-table layer itself has no CPU context).
+  virtual void OnPteCharged(SimCpu& cpu, MmStruct& mm, uint64_t va) = 0;
+
+  // mm->context.tlb_gen was published as `new_gen`, covering [start, end)
+  // (the pre-threshold-conversion range; end == kFlushAll covers everything).
+  virtual void OnTlbGenBump(SimCpu& cpu, MmStruct& mm, uint64_t new_gen, uint64_t start,
+                            uint64_t end) = 0;
+
+  // The initiator enqueued CFDs and fired the IPI for generation `gen`.
+  virtual void OnIpiSent(SimCpu& cpu, MmStruct& mm, uint64_t gen,
+                         const std::vector<int>& targets) = 0;
+
+  // A responder acknowledged `initiator`'s CFD. `early` follows §3.2;
+  // `guarded` reports whether unfinished_flushes protects the window.
+  virtual void OnAck(SimCpu& cpu, int initiator, bool early, bool guarded) = 0;
+
+  // `cpu` advanced its loaded generation for `mm` to `new_gen`. `full` marks
+  // a full (vs selective) flush; `user_covered` reports whether the user-PCID
+  // half was flushed, deferred, or is irrelevant (!pti) — the dual-PCID
+  // pairing invariant.
+  virtual void OnLocalGenApplied(SimCpu& cpu, MmStruct& mm, uint64_t new_gen, bool full,
+                                 bool user_covered) = 0;
+
+  // The initiator observed every ack: the shootdown for `gen` completed.
+  virtual void OnShootdownComplete(SimCpu& cpu, MmStruct& mm, uint64_t gen,
+                                   const std::vector<int>& targets) = 0;
+
+  // §4.1 CoW flush avoidance replaced the flush for `va`; `executable` is the
+  // paper's guard condition (must force a real flush when set).
+  virtual void OnCowAvoidance(SimCpu& cpu, MmStruct& mm, uint64_t va, bool executable) = 0;
+};
+
+}  // namespace tlbsim
+
+#endif  // TLBSIM_SRC_KERNEL_PROTOCOL_CHECK_H_

@@ -1,9 +1,18 @@
 #include "src/kernel/rwsem.h"
 
+#include "src/hw/check_sink.h"
+
 namespace tlbsim {
+
+void RwSem::NoteAcquired(SimCpu& cpu, bool write) {
+  if (HwCheckSink* sink = cpu.check_sink()) {
+    sink->OnLockAcquire(cpu, this, name_, write);
+  }
+}
 
 Co<void> RwSem::Lock(SimCpu& cpu, bool write) {
   if (TryLock(write)) {
+    NoteAcquired(cpu, write);
     co_return;
   }
   if (write) {
@@ -15,9 +24,11 @@ Co<void> RwSem::Lock(SimCpu& cpu, bool write) {
       if (!writer_ && readers_ == 0) {
         writer_ = true;
         --waiting_writers_;
+        NoteAcquired(cpu, write);
         co_return;
       }
     } else if (TryLock(false)) {
+      NoteAcquired(cpu, write);
       co_return;
     }
     co_await cpu.WaitFlag(release_);  // spurious wakes are fine; we re-check
@@ -25,6 +36,9 @@ Co<void> RwSem::Lock(SimCpu& cpu, bool write) {
 }
 
 void RwSem::Unlock(SimCpu& cpu, bool write) {
+  if (HwCheckSink* sink = cpu.check_sink()) {
+    sink->OnLockRelease(cpu, this, name_);
+  }
   if (write) {
     writer_ = false;
   } else {

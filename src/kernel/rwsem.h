@@ -19,7 +19,9 @@ namespace tlbsim {
 
 class RwSem {
  public:
-  explicit RwSem(Engine* engine) : release_(engine) {}
+  // `name` is the lockdep class key (a string literal); semaphores with the
+  // same name belong to the same class for lock-order checking.
+  explicit RwSem(Engine* engine, const char* name = "rwsem") : release_(engine), name_(name) {}
   RwSem(const RwSem&) = delete;
   RwSem& operator=(const RwSem&) = delete;
 
@@ -28,6 +30,8 @@ class RwSem {
 
   // Releases and wakes waiters at `cpu`'s current time.
   void Unlock(SimCpu& cpu, bool write);
+
+  const char* name() const { return name_; }
 
   bool locked() const { return writer_ || readers_ > 0; }
   int readers() const { return readers_; }
@@ -50,7 +54,11 @@ class RwSem {
     return true;
   }
 
+  // Reports an acquisition to the lockdep checker, if one is attached.
+  void NoteAcquired(SimCpu& cpu, bool write);
+
   SimFlag release_;
+  const char* name_;
   bool writer_ = false;
   int readers_ = 0;
   int waiting_writers_ = 0;

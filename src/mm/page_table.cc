@@ -52,7 +52,11 @@ void PageTable::Map(uint64_t va, uint64_t pfn, uint64_t flags, PageSize size) {
     assert(!node->children[idx] && "2M mapping over existing page table");
     flags |= PteFlags::kHuge;
   }
+  Pte old = node->entries[idx];
   node->entries[idx] = Pte::Make(pfn, flags);
+  if (write_observer_ != nullptr) {
+    write_observer_->OnPteWrite(*this, va, old, node->entries[idx], size);
+  }
 }
 
 Pte PageTable::SetPte(uint64_t va, Pte new_pte) {
@@ -64,6 +68,9 @@ Pte PageTable::SetPte(uint64_t va, Pte new_pte) {
   uint64_t idx = PtIndex(va, leaf_level);
   Pte old = node->entries[idx];
   node->entries[idx] = new_pte;
+  if (write_observer_ != nullptr) {
+    write_observer_->OnPteWrite(*this, va, old, new_pte, r.size);
+  }
   return old;
 }
 
@@ -77,6 +84,9 @@ Pte PageTable::Unmap(uint64_t va) {
   uint64_t idx = PtIndex(va, leaf_level);
   Pte old = node->entries[idx];
   node->entries[idx] = Pte();
+  if (write_observer_ != nullptr) {
+    write_observer_->OnPteWrite(*this, va, old, Pte(), r.size);
+  }
   return old;
 }
 

@@ -17,6 +17,18 @@
 
 namespace tlbsim {
 
+class PageTable;
+
+// Observation hook for the tlbcheck oracle (src/check/): sees every leaf
+// mutation (Map / SetPte / Unmap) with the before and after entries. The
+// observer pointer is null unless checking is enabled.
+class PteWriteObserver {
+ public:
+  virtual ~PteWriteObserver() = default;
+  virtual void OnPteWrite(const PageTable& pt, uint64_t va, Pte old_pte, Pte new_pte,
+                          PageSize size) = 0;
+};
+
 class PageTable {
  public:
   // Draws root_id from a process-wide counter — fine for standalone tables
@@ -65,6 +77,9 @@ class PageTable {
   // Number of live paging-structure pages (root included).
   uint64_t node_count() const { return node_count_; }
 
+  // tlbcheck hook: observer sees every leaf write (null when checking off).
+  void set_write_observer(PteWriteObserver* obs) { write_observer_ = obs; }
+
  private:
   struct Node {
     std::array<Pte, kPtEntries> entries{};
@@ -80,6 +95,7 @@ class PageTable {
   std::unique_ptr<Node> root_;
   uint64_t root_id_;
   uint64_t node_count_ = 1;
+  PteWriteObserver* write_observer_ = nullptr;
 };
 
 }  // namespace tlbsim

@@ -47,7 +47,7 @@ uint64_t FrameAllocator::RefCount(uint64_t pfn) const {
 
 uint64_t FrameAllocator::allocated_frames() const {
   uint64_t n = 0;
-  for (const auto& [pfn, rec] : refs_) {
+  for (const auto& [pfn, rec] : refs_) {  // det-ok: order-independent (sums counts)
     n += rec.count;
   }
   return n;

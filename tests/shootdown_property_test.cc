@@ -4,6 +4,7 @@
 // claim ("without sacrificing safety and correctness").
 #include <gtest/gtest.h>
 
+#include "src/check/check_context.h"
 #include "src/core/system.h"
 #include "tests/testutil.h"
 
@@ -27,9 +28,11 @@ class AllCombosTest : public ::testing::TestWithParam<int> {};
 // overlapping ranges with faults, madvise, msync, mprotect and CoW breaks.
 TEST_P(AllCombosTest, RandomizedWorkloadStaysCoherent) {
   int mask = GetParam();
+  InstallTlbCheckFactory();
   for (bool pti : {true, false}) {
     SystemConfig cfg = TestConfig(FromMask(mask), pti);
     cfg.machine.seed = static_cast<uint64_t>(mask) * 31 + (pti ? 7 : 0) + 1;
+    cfg.check = true;  // tlbcheck rides along: correct runs must stay silent
     System sys(cfg);
     Kernel& k = sys.kernel();
     auto* p = k.CreateProcess();
@@ -83,6 +86,8 @@ TEST_P(AllCombosTest, RandomizedWorkloadStaysCoherent) {
     sys.machine().engine().Run();
 
     EXPECT_TRUE(TlbCoherent(sys, *p->mm))
+        << "opts mask=" << mask << " (" << FromMask(mask).Describe() << ") pti=" << pti;
+    EXPECT_TRUE(NoCheckViolations(sys))
         << "opts mask=" << mask << " (" << FromMask(mask).Describe() << ") pti=" << pti;
     // No CFD left in flight, no batch left open, no unfinished flushes.
     for (int c = 0; c < sys.machine().num_cpus(); ++c) {

@@ -5,6 +5,7 @@
 // quiescence, clean per-CPU protocol state, monotone generations.
 #include <gtest/gtest.h>
 
+#include "src/check/check_context.h"
 #include "src/core/system.h"
 #include "tests/testutil.h"
 
@@ -32,9 +33,11 @@ class StressTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(StressTest, FullSystemChaosStaysCoherent) {
   uint64_t variant = static_cast<uint64_t>(GetParam());
+  InstallTlbCheckFactory();
   SystemConfig cfg = TestConfig(FromMask(static_cast<int>(variant * 13 % 64)), variant % 2 == 0);
   cfg.machine.seed = 7000 + variant;
   cfg.machine.costs.jitter_frac = 0.04;
+  cfg.check = true;  // tlbcheck rides along: chaos must not trip the oracle
   System sys(cfg);
   Kernel& k = sys.kernel();
 
@@ -125,6 +128,7 @@ TEST_P(StressTest, FullSystemChaosStaysCoherent) {
 
   EXPECT_TRUE(TlbCoherent(sys, *pa->mm)) << "variant " << variant;
   EXPECT_TRUE(TlbCoherent(sys, *pb->mm)) << "variant " << variant;
+  EXPECT_TRUE(NoCheckViolations(sys)) << "variant " << variant;
   for (int c = 0; c < sys.machine().num_cpus(); ++c) {
     PerCpu& pc = k.percpu(c);
     EXPECT_FALSE(pc.batched_mode) << "cpu" << c;

@@ -62,6 +62,18 @@ inline ::testing::AssertionResult TlbCoherent(System& sys, MmStruct& mm) {
   return ::testing::AssertionSuccess();
 }
 
+// Passes when the system's attached tlbcheck checker (if any) recorded no
+// violations; the failure message carries the checker's own summary. Tests
+// that opt in (cfg.check = true after InstallTlbCheckFactory()) use this as
+// the false-positive-resistance gate: correct protocol runs must be silent.
+inline ::testing::AssertionResult NoCheckViolations(System& sys) {
+  SystemChecker* chk = sys.checker();
+  if (chk == nullptr || chk->violation_count() == 0) {
+    return ::testing::AssertionSuccess();
+  }
+  return ::testing::AssertionFailure() << chk->Summary();
+}
+
 }  // namespace tlbsim
 
 #endif  // TLBSIM_TESTS_TESTUTIL_H_

@@ -1,0 +1,273 @@
+// Fault-injection tests for the tlbcheck analysis subsystem (src/check/):
+// each test deliberately breaks one link of the shootdown protocol via
+// ShootdownEngine fault injection and asserts that tlbcheck reports exactly
+// the expected classified violation — plus clean-run tests asserting the
+// checkers stay silent when the protocol is intact.
+#include <gtest/gtest.h>
+
+#include "src/check/check_context.h"
+#include "src/core/fault_injection.h"
+#include "src/core/system.h"
+#include "tests/testutil.h"
+
+namespace tlbsim {
+namespace {
+
+// Rig shared by the lost-flush style tests: two threads of one process on
+// cpu0 (initiator) and cpu2 (victim). The victim warms a TLB entry for one
+// page, the initiator zaps that page (madvise), then the victim touches it
+// again. With an intact protocol the second touch page-faults and remaps;
+// with an injected lost flush it silently consumes the stale translation.
+struct TwoCpuRig {
+  System sys;
+  CheckContext chk;
+  Process* p = nullptr;
+  Thread* t0 = nullptr;
+  Thread* t1 = nullptr;
+  uint64_t addr = 0;
+  bool warmed = false;
+  bool zapped = false;
+
+  explicit TwoCpuRig(OptimizationSet opts, bool pti = true) : sys(TestConfig(opts, pti)) {
+    chk.Attach(sys);  // before CreateProcess: the checker sees every mm
+    p = sys.kernel().CreateProcess();
+    t0 = sys.kernel().CreateThread(p, 0);
+    t1 = sys.kernel().CreateThread(p, 2);
+  }
+
+  void Run(bool victim_touches_after) {
+    Kernel& k = sys.kernel();
+    sys.machine().engine().Spawn(0, Go([this, &k]() -> Co<void> {
+      addr = co_await k.SysMmap(*t0, 8 * kPageSize4K, true, false);
+      co_await k.UserAccess(*t0, addr, true);  // populate the page
+      while (!warmed) {
+        co_await sys.machine().cpu(0).Execute(200);
+      }
+      co_await k.SysMadviseDontneed(*t0, addr, kPageSize4K);
+      zapped = true;
+    }));
+    sys.machine().engine().Spawn(0, Go([this, &k, victim_touches_after]() -> Co<void> {
+      while (addr == 0) {
+        co_await sys.machine().cpu(2).Execute(200);
+      }
+      co_await k.UserAccess(*t1, addr, false);  // warm the victim's TLB
+      warmed = true;
+      while (!zapped) {
+        co_await sys.machine().cpu(2).Execute(200);
+      }
+      if (victim_touches_after) {
+        co_await k.UserAccess(*t1, addr, false);
+      }
+    }));
+    sys.machine().engine().Run();
+  }
+};
+
+TEST(TlbCheckTest, CleanRunReportsNothing) {
+  for (int mask = 0; mask < 2; ++mask) {
+    TwoCpuRig rig(mask == 0 ? OptimizationSet{} : OptimizationSet::All());
+    rig.Run(/*victim_touches_after=*/true);
+    EXPECT_EQ(rig.chk.violation_count(), 0u) << rig.chk.Summary();
+  }
+}
+
+TEST(TlbCheckTest, DroppedResponderFlushIsLostFlush) {
+  TwoCpuRig rig(OptimizationSet{});
+  FaultInjection fi;
+  fi.drop_responder_flush = true;
+  rig.sys.shootdown().set_fault_injection(fi);
+  rig.Run(/*victim_touches_after=*/true);
+
+  ASSERT_EQ(rig.chk.violation_count(), 1u) << rig.chk.Summary();
+  EXPECT_EQ(rig.chk.CountOf(ViolationKind::kLostFlush), 1u) << rig.chk.Summary();
+  const Violation& v = rig.chk.violations()[0];
+  EXPECT_EQ(v.cpu, 2);
+  EXPECT_EQ(v.va, rig.addr);
+  EXPECT_GE(v.applied_gen, v.write_gen);  // the lost-flush signature
+}
+
+TEST(TlbCheckTest, SkippedAckWaitLeavesStaleCpu) {
+  TwoCpuRig rig(OptimizationSet{});
+  FaultInjection fi;
+  fi.skip_ack_wait = true;
+  rig.sys.shootdown().set_fault_injection(fi);
+  rig.Run(/*victim_touches_after=*/false);
+
+  ASSERT_EQ(rig.chk.violation_count(), 1u) << rig.chk.Summary();
+  EXPECT_EQ(rig.chk.CountOf(ViolationKind::kShootdownLeftStaleCpu), 1u) << rig.chk.Summary();
+  EXPECT_EQ(rig.chk.violations()[0].cpu, 2);  // the CPU left behind
+}
+
+TEST(TlbCheckTest, NonMonotoneGenBumpIsReported) {
+  System sys(TestConfig(OptimizationSet{}));
+  CheckContext chk;
+  chk.Attach(sys);
+  FaultInjection fi;
+  fi.gen_bump_decrement = true;
+  sys.shootdown().set_fault_injection(fi);
+
+  Kernel& k = sys.kernel();
+  auto* p = k.CreateProcess();
+  auto* t = k.CreateThread(p, 0);
+  sys.machine().engine().Spawn(0, Go([&]() -> Co<void> {
+    uint64_t a = co_await k.SysMmap(*t, 4 * kPageSize4K, true, false);
+    co_await k.UserAccess(*t, a, true);
+    co_await k.SysMadviseDontneed(*t, a, kPageSize4K);  // gen 1 -> 2 (guard: >1)
+    co_await k.UserAccess(*t, a, true);                 // re-fault the page
+    co_await k.SysMadviseDontneed(*t, a, kPageSize4K);  // injected: gen 2 -> 1
+  }));
+  sys.machine().engine().Run();
+
+  ASSERT_EQ(chk.violation_count(), 1u) << chk.Summary();
+  EXPECT_EQ(chk.CountOf(ViolationKind::kNonMonotoneGen), 1u) << chk.Summary();
+}
+
+TEST(TlbCheckTest, SkippedUserFlushOnSelectivePathIsLostFlush) {
+  System sys(TestConfig(OptimizationSet{}, /*pti=*/true));
+  CheckContext chk;
+  chk.Attach(sys);
+  FaultInjection fi;
+  fi.skip_user_flush = true;
+  sys.shootdown().set_fault_injection(fi);
+
+  Kernel& k = sys.kernel();
+  auto* p = k.CreateProcess();
+  auto* t = k.CreateThread(p, 0);
+  sys.machine().engine().Spawn(0, Go([&]() -> Co<void> {
+    uint64_t a = co_await k.SysMmap(*t, 4 * kPageSize4K, true, false);
+    co_await k.UserAccess(*t, a, true);                 // warm the user-PCID entry
+    co_await k.SysMadviseDontneed(*t, a, kPageSize4K);  // selective; user half skipped
+    co_await k.UserAccess(*t, a, false);                // consumes the stale entry
+  }));
+  sys.machine().engine().Run();
+
+  ASSERT_EQ(chk.violation_count(), 1u) << chk.Summary();
+  EXPECT_EQ(chk.CountOf(ViolationKind::kLostFlush), 1u) << chk.Summary();
+  EXPECT_EQ(chk.violations()[0].pcid, p->mm->user_pcid);
+}
+
+TEST(TlbCheckTest, SkippedUserFlushOnFullPathIsPtiPairingMissing) {
+  System sys(TestConfig(OptimizationSet{}, /*pti=*/true));
+  CheckContext chk;
+  chk.Attach(sys);
+  FaultInjection fi;
+  fi.skip_user_flush = true;
+  sys.shootdown().set_fault_injection(fi);
+
+  Kernel& k = sys.kernel();
+  auto* p = k.CreateProcess();
+  auto* t = k.CreateThread(p, 0);
+  // 34 pages > the 33-page threshold: the flush converts to a full flush,
+  // which under PTI must pair kernel-PCID work with user-PCID coverage.
+  constexpr uint64_t kPages = 34;
+  sys.machine().engine().Spawn(0, Go([&]() -> Co<void> {
+    uint64_t a = co_await k.SysMmap(*t, kPages * kPageSize4K, true, false);
+    for (uint64_t i = 0; i < kPages; ++i) {
+      co_await k.UserAccess(*t, a + i * kPageSize4K, true);
+    }
+    co_await k.SysMadviseDontneed(*t, a, kPages * kPageSize4K);
+  }));
+  sys.machine().engine().Run();
+
+  ASSERT_EQ(chk.violation_count(), 1u) << chk.Summary();
+  EXPECT_EQ(chk.CountOf(ViolationKind::kPtiPairingMissing), 1u) << chk.Summary();
+}
+
+TEST(TlbCheckTest, UnguardedEarlyAckIsReported) {
+  OptimizationSet opts;
+  opts.concurrent_flush = true;
+  opts.early_ack = true;
+  System sys(TestConfig(opts));
+  CheckContext chk;
+  chk.Attach(sys);
+  FaultInjection fi;
+  fi.skip_early_ack_guard = true;
+  sys.shootdown().set_fault_injection(fi);
+
+  Kernel& k = sys.kernel();
+  auto* p = k.CreateProcess();
+  auto* t0 = k.CreateThread(p, 0);
+  auto* t1 = k.CreateThread(p, 30);
+  (void)t1;
+  sys.machine().engine().Spawn(0, BusyLoop(sys.machine().cpu(30), 500, 1000));
+  sys.machine().engine().Spawn(0, Go([&]() -> Co<void> {
+    uint64_t a = co_await k.SysMmap(*t0, 8 * kPageSize4K, true, false);
+    co_await k.UserAccess(*t0, a, true);
+    co_await k.SysMadviseDontneed(*t0, a, kPageSize4K);
+  }));
+  sys.machine().engine().Run();
+
+  // The unguarded early ack itself must be flagged; depending on timing the
+  // initiator may additionally observe the responder's stale generation at
+  // completion (that is the *consequence* of the missing guard).
+  EXPECT_EQ(chk.CountOf(ViolationKind::kEarlyAckUnguarded), 1u) << chk.Summary();
+  EXPECT_LE(chk.violation_count(), 2u) << chk.Summary();
+}
+
+TEST(TlbCheckTest, ExecutableCowAvoidanceIsReported) {
+  OptimizationSet opts;
+  opts.cow_avoidance = true;
+  System sys(TestConfig(opts));
+  CheckContext chk;
+  chk.Attach(sys);
+  FaultInjection fi;
+  fi.cow_avoid_executable = true;  // treat the executable page as data
+  sys.shootdown().set_fault_injection(fi);
+
+  Kernel& k = sys.kernel();
+  auto* p = k.CreateProcess();
+  auto* t = k.CreateThread(p, 0);
+  File* f = k.CreateFile(1 << 16);
+  sys.machine().engine().Spawn(0, Go([&]() -> Co<void> {
+    uint64_t a = co_await k.SysMmap(*t, 4 * kPageSize4K, true, /*shared=*/false, f);
+    p->mm->FindVma(a)->executable = true;    // code mapping
+    co_await k.UserAccess(*t, a, false);     // map RO + CoW (file page shared)
+    co_await k.UserAccess(*t, a, true);      // CoW break -> avoidance (injected)
+  }));
+  sys.machine().engine().Run();
+
+  ASSERT_EQ(chk.violation_count(), 1u) << chk.Summary();
+  EXPECT_EQ(chk.CountOf(ViolationKind::kCowUnsafeAvoidance), 1u) << chk.Summary();
+}
+
+TEST(TlbCheckTest, FactoryAttachesCheckerThroughSystemConfig) {
+  InstallTlbCheckFactory();
+  SystemConfig cfg = TestConfig(OptimizationSet::All());
+  cfg.check = true;
+  System sys(cfg);
+  ASSERT_NE(sys.checker(), nullptr);
+
+  Kernel& k = sys.kernel();
+  auto* p = k.CreateProcess();
+  auto* t = k.CreateThread(p, 0);
+  (void)p;
+  sys.machine().engine().Spawn(0, Go([&]() -> Co<void> {
+    uint64_t a = co_await k.SysMmap(*t, 8 * kPageSize4K, true, false);
+    for (int i = 0; i < 8; ++i) {
+      co_await k.UserAccess(*t, a + static_cast<uint64_t>(i) * kPageSize4K, true);
+    }
+    co_await k.SysMadviseDontneed(*t, a, 8 * kPageSize4K);
+  }));
+  sys.machine().engine().Run();
+
+  EXPECT_EQ(sys.checker()->violation_count(), 0u) << sys.checker()->Summary();
+}
+
+TEST(TlbCheckTest, ViolationJsonIsDeterministicallyShaped) {
+  TwoCpuRig rig(OptimizationSet{});
+  FaultInjection fi;
+  fi.drop_responder_flush = true;
+  rig.sys.shootdown().set_fault_injection(fi);
+  rig.Run(/*victim_touches_after=*/true);
+
+  Json j = rig.chk.ToJson();
+  EXPECT_EQ(j.Find("violations")->AsUint(), 1u);
+  ASSERT_EQ(j.Find("reports")->size(), 1u);
+  const Json& r = j.Find("reports")->items()[0];
+  EXPECT_EQ(r.Find("kind")->AsString(), "lost_flush");
+  EXPECT_EQ(r.Find("cpu")->AsInt(), 2);
+  EXPECT_TRUE(r.Find("detail")->is_string());
+}
+
+}  // namespace
+}  // namespace tlbsim
