@@ -3,7 +3,10 @@
 // end-to-end shootdown simulation per iteration.
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "src/core/system.h"
+#include "src/mm/phys.h"
 #include "src/hw/machine.h"
 #include "src/hw/mmu.h"
 #include "src/workloads/microbench.h"
@@ -52,6 +55,32 @@ void BM_PageWalk(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PageWalk);
+
+void BM_FrameAllocChurn(benchmark::State& state) {
+  // Steady-state alloc/free churn with a deep free list. The old allocator
+  // scanned the free list linearly per Alloc (O(n) with n = live free
+  // entries); the bucketed index makes the scan O(log n). The range arg is
+  // the standing free-list depth.
+  FrameAllocator fa;
+  std::vector<uint64_t> standing;
+  const int depth = static_cast<int>(state.range(0));
+  standing.reserve(static_cast<size_t>(depth));
+  for (int i = 0; i < depth; ++i) {
+    standing.push_back(fa.Alloc());
+  }
+  for (uint64_t pfn : standing) {
+    fa.Unref(pfn);  // deep free list of 1-frame blocks
+  }
+  uint64_t huge = fa.Alloc(512);
+  fa.Unref(huge);  // plus one huge block the churn must skip past
+  for (auto _ : state) {
+    uint64_t pfn = fa.Alloc(512);
+    fa.Unref(pfn);
+    benchmark::DoNotOptimize(pfn);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FrameAllocChurn)->Arg(16)->Arg(1024)->Arg(65536);
 
 void BM_CoherencePingPong(benchmark::State& state) {
   Topology topo;

@@ -8,9 +8,16 @@
 // process and compares the baseline protocol against the paper's, showing
 // where the shootdown cost of the scanner goes.
 //
+// With --numa, the same scan cycles run on a two-node machine and compare
+// plain NUMA against Mitosis-style page-table replication (pt_replication):
+// the cross-socket accessor's walks turn local, for a replica-maintenance
+// tax on the scanner's protection flips.
+//
 //   $ ./build/examples/numa_balance
+//   $ ./build/examples/numa_balance --numa
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 
 #include "src/core/system.h"
 #include "src/sim/stats.h"
@@ -26,6 +33,7 @@ struct Result {
   Cycles scan_cycles_per_round;
   double accessor_throughput;  // accesses per Mcycle on the worker threads
   uint64_t shootdowns;
+  uint64_t remote_walks;  // NUMA machines only: page walks that crossed nodes
 };
 
 // Worker threads keep touching the range (taking the hinting faults).
@@ -42,10 +50,11 @@ SimTask Accessor(System& sys, Thread& t, uint64_t addr, uint64_t seed, uint64_t*
   }
 }
 
-Result Run(OptimizationSet opts) {
+Result Run(OptimizationSet opts, int numa_nodes = 1) {
   SystemConfig cfg;
   cfg.kernel.pti = true;
   cfg.kernel.opts = opts;
+  cfg.machine.numa.nodes = numa_nodes;
   System sys(cfg);
   Kernel& kernel = sys.kernel();
   auto* proc = kernel.CreateProcess();
@@ -86,12 +95,13 @@ Result Run(OptimizationSet opts) {
   Cycles end = std::max(sys.machine().cpu(2).now(), sys.machine().cpu(30).now());
   out.accessor_throughput = static_cast<double>(ops) / (static_cast<double>(end) / 1e6);
   out.shootdowns = sys.shootdown().stats().shootdowns;
+  if (sys.machine().config().numa.enabled()) {
+    out.remote_walks = sys.machine().metrics().percpu("numa.remote_walks").total();
+  }
   return out;
 }
 
-}  // namespace
-
-int main() {
+int RunBaselineVsPaper() {
   std::printf("NUMA-balancing-style scan cycles: %d pages, %d rounds, 2 accessor threads\n\n",
               kPages, kScanRounds);
   Result base = Run(OptimizationSet::None());
@@ -108,4 +118,39 @@ int main() {
               static_cast<double>(base.scan_cycles_per_round) /
                   static_cast<double>(opt.scan_cycles_per_round));
   return opt.scan_cycles_per_round < base.scan_cycles_per_round ? 0 : 1;
+}
+
+int RunNumaComparison() {
+  std::printf("NUMA scan cycles on a 2-node machine: %d pages, %d rounds, "
+              "cross-socket accessor\n\n",
+              kPages, kScanRounds);
+  OptimizationSet plain;
+  OptimizationSet repl;
+  repl.pt_replication = true;
+  Result numa = Run(plain, /*numa_nodes=*/2);
+  Result mitosis = Run(repl, /*numa_nodes=*/2);
+  std::printf("%-22s %18s %16s %14s\n", "config", "scan cyc/round", "accessor ops/Mc",
+              "remote walks");
+  std::printf("%-22s %18lld %16.2f %14llu\n", "numa",
+              static_cast<long long>(numa.scan_cycles_per_round), numa.accessor_throughput,
+              static_cast<unsigned long long>(numa.remote_walks));
+  std::printf("%-22s %18lld %16.2f %14llu\n", "numa + pt-replication",
+              static_cast<long long>(mitosis.scan_cycles_per_round), mitosis.accessor_throughput,
+              static_cast<unsigned long long>(mitosis.remote_walks));
+  std::printf("\nreplication removes the cross-node walks (%llu -> %llu) and taxes the "
+              "scanner %.2fx per round\n",
+              static_cast<unsigned long long>(numa.remote_walks),
+              static_cast<unsigned long long>(mitosis.remote_walks),
+              static_cast<double>(mitosis.scan_cycles_per_round) /
+                  static_cast<double>(numa.scan_cycles_per_round));
+  return mitosis.remote_walks < numa.remote_walks ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--numa") == 0) {
+    return RunNumaComparison();
+  }
+  return RunBaselineVsPaper();
 }

@@ -40,6 +40,17 @@ REQUIRED_NONZERO = {
     ],
     "fig1_3_protocol_timeline": ["apic.ipis_sent", "shootdown.shootdowns"],
     "fig4_cacheline_consolidation": ["coherence.transfers", "shootdown.shootdowns"],
+    # The numa bench's metrics come from its NUMA (non-replicated) mode: the
+    # cross-socket walker must actually pay remote walks and remote DRAM
+    # fills, or the node model silently degraded to flat. The replication
+    # ablation rides the generic "ablations" gate below.
+    "numa_walk": [
+        "numa.remote_walks",
+        "numa.remote_walk_cycles",
+        "numa.remote_dram_accesses",
+        "shootdown.shootdowns",
+        "engine.events_processed",
+    ],
 }
 
 

@@ -24,6 +24,13 @@ struct Topology {
     return cpu / cpus_per_socket();
   }
 
+  // --- memory nodes (NUMA) ---
+  // One memory node per socket: local DRAM behind each socket's memory
+  // controllers. The NUMA layer (src/mm/numa.h) keys placement and
+  // remote-access charges off these.
+  int num_nodes() const { return sockets; }
+  int NodeOfCpu(int cpu) const { return SocketOf(cpu); }
+
   // Global physical-core index (SMT siblings share one).
   int PhysCoreOf(int cpu) const {
     assert(cpu >= 0 && cpu < num_cpus());

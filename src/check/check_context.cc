@@ -354,6 +354,27 @@ void CheckContext::OnShootdownComplete(SimCpu& cpu, MmStruct& mm, uint64_t gen,
       Report(std::move(v));
     }
   }
+
+  // Invariant (pt_replication): flush acknowledgement is also the point where
+  // Mitosis-style replicas must agree with the primary — a completed
+  // shootdown with a diverged replica means remote walkers can still load
+  // the very translation this shootdown retired.
+  if (mm.pt.replicated()) {
+    uint64_t va = 0;
+    int node = -1;
+    if (mm.pt.FindReplicaDivergence(&va, &node)) {
+      Violation v;
+      v.kind = ViolationKind::kReplicaDivergence;
+      v.time = cpu.now();
+      v.cpu = cpu.id();
+      v.mm_id = mm.id;
+      v.va = va;
+      v.write_gen = gen;
+      v.detail = "node " + std::to_string(node) + " page-table replica diverges from the "
+                 "primary at va " + std::to_string(va) + " when the shootdown completed";
+      Report(std::move(v));
+    }
+  }
 }
 
 void CheckContext::OnCowAvoidance(SimCpu& cpu, MmStruct& mm, uint64_t va, bool executable) {

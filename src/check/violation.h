@@ -33,6 +33,10 @@ enum class ViolationKind {
   kRecursiveLock,
   // Lockdep: lock class used both in and outside IRQ context with IRQs on.
   kIrqUnsafeLock,
+  // Invariant (pt_replication): at flush-acknowledgement time a per-node
+  // page-table replica disagreed with the primary — remote walkers could
+  // translate through an entry the completed shootdown claims is gone.
+  kReplicaDivergence,
 };
 
 inline const char* ViolationKindName(ViolationKind k) {
@@ -55,6 +59,8 @@ inline const char* ViolationKindName(ViolationKind k) {
       return "recursive_lock";
     case ViolationKind::kIrqUnsafeLock:
       return "irq_unsafe_lock";
+    case ViolationKind::kReplicaDivergence:
+      return "replica_divergence";
   }
   return "unknown";
 }

@@ -33,6 +33,11 @@ struct FaultInjection {
   // CoW avoidance (§4.1) treats executable pages as non-executable,
   // skipping the flush the paper requires for executable mappings.
   bool cow_avoid_executable = false;
+
+  // With pt_replication on, PTE stores update only the primary table and
+  // never fan out to the per-node replicas — remote walkers keep translating
+  // through stale replica entries (the coherence bug Mitosis must avoid).
+  bool skip_replica_propagation = false;
 };
 
 }  // namespace tlbsim

@@ -17,6 +17,10 @@ struct OptimizationSet {
   bool in_context_flush = false;        // §3.4: defer user-PCID flushes to kernel exit
   bool cow_avoidance = false;           // §4.1: no local flush on CoW faults
   bool userspace_batching = false;      // §4.2: batch flushes in msync/munmap-style calls
+  // Mitosis-style per-socket page-table replication (NUMA machines only):
+  // walkers read a node-local replica; every PTE store pays a propagation tax.
+  // Not part of the paper's six — excluded from All()/Cumulative().
+  bool pt_replication = false;
 
   static OptimizationSet None() { return OptimizationSet{}; }
   static OptimizationSet All() {
@@ -59,6 +63,7 @@ struct OptimizationSet {
     add(in_context_flush, "in-context");
     add(cow_avoidance, "cow");
     add(userspace_batching, "batching");
+    add(pt_replication, "pt-replication");
     return out.empty() ? "baseline" : out;
   }
 };

@@ -80,7 +80,12 @@ class ShootdownEngine final : public TlbFlushBackend {
   void ResetStats() { stats_ = Stats{}; }
 
   // Deliberate protocol faults for tlbcheck validation (tests only).
-  void set_fault_injection(const FaultInjection& fi) { inject_ = fi; }
+  void set_fault_injection(const FaultInjection& fi) {
+    inject_ = fi;
+    // The replica knob lives on the page tables themselves; the kernel
+    // fans it out to every process (existing and future).
+    kernel_->SetReplicaSkip(fi.skip_replica_propagation);
+  }
 
  private:
   const OptimizationSet& opts() const { return kernel_->config().opts; }

@@ -48,6 +48,14 @@ void CollectMachineMetrics(Machine& machine) {
   m.counter("apic.multicast_messages").Set(ap.multicast_messages);
   m.counter("engine.events_processed").Set(machine.engine().events_processed());
   m.counter("engine.virtual_cycles").Set(static_cast<uint64_t>(machine.engine().now()));
+  if (machine.config().numa.enabled()) {
+    // Gauge view of the live per-CPU NUMA counters, so bench gates can probe
+    // them under "counters" by dotted name. Guarded: registering these on a
+    // flat machine would serialize them and break report byte-identity.
+    m.counter("numa.remote_walks").Set(m.percpu("numa.remote_walks").total());
+    m.counter("numa.remote_walk_cycles").Set(m.percpu("numa.remote_walk_cycles").total());
+    m.counter("numa.remote_dram_accesses").Set(m.percpu("numa.remote_dram_accesses").total());
+  }
 }
 
 void CollectKernelMetrics(Kernel& kernel) {

@@ -67,6 +67,15 @@ struct CostModel {
   // stack, costing extra dTLB pressure vs 2MB-mapped globals (§3.3 item 2).
   Cycles stack_info_tlb_penalty = 35;
 
+  // --- NUMA (charged only when MachineConfig::numa.nodes > 1) ---
+  // Remote-DRAM penalties follow the ~1.4-2x local/remote latency ratio of
+  // 2-socket Xeons. Page-walk steps hit DRAM on PWC misses, so a walk
+  // through remote paging structures pays per fetched level (the Mitosis
+  // motivation); replica maintenance pays a store per extra replica.
+  Cycles walk_step_remote_extra = 90;  // per paging-structure fetch from a remote node
+  Cycles dram_remote_access = 120;     // data access to a frame on a remote node
+  Cycles replica_pte_update = 40;      // per-replica PTE propagation store
+
   // --- cacheline coherence ---
   CacheCosts cache;
 

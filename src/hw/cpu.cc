@@ -20,7 +20,7 @@ TlbGeometry ItlbGeometry() {
 }  // namespace
 
 SimCpu::SimCpu(int id, Engine* engine, CoherenceModel* coherence, const CostModel* costs, Rng rng,
-               Trace* trace, MetricsRegistry* metrics)
+               Trace* trace, MetricsRegistry* metrics, int numa_node)
     : id_(id),
       engine_(engine),
       coherence_(coherence),
@@ -28,10 +28,19 @@ SimCpu::SimCpu(int id, Engine* engine, CoherenceModel* coherence, const CostMode
       rng_(rng),
       trace_(trace),
       metrics_(metrics),
+      numa_node_(numa_node),
       itlb_(ItlbGeometry()) {
   if (metrics_ != nullptr) {
     mmu_walks_ = &metrics_->percpu("mmu.walks");
     mmu_walk_cycles_ = &metrics_->percpu("mmu.walk_cycles");
+    // NUMA counters are registered only on NUMA machines: the registry
+    // serializes every registered metric, and flat-machine reports must stay
+    // byte-identical to the pre-NUMA simulator.
+    if (numa_node_ >= 0) {
+      numa_remote_walks_ = &metrics_->percpu("numa.remote_walks");
+      numa_remote_walk_cycles_ = &metrics_->percpu("numa.remote_walk_cycles");
+      numa_remote_dram_ = &metrics_->percpu("numa.remote_dram_accesses");
+    }
   }
 }
 

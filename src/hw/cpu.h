@@ -67,12 +67,16 @@ class SimCpu {
     uint64_t ipis_received = 0;
   };
 
+  // `numa_node` < 0 means NUMA-flat (default): no remote charges anywhere
+  // and no NUMA metrics registered, preserving byte-identical reports.
   SimCpu(int id, Engine* engine, CoherenceModel* coherence, const CostModel* costs, Rng rng,
-         Trace* trace = nullptr, MetricsRegistry* metrics = nullptr);
+         Trace* trace = nullptr, MetricsRegistry* metrics = nullptr, int numa_node = -1);
   SimCpu(const SimCpu&) = delete;
   SimCpu& operator=(const SimCpu&) = delete;
 
   int id() const { return id_; }
+  // Memory node this CPU sits on; -1 when the machine is NUMA-flat.
+  int numa_node() const { return numa_node_; }
   Cycles now() const { return now_; }
   Engine* engine() { return engine_; }
   const CostModel& costs() const { return *costs_; }
@@ -89,6 +93,20 @@ class SimCpu {
     if (mmu_walks_ != nullptr) {
       mmu_walks_->Inc(id_);
       mmu_walk_cycles_->Inc(id_, static_cast<uint64_t>(walk_cost));
+    }
+  }
+
+  // NUMA accounting; handles exist only on NUMA-enabled machines, so these
+  // are no-ops (and the counters absent from reports) when NUMA is off.
+  void NoteRemoteWalk(Cycles extra_cost) {
+    if (numa_remote_walks_ != nullptr) {
+      numa_remote_walks_->Inc(id_);
+      numa_remote_walk_cycles_->Inc(id_, static_cast<uint64_t>(extra_cost));
+    }
+  }
+  void NoteRemoteDram() {
+    if (numa_remote_dram_ != nullptr) {
+      numa_remote_dram_->Inc(id_);
     }
   }
 
@@ -219,6 +237,10 @@ class SimCpu {
   MetricsRegistry* metrics_;
   PerCpuCounter* mmu_walks_ = nullptr;        // cached handles (hot path)
   PerCpuCounter* mmu_walk_cycles_ = nullptr;
+  PerCpuCounter* numa_remote_walks_ = nullptr;        // NUMA machines only
+  PerCpuCounter* numa_remote_walk_cycles_ = nullptr;
+  PerCpuCounter* numa_remote_dram_ = nullptr;
+  int numa_node_ = -1;
 
   Tlb tlb_;   // data TLB (+ second level)
   Tlb itlb_;  // instruction TLB (smaller)

@@ -12,6 +12,7 @@
 #include "src/hw/apic.h"
 #include "src/hw/cost_model.h"
 #include "src/hw/cpu.h"
+#include "src/mm/numa.h"
 #include "src/sim/engine.h"
 #include "src/sim/metrics.h"
 #include "src/sim/rng.h"
@@ -23,6 +24,9 @@ struct MachineConfig {
   Topology topo;           // default: 2 sockets x 14 cores x 2 SMT
   CostModel costs;
   TlbGeometry tlb_geo;
+  // NUMA memory model; default is flat (nodes == 1), which reproduces the
+  // pre-NUMA timings exactly. Experiments set numa.nodes = topo.sockets.
+  NumaConfig numa;
   uint64_t seed = 1;
 };
 

@@ -57,14 +57,23 @@ XlateResult Mmu::Translate(SimCpu& cpu, uint64_t va, AccessIntent intent) {
     tlb.DropTranslation(pcid, va);
   }
 
-  // Hardware page walk.
+  // Hardware page walk. On a NUMA machine the walker reads its node-local
+  // replica when one exists (Mitosis, pt_replication); each level whose
+  // paging-structure page is homed remotely pays the node-distance surcharge.
+  // A PWC hit skips the upper levels, so only a remote leaf level costs extra.
   bool pwc_hit = cpu.pwc().Lookup(pcid, va);
   Cycles walk_cost =
       pwc_hit ? costs.walk_pwc_hit : static_cast<Cycles>(costs.walk_levels) * costs.walk_step;
+
+  PageTable::WalkResult walk = pt->Walk(va, cpu.numa_node());
+  int remote_levels = pwc_hit ? (walk.leaf_remote ? 1 : 0) : walk.remote_levels;
+  Cycles remote_extra = static_cast<Cycles>(remote_levels) * costs.walk_step_remote_extra;
+  walk_cost += remote_extra;
   cpu.AdvanceInline(walk_cost);
   cpu.NotePageWalk(walk_cost);
-
-  PageTable::WalkResult walk = pt->Walk(va);
+  if (remote_extra > 0) {
+    cpu.NoteRemoteWalk(remote_extra);
+  }
   if (!walk.present) {
     r.fault = FaultKind::kNotPresent;
     return r;

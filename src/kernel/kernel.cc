@@ -1,5 +1,6 @@
 #include "src/kernel/kernel.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "src/kernel/protocol_check.h"
@@ -12,6 +13,14 @@ namespace {
 // (8 PTEs share one 64-byte line).
 LineId PteLine(const MmStruct& mm, uint64_t va) {
   return CoherenceModel::LineOfAddress((mm.pt.root_id() << 40) ^ ((va >> 15) << 6));
+}
+
+// Cacheline of the REPLICA PTE for `va` on `node` (Mitosis: each node's
+// replica of the paging structures lives in that node's DRAM, on its own
+// lines). Folds the node into high bits the primary formula leaves clear.
+LineId ReplicaPteLine(const MmStruct& mm, int node, uint64_t va) {
+  return CoherenceModel::LineOfAddress((mm.pt.root_id() << 40) ^
+                                       (static_cast<uint64_t>(node) << 59) ^ ((va >> 15) << 6));
 }
 
 // The flush stride for a range operation: the covering VMA's page size
@@ -28,6 +37,10 @@ int StrideShiftFor(MmStruct& mm, uint64_t addr) {
 
 Kernel::Kernel(Machine* machine, KernelConfig config) : machine_(machine), config_(config) {
   assert(machine_->num_cpus() <= kMaxCpus);
+  const NumaConfig& numa = machine_->config().numa;
+  if (numa.enabled()) {
+    frames_.ConfigureNuma(numa.nodes, numa.placement);
+  }
   for (int i = 0; i < machine_->num_cpus(); ++i) {
     percpu_.push_back(std::make_unique<PerCpu>(&machine_->engine(), &machine_->coherence(), i,
                                                machine_->num_cpus()));
@@ -65,6 +78,10 @@ Process* Kernel::CreateProcess() {
   auto p = std::make_unique<Process>();
   p->id = next_process_id_++;
   p->mm = std::make_unique<MmStruct>(p->id, &machine_->engine(), &machine_->coherence());
+  if (machine_->config().numa.enabled() && config_.opts.pt_replication) {
+    p->mm->pt.EnableReplication(machine_->config().numa.nodes);
+    p->mm->pt.set_skip_replica_propagation(replica_skip_);
+  }
   if (check_ != nullptr) {
     check_->OnMmCreated(*p->mm);
   }
@@ -135,8 +152,34 @@ Co<void> Kernel::SyscallExit(Thread& t) {
 void Kernel::ChargePteUpdate(SimCpu& cpu, MmStruct& mm, uint64_t va) {
   cpu.AccessLine(PteLine(mm, va), AccessType::kAtomicRmw);
   cpu.AdvanceInline(machine_->costs().pte_update);
+  // Mitosis replication tax: every PTE store also updates the entry in each
+  // remote node's replica — paid here, BEFORE any flush/IPI this change
+  // triggers, which is exactly where the coherence write-out sits.
+  if (mm.pt.replicated() && !replica_skip_) {
+    for (int node = 1; node < mm.pt.replica_count(); ++node) {
+      cpu.AccessLine(ReplicaPteLine(mm, node, va), AccessType::kAtomicRmw);
+      cpu.AdvanceInline(machine_->costs().replica_pte_update);
+    }
+  }
   if (check_ != nullptr) {
     check_->OnPteCharged(cpu, mm, va);
+  }
+}
+
+void Kernel::ChargeRemoteDram(SimCpu& cpu, uint64_t pa) {
+  if (cpu.numa_node() < 0) {
+    return;
+  }
+  if (frames_.NodeOf(pa >> kPageShift) != cpu.numa_node()) {
+    cpu.AdvanceInline(machine_->costs().dram_remote_access);
+    cpu.NoteRemoteDram();
+  }
+}
+
+void Kernel::SetReplicaSkip(bool skip) {
+  replica_skip_ = skip;
+  for (auto& p : processes_) {
+    p->mm->pt.set_skip_replica_propagation(skip);
   }
 }
 
@@ -373,6 +416,7 @@ Co<bool> Kernel::UserAccess(Thread& t, uint64_t va, bool write) {
       // A/D bits are maintained by the hardware walker (Mmu::Translate).
       cpu.AccessLine(CoherenceModel::LineOfAddress(r.pa),
                      write ? AccessType::kWrite : AccessType::kRead);
+      ChargeRemoteDram(cpu, r.pa);
       co_return true;
     }
     Vma* vma = mm.FindVma(va);
@@ -401,6 +445,8 @@ Co<Process*> Kernel::SysFork(Thread& t, int child_cpu) {
   MmStruct& cmm = *child->mm;
   cmm.vmas = mm.vmas;  // VMAs are duplicated...
   cmm.next_map = mm.next_map;
+  // The child's page tables are built by the forking CPU: home them there.
+  cmm.pt.set_alloc_node(std::max(0, cpu.numa_node()));
 
   // ...and every present leaf is shared copy-on-write: private writable
   // pages are downgraded to RO+CoW in BOTH address spaces; shared mappings
@@ -491,6 +537,7 @@ Co<bool> Kernel::SysRead(Thread& t, File* file, uint64_t offset, uint64_t buf, u
       break;
     }
     cpu.AccessLine(CoherenceModel::LineOfAddress(r.pa), AccessType::kWrite);
+    ChargeRemoteDram(cpu, r.pa);
     co_await cpu.Execute(costs.copy_page);
   }
 
@@ -505,6 +552,7 @@ Co<bool> Kernel::UserExec(Thread& t, uint64_t va) {
     XlateResult r = Mmu::Translate(cpu, va, AccessIntent{false, /*exec=*/true, /*user=*/true});
     if (r.ok) {
       cpu.AccessLine(CoherenceModel::LineOfAddress(r.pa), AccessType::kRead);
+      ChargeRemoteDram(cpu, r.pa);
       co_return true;
     }
     Vma* vma = mm.FindVma(va);
@@ -539,6 +587,12 @@ Co<void> Kernel::HandlePageFault(Thread& t, uint64_t va, bool write, FaultKind k
   assert(vma != nullptr);
   uint64_t page_va = PageAlignDown(va, vma->page_size);
 
+  // NUMA: frames demand-allocated here and any paging-structure pages the
+  // Map below creates are homed on the faulting CPU's node (local /
+  // first-touch; the allocator applies interleave itself when configured).
+  int node = std::max(0, cpu.numa_node());
+  mm.pt.set_alloc_node(node);
+
   if (kind == FaultKind::kNotPresent) {
     ++stats_.demand_faults;
     uint64_t frames_per_page = BytesOf(vma->page_size) / kPageSize4K;
@@ -549,7 +603,7 @@ Co<void> Kernel::HandlePageFault(Thread& t, uint64_t va, bool write, FaultKind k
     uint64_t pfn;
     if (vma->file == nullptr) {
       // Anonymous: allocate zeroed frame(s), writable per the VMA.
-      pfn = frames_.Alloc(frames_per_page);
+      pfn = frames_.AllocOn(node, frames_per_page);
       if (vma->writable) {
         flags |= PteFlags::kWrite;
       }
@@ -571,7 +625,7 @@ Co<void> Kernel::HandlePageFault(Thread& t, uint64_t va, bool write, FaultKind k
         uint64_t src = vma->file->GetPage(vma->OffsetOf(page_va));
         (void)src;
         co_await cpu.Execute(costs.copy_page);
-        pfn = frames_.Alloc(frames_per_page);
+        pfn = frames_.AllocOn(node, frames_per_page);
         flags |= PteFlags::kWrite | PteFlags::kDirty;
       } else {
         pfn = vma->file->GetPage(vma->OffsetOf(page_va));
@@ -599,7 +653,7 @@ Co<void> Kernel::HandlePageFault(Thread& t, uint64_t va, bool write, FaultKind k
       } else {
         uint64_t copy_frames = BytesOf(walk_size) / kPageSize4K;
         co_await cpu.Execute(static_cast<Cycles>(copy_frames) * costs.copy_page);
-        uint64_t pfn = frames_.Alloc(copy_frames);
+        uint64_t pfn = frames_.AllocOn(node, copy_frames);
         frames_.Unref(old_pfn);
         mm.pt.SetPte(page_va, pte.WithPfn(pfn).WithFlags(
                                   PteFlags::kWrite | PteFlags::kDirty, PteFlags::kCow));

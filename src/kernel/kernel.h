@@ -141,6 +141,11 @@ class Kernel {
   // True if `opts.userspace_batching` applies to the given syscall class.
   bool BatchingEnabled() const { return config_.opts.userspace_batching; }
 
+  // Applies the skip_replica_propagation fault knob (tests only) to every
+  // process's page table, existing and future. Forwarded by the shootdown
+  // engine's set_fault_injection so test rigs need no extra plumbing.
+  void SetReplicaSkip(bool skip);
+
   // tlbcheck protocol sink (src/check/); null when checking is off. Shared
   // with the ShootdownEngine through this accessor.
   void set_check_sink(ProtocolCheckSink* sink) { check_ = sink; }
@@ -157,6 +162,10 @@ class Kernel {
 
   Co<void> HandlePageFault(Thread& t, uint64_t va, bool write, FaultKind kind);
 
+  // Surcharge for touching data homed on another node (no-op on flat
+  // machines: cpu.numa_node() is -1 there).
+  void ChargeRemoteDram(SimCpu& cpu, uint64_t pa);
+
   Machine* machine_;
   KernelConfig config_;
   FrameAllocator frames_;
@@ -171,6 +180,7 @@ class Kernel {
   uint64_t next_process_id_ = 1;
   uint64_t next_thread_id_ = 1;
   uint64_t next_file_id_ = 1;
+  bool replica_skip_ = false;
   Stats stats_;
   PerCpuCounter* c_syscalls_ = nullptr;  // live "kernel.syscalls" handle
 };

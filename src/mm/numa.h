@@ -1,0 +1,50 @@
+// NUMA memory-node model (one node per socket, Mitosis/numaPTE-style).
+//
+// The default configuration (nodes == 1) is NUMA-flat and reproduces the
+// pre-NUMA simulator exactly: no node-local pfn ranges, no remote-walk or
+// remote-DRAM charges, no extra metrics registered. Everything NUMA keys off
+// NumaConfig::enabled().
+#ifndef TLBSIM_SRC_MM_NUMA_H_
+#define TLBSIM_SRC_MM_NUMA_H_
+
+namespace tlbsim {
+
+// Frame placement policy applied by FrameAllocator::AllocOn.
+enum class NumaPlacement {
+  // Allocate on the requesting CPU's node. Under demand paging the
+  // requesting CPU is the first toucher, so this is the classic "local"
+  // policy (Linux's default).
+  kLocal,
+  // Deterministic round-robin across nodes per allocation (numactl
+  // --interleave), ignoring the requester's node.
+  kInterleave,
+  // Alias of kLocal in this simulator: frames are only ever allocated at
+  // first touch (the page-fault path), so first-touch and local coincide.
+  // Kept distinct so workload configs read like numactl policies.
+  kFirstTouch,
+};
+
+inline const char* NumaPlacementName(NumaPlacement p) {
+  switch (p) {
+    case NumaPlacement::kLocal:
+      return "local";
+    case NumaPlacement::kInterleave:
+      return "interleave";
+    case NumaPlacement::kFirstTouch:
+      return "first-touch";
+  }
+  return "?";
+}
+
+struct NumaConfig {
+  // Memory nodes. 1 = NUMA-flat (legacy behaviour, byte-identical timings);
+  // the natural non-flat value is Topology::sockets (one node per socket).
+  int nodes = 1;
+  NumaPlacement placement = NumaPlacement::kLocal;
+
+  bool enabled() const { return nodes > 1; }
+};
+
+}  // namespace tlbsim
+
+#endif  // TLBSIM_SRC_MM_NUMA_H_

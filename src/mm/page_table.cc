@@ -23,9 +23,10 @@ PageTable::PageTable() : root_(std::make_unique<Node>()), root_id_(NextRootId())
 
 PageTable::PageTable(uint64_t root_id) : root_(std::make_unique<Node>()), root_id_(root_id) {}
 
-PageTable::Node* PageTable::NodeFor(uint64_t va, PageSize size, bool create) {
+PageTable::Node* PageTable::NodeForIn(Node* root, uint64_t va, PageSize size, bool create,
+                                      int home_node, uint64_t* node_count) {
   int leaf_level = size == PageSize::k4K ? 0 : 1;
-  Node* node = root_.get();
+  Node* node = root;
   for (int level = kPtLevels - 1; level > leaf_level; --level) {
     uint64_t idx = PtIndex(va, level);
     if (!node->children[idx]) {
@@ -33,13 +34,33 @@ PageTable::Node* PageTable::NodeFor(uint64_t va, PageSize size, bool create) {
         return nullptr;
       }
       node->children[idx] = std::make_unique<Node>();
+      node->children[idx]->node = home_node;
       node->entries[idx] =
           Pte(PteFlags::kPresent | PteFlags::kWrite | PteFlags::kUser);  // table entry
-      ++node_count_;
+      if (node_count != nullptr) {
+        ++*node_count;
+      }
     }
     node = node->children[idx].get();
   }
   return node;
+}
+
+void PageTable::PropagateStore(uint64_t va, PageSize size, Pte new_pte) {
+  if (replicas_.empty() || skip_replica_propagation_) {
+    return;
+  }
+  int leaf_level = size == PageSize::k4K ? 0 : 1;
+  for (Replica& rep : replicas_) {
+    // Dropping a leaf never materializes replica paging structures; stores
+    // create the path (homed on the replica's node) on demand.
+    Node* node = NodeForIn(rep.root.get(), va, size, /*create=*/new_pte.present(), rep.node,
+                           /*node_count=*/nullptr);
+    if (node == nullptr) {
+      continue;
+    }
+    node->entries[PtIndex(va, leaf_level)] = new_pte;
+  }
 }
 
 void PageTable::Map(uint64_t va, uint64_t pfn, uint64_t flags, PageSize size) {
@@ -57,6 +78,7 @@ void PageTable::Map(uint64_t va, uint64_t pfn, uint64_t flags, PageSize size) {
   if (write_observer_ != nullptr) {
     write_observer_->OnPteWrite(*this, va, old, node->entries[idx], size);
   }
+  PropagateStore(va, size, node->entries[idx]);
 }
 
 Pte PageTable::SetPte(uint64_t va, Pte new_pte) {
@@ -71,6 +93,7 @@ Pte PageTable::SetPte(uint64_t va, Pte new_pte) {
   if (write_observer_ != nullptr) {
     write_observer_->OnPteWrite(*this, va, old, new_pte, r.size);
   }
+  PropagateStore(va, r.size, new_pte);
   return old;
 }
 
@@ -87,14 +110,22 @@ Pte PageTable::Unmap(uint64_t va) {
   if (write_observer_ != nullptr) {
     write_observer_->OnPteWrite(*this, va, old, Pte(), r.size);
   }
+  PropagateStore(va, r.size, Pte());
   return old;
 }
 
-PageTable::WalkResult PageTable::Walk(uint64_t va) const {
+PageTable::WalkResult PageTable::WalkIn(const Node* root, uint64_t va, int walker_node) {
   WalkResult r;
-  const Node* node = root_.get();
+  const Node* node = root;
   for (int level = kPtLevels - 1; level >= 0; --level) {
     ++r.levels_visited;
+    // Fetching an entry reads the paging-structure page holding it; remote
+    // home node = remote DRAM access for this level.
+    bool remote = walker_node >= 0 && node->node != walker_node;
+    if (remote) {
+      ++r.remote_levels;
+    }
+    r.leaf_remote = remote;
     uint64_t idx = PtIndex(va, level);
     const Pte& e = node->entries[idx];
     if (!e.present()) {
@@ -120,8 +151,17 @@ PageTable::WalkResult PageTable::Walk(uint64_t va) const {
   return r;
 }
 
-void PageTable::ForEachPresent(uint64_t lo, uint64_t hi,
-                               const std::function<void(uint64_t, Pte, PageSize)>& fn) const {
+PageTable::WalkResult PageTable::Walk(uint64_t va, int walker_node) const {
+  const Node* root = root_.get();
+  if (walker_node > 0 && !replicas_.empty() &&
+      walker_node <= static_cast<int>(replicas_.size())) {
+    root = replicas_[static_cast<size_t>(walker_node - 1)].root.get();
+  }
+  return WalkIn(root, va, walker_node);
+}
+
+void PageTable::VisitPresent(const Node& root, uint64_t lo, uint64_t hi,
+                             const std::function<void(uint64_t, Pte, PageSize)>& fn) {
   // Recursive descent over the radix tree, pruned to [lo, hi).
   struct Rec {
     const std::function<void(uint64_t, Pte, PageSize)>& fn;
@@ -147,10 +187,16 @@ void PageTable::ForEachPresent(uint64_t lo, uint64_t hi,
     }
   };
   Rec rec{fn, lo, hi};
-  rec.Visit(*root_, kPtLevels - 1, 0);
+  rec.Visit(root, kPtLevels - 1, 0);
 }
 
-bool PageTable::PruneNode(Node& node, int level, uint64_t base, uint64_t lo, uint64_t hi) {
+void PageTable::ForEachPresent(uint64_t lo, uint64_t hi,
+                               const std::function<void(uint64_t, Pte, PageSize)>& fn) const {
+  VisitPresent(*root_, lo, hi, fn);
+}
+
+bool PageTable::PruneNode(Node& node, int level, uint64_t base, uint64_t lo, uint64_t hi,
+                          uint64_t* node_count) {
   bool freed = false;
   uint64_t span = SpanAt(level);
   for (uint64_t i = 0; i < kPtEntries; ++i) {
@@ -160,7 +206,7 @@ bool PageTable::PruneNode(Node& node, int level, uint64_t base, uint64_t lo, uin
     }
     Node& child = *node.children[i];
     if (level > 1) {
-      freed |= PruneNode(child, level - 1, va, lo, hi);
+      freed |= PruneNode(child, level - 1, va, lo, hi, node_count);
     }
     bool empty = true;
     for (uint64_t j = 0; j < kPtEntries; ++j) {
@@ -172,7 +218,9 @@ bool PageTable::PruneNode(Node& node, int level, uint64_t base, uint64_t lo, uin
     if (empty) {
       node.children[i] = nullptr;
       node.entries[i] = Pte();
-      --node_count_;
+      if (node_count != nullptr) {
+        --*node_count;
+      }
       freed = true;
     }
   }
@@ -180,7 +228,92 @@ bool PageTable::PruneNode(Node& node, int level, uint64_t base, uint64_t lo, uin
 }
 
 bool PageTable::PruneEmpty(uint64_t lo, uint64_t hi) {
-  return PruneNode(*root_, kPtLevels - 1, 0, lo, hi);
+  bool freed = PruneNode(*root_, kPtLevels - 1, 0, lo, hi, &node_count_);
+  if (!replicas_.empty() && !skip_replica_propagation_) {
+    for (Replica& rep : replicas_) {
+      PruneNode(*rep.root, kPtLevels - 1, 0, lo, hi, /*node_count=*/nullptr);
+    }
+  }
+  return freed;
+}
+
+std::unique_ptr<PageTable::Node> PageTable::CloneTree(const Node& src, int home_node) {
+  auto n = std::make_unique<Node>();
+  n->entries = src.entries;
+  n->node = home_node;
+  for (uint64_t i = 0; i < kPtEntries; ++i) {
+    if (src.children[i]) {
+      n->children[i] = CloneTree(*src.children[i], home_node);
+    }
+  }
+  return n;
+}
+
+void PageTable::EnableReplication(int num_nodes) {
+  if (num_nodes <= 1 || !replicas_.empty()) {
+    return;
+  }
+  // Pin the primary to node 0 (it doubles as node 0's replica), retagging
+  // any pre-replication first-touch homing.
+  alloc_node_ = 0;
+  struct Retag {
+    static void Run(Node& n) {
+      n.node = 0;
+      for (uint64_t i = 0; i < kPtEntries; ++i) {
+        if (n.children[i]) {
+          Run(*n.children[i]);
+        }
+      }
+    }
+  };
+  Retag::Run(*root_);
+  replicas_.reserve(static_cast<size_t>(num_nodes - 1));
+  for (int node = 1; node < num_nodes; ++node) {
+    replicas_.push_back(Replica{CloneTree(*root_, node), node});
+  }
+}
+
+uint64_t PageTable::replica_root_id(int node) const {
+  assert(node >= 0 && (node == 0 || node <= static_cast<int>(replicas_.size())));
+  // Deterministic, collision-free with other mms' (small) primary ids.
+  return node == 0 ? root_id_ : root_id_ + (static_cast<uint64_t>(node) << 32);
+}
+
+bool PageTable::FindReplicaDivergence(uint64_t* va, int* node) const {
+  for (const Replica& rep : replicas_) {
+    bool diverged = false;
+    uint64_t dva = 0;
+    // Primary leaves must exist identically in the replica...
+    VisitPresent(*root_, 0, ~0ULL, [&](uint64_t leaf_va, Pte pte, PageSize) {
+      if (diverged) {
+        return;
+      }
+      WalkResult w = WalkIn(rep.root.get(), leaf_va, -1);
+      if (!w.present || !(w.pte == pte)) {
+        diverged = true;
+        dva = leaf_va;
+      }
+    });
+    // ...and the replica must not hold extra (stale) leaves.
+    if (!diverged) {
+      VisitPresent(*rep.root, 0, ~0ULL, [&](uint64_t leaf_va, Pte pte, PageSize) {
+        if (diverged) {
+          return;
+        }
+        WalkResult w = WalkIn(root_.get(), leaf_va, -1);
+        if (!w.present || !(w.pte == pte)) {
+          diverged = true;
+          dva = leaf_va;
+        }
+      });
+    }
+    if (diverged) {
+      *va = dva;
+      *node = rep.node;
+      return true;
+    }
+  }
+  return false;
 }
 
 }  // namespace tlbsim

@@ -5,6 +5,20 @@
 // kernel charges PTE-update costs.
 //
 // 2MB huge pages are leaf entries at the PD level (PS bit set).
+//
+// NUMA: every paging-structure page carries a home memory node (set via
+// set_alloc_node at creation — first-touch homing). The node-aware Walk
+// overload reports how many visited levels lived on a remote node so the
+// hardware walker can charge the extra DRAM latency.
+//
+// Replication (Mitosis-style, optimizations.h:pt_replication): one replica
+// tree per memory node. The primary tree doubles as node 0's replica; nodes
+// 1..n-1 get full copies homed entirely on their node. Every mutation
+// (Map / SetPte / Unmap / PruneEmpty — including the hardware A/D assist)
+// propagates to all replicas; the write observer fires once, on the primary.
+// Node-aware walks go through the walker's local replica. The tlbcheck
+// oracle verifies replica agreement at flush-acknowledgement time via
+// FindReplicaDivergence.
 #ifndef TLBSIM_SRC_MM_PAGE_TABLE_H_
 #define TLBSIM_SRC_MM_PAGE_TABLE_H_
 
@@ -12,6 +26,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "src/mm/pte.h"
 
@@ -45,6 +60,8 @@ class PageTable {
     Pte pte;             // leaf entry (raw 0 if not present)
     PageSize size = PageSize::k4K;
     int levels_visited = 0;  // paging-structure levels touched by the walk
+    int remote_levels = 0;   // of those, levels homed on a remote node
+    bool leaf_remote = false;  // the level holding the final entry is remote
     bool present = false;
   };
 
@@ -60,7 +77,13 @@ class PageTable {
   Pte Unmap(uint64_t va);
 
   // Full software walk (no cost accounting).
-  WalkResult Walk(uint64_t va) const;
+  WalkResult Walk(uint64_t va) const { return Walk(va, -1); }
+
+  // Node-aware walk: `walker_node` < 0 means NUMA-flat (no remote counting,
+  // primary tree). Otherwise walks the walker's local replica when
+  // replication is on, and fills remote_levels / leaf_remote against the
+  // visited paging structures' home nodes.
+  WalkResult Walk(uint64_t va, int walker_node) const;
 
   // Invokes `fn(va, pte, size)` for every present leaf in [lo, hi).
   void ForEachPresent(uint64_t lo, uint64_t hi,
@@ -74,8 +97,42 @@ class PageTable {
   // Unique id standing in for the root's physical address (CR3 target).
   uint64_t root_id() const { return root_id_; }
 
-  // Number of live paging-structure pages (root included).
+  // Number of live paging-structure pages (root included; primary tree).
   uint64_t node_count() const { return node_count_; }
+
+  // --- NUMA ---
+  // Home node for paging-structure pages created by subsequent Maps
+  // (first-touch: the faulting CPU's node). Ignored while replication is on
+  // (the primary is pinned to node 0, replicas to their own node).
+  void set_alloc_node(int node) {
+    if (replicas_.empty()) {
+      alloc_node_ = node;
+    }
+  }
+  int alloc_node() const { return alloc_node_; }
+
+  // --- replication (Mitosis) ---
+  // Creates replicas for nodes 1..num_nodes-1 (deep copies of the current
+  // tree, homed on their node) and pins the primary to node 0. Idempotent
+  // for num_nodes <= 1.
+  void EnableReplication(int num_nodes);
+  bool replicated() const { return !replicas_.empty(); }
+  // Total replica count including the primary (0 when replication is off).
+  int replica_count() const {
+    return replicas_.empty() ? 0 : static_cast<int>(replicas_.size()) + 1;
+  }
+  // Root id of node `node`'s replica (node 0 = the primary root id); feeds
+  // the per-replica page-table cacheline the kernel charges on propagation.
+  uint64_t replica_root_id(int node) const;
+
+  // Fault injection (tests): stop propagating mutations to replicas,
+  // making them diverge from the primary.
+  void set_skip_replica_propagation(bool skip) { skip_replica_propagation_ = skip; }
+
+  // Replica-coherence scan for the tlbcheck oracle: first leaf where some
+  // replica disagrees with the primary (either direction). Returns true and
+  // fills `va`/`node` on divergence.
+  bool FindReplicaDivergence(uint64_t* va, int* node) const;
 
   // tlbcheck hook: observer sees every leaf write (null when checking off).
   void set_write_observer(PteWriteObserver* obs) { write_observer_ = obs; }
@@ -84,17 +141,39 @@ class PageTable {
   struct Node {
     std::array<Pte, kPtEntries> entries{};
     std::array<std::unique_ptr<Node>, kPtEntries> children;
+    int node = 0;  // home memory node of this paging-structure page
+  };
+
+  struct Replica {
+    std::unique_ptr<Node> root;
+    int node;  // memory node this replica serves (1..n-1)
   };
 
   // Walks down to the node holding the leaf for (va, size), creating
-  // intermediate nodes if `create`.
-  Node* NodeFor(uint64_t va, PageSize size, bool create);
+  // intermediate nodes (homed on `home_node`) if `create`. `node_count` is
+  // bumped per created node when non-null (primary bookkeeping).
+  static Node* NodeForIn(Node* root, uint64_t va, PageSize size, bool create, int home_node,
+                         uint64_t* node_count);
+  Node* NodeFor(uint64_t va, PageSize size, bool create) {
+    return NodeForIn(root_.get(), va, size, create, alloc_node_, &node_count_);
+  }
 
-  bool PruneNode(Node& node, int level, uint64_t base, uint64_t lo, uint64_t hi);
+  static WalkResult WalkIn(const Node* root, uint64_t va, int walker_node);
+  static void VisitPresent(const Node& root, uint64_t lo, uint64_t hi,
+                           const std::function<void(uint64_t, Pte, PageSize)>& fn);
+  static std::unique_ptr<Node> CloneTree(const Node& src, int home_node);
+  static bool PruneNode(Node& node, int level, uint64_t base, uint64_t lo, uint64_t hi,
+                        uint64_t* node_count);
+
+  // Applies the leaf store to every replica (primary already written).
+  void PropagateStore(uint64_t va, PageSize size, Pte new_pte);
 
   std::unique_ptr<Node> root_;
   uint64_t root_id_;
   uint64_t node_count_ = 1;
+  int alloc_node_ = 0;
+  std::vector<Replica> replicas_;
+  bool skip_replica_propagation_ = false;
   PteWriteObserver* write_observer_ = nullptr;
 };
 

@@ -5,35 +5,119 @@
 
 namespace tlbsim {
 
-uint64_t FrameAllocator::Alloc(uint64_t count) {
+void FrameAllocator::ConfigureNuma(int nodes, NumaPlacement placement) {
+  assert(nodes >= 1);
+  assert(refs_.empty() && free_.empty() && "ConfigureNuma after first allocation");
+  placement_ = placement;
+  node_next_.assign(static_cast<size_t>(nodes), 0);
+  node_allocs_.assign(static_cast<size_t>(nodes), 0);
+  for (int n = 0; n < nodes; ++n) {
+    node_next_[static_cast<size_t>(n)] = NodeBase(n);
+  }
+}
+
+FrameAllocator::RefMap::const_iterator FrameAllocator::Resolve(uint64_t pfn) const {
+  auto it = refs_.upper_bound(pfn);
+  if (it == refs_.begin()) {
+    return refs_.end();
+  }
+  --it;  // greatest head <= pfn
+  if (pfn < it->first + it->second.count) {
+    return it;
+  }
+  return refs_.end();
+}
+
+FrameAllocator::RefMap::iterator FrameAllocator::Resolve(uint64_t pfn) {
+  auto it = refs_.upper_bound(pfn);
+  if (it == refs_.begin()) {
+    return refs_.end();
+  }
+  --it;
+  if (pfn < it->first + it->second.count) {
+    return it;
+  }
+  return refs_.end();
+}
+
+void FrameAllocator::PushFree(uint64_t pfn, uint64_t count) {
+  auto idx = static_cast<uint32_t>(free_.size());
+  free_.emplace_back(pfn, count);
+  free_index_[{NodeOf(pfn), count}].insert(idx);
+}
+
+uint64_t FrameAllocator::TakeFreeAt(uint32_t idx) {
+  auto [pfn, count] = free_[idx];
+  auto EraseIndex = [this](uint32_t i, uint64_t p, uint64_t c) {
+    auto it = free_index_.find({NodeOf(p), c});
+    assert(it != free_index_.end());
+    it->second.erase(i);
+    if (it->second.empty()) {
+      free_index_.erase(it);
+    }
+  };
+  EraseIndex(idx, pfn, count);
+  auto last = static_cast<uint32_t>(free_.size() - 1);
+  if (idx != last) {
+    // Legacy swap-with-back removal: the moved entry's bucket index changes.
+    auto [mpfn, mcount] = free_[last];
+    EraseIndex(last, mpfn, mcount);
+    free_[idx] = free_[last];
+    free_index_[{NodeOf(mpfn), mcount}].insert(idx);
+  }
+  free_.pop_back();
+  return pfn;
+}
+
+uint64_t FrameAllocator::AllocOn(int node_hint, uint64_t count) {
   assert(count >= 1);
   ++total_allocs_;
-  for (std::size_t i = 0; i < free_.size(); ++i) {
-    if (free_[i].second == count) {
-      uint64_t pfn = free_[i].first;
-      free_[i] = free_.back();
-      free_.pop_back();
-      refs_.emplace(pfn, Record{1, count});
-      return pfn;
+  int node = 0;
+  if (nodes() > 1) {
+    switch (placement_) {
+      case NumaPlacement::kLocal:
+      case NumaPlacement::kFirstTouch:
+        node = node_hint;
+        break;
+      case NumaPlacement::kInterleave:
+        node = static_cast<int>(interleave_next_++ % static_cast<uint64_t>(nodes()));
+        break;
     }
+    assert(node >= 0 && node < nodes());
   }
-  uint64_t pfn = next_pfn_;
-  next_pfn_ += count;
+  ++node_allocs_[static_cast<size_t>(node)];
+  // Lowest free-list index with a matching (node, count) — the entry the old
+  // linear scan would have found first.
+  auto it = free_index_.find({node, count});
+  if (it != free_index_.end()) {
+    uint64_t pfn = TakeFreeAt(*it->second.begin());
+    refs_.emplace(pfn, Record{1, count});
+    return pfn;
+  }
+  uint64_t pfn = node_next_[static_cast<size_t>(node)];
+  node_next_[static_cast<size_t>(node)] += count;
+  assert(nodes() == 1 || node_next_[static_cast<size_t>(node)] <= NodeBase(node) + kNodeSpan);
   refs_.emplace(pfn, Record{1, count});
   return pfn;
 }
 
 void FrameAllocator::Ref(uint64_t pfn) {
-  auto it = refs_.find(pfn);
+  auto it = Resolve(pfn);
   assert(it != refs_.end() && "Ref of unallocated frame");
+  if (it == refs_.end()) {
+    return;  // Release-mode: reject instead of corrupting refs_.end()
+  }
   ++it->second.refs;
 }
 
 uint64_t FrameAllocator::Unref(uint64_t pfn) {
-  auto it = refs_.find(pfn);
+  auto it = Resolve(pfn);
   assert(it != refs_.end() && "Unref of unallocated frame");
+  if (it == refs_.end()) {
+    return 0;
+  }
   if (--it->second.refs == 0) {
-    free_.emplace_back(pfn, it->second.count);
+    PushFree(it->first, it->second.count);
     refs_.erase(it);
     return 0;
   }
@@ -41,13 +125,21 @@ uint64_t FrameAllocator::Unref(uint64_t pfn) {
 }
 
 uint64_t FrameAllocator::RefCount(uint64_t pfn) const {
-  auto it = refs_.find(pfn);
+  auto it = Resolve(pfn);
   return it == refs_.end() ? 0 : it->second.refs;
+}
+
+int FrameAllocator::NodeOf(uint64_t pfn) const {
+  if (nodes() == 1 || pfn < first_pfn_) {
+    return 0;
+  }
+  auto node = static_cast<int>((pfn - first_pfn_) / kNodeSpan);
+  return node < nodes() ? node : nodes() - 1;
 }
 
 uint64_t FrameAllocator::allocated_frames() const {
   uint64_t n = 0;
-  for (const auto& [pfn, rec] : refs_) {  // det-ok: order-independent (sums counts)
+  for (const auto& [pfn, rec] : refs_) {
     n += rec.count;
   }
   return n;

@@ -1,46 +1,103 @@
 // Physical frame allocator with reference counting (for CoW sharing).
 //
 // Frames carry no data; the simulator only needs identity + refcounts.
+//
+// Multi-frame (huge-page) allocations share one refcount record keyed by the
+// head pfn; Ref/Unref/RefCount/IsAllocated resolve interior pfns to that
+// record (refs_ is an ordered map so the covering head is a predecessor
+// lookup).
+//
+// NUMA (src/mm/numa.h): after ConfigureNuma(n > 1), each node owns a disjoint
+// pfn range and AllocOn places allocations per the configured policy. The
+// default single-node setup hands out exactly the legacy pfn sequence.
 #ifndef TLBSIM_SRC_MM_PHYS_H_
 #define TLBSIM_SRC_MM_PHYS_H_
 
+#include <cstddef>
 #include <cstdint>
-#include <unordered_map>
+#include <map>
+#include <set>
+#include <utility>
 #include <vector>
+
+#include "src/mm/numa.h"
 
 namespace tlbsim {
 
 class FrameAllocator {
  public:
   // `first_pfn` reserves a low range (e.g. for "kernel image" frames).
-  explicit FrameAllocator(uint64_t first_pfn = 0x1000) : next_pfn_(first_pfn) {}
+  explicit FrameAllocator(uint64_t first_pfn = 0x1000) : first_pfn_(first_pfn) {
+    node_next_.push_back(first_pfn);
+  }
 
-  // Allocates one frame with refcount 1. `count` contiguous frames for huge
-  // pages (returns the first pfn; all share one refcount record keyed by the
-  // head pfn).
-  uint64_t Alloc(uint64_t count = 1);
+  // Splits the pfn space into per-node ranges. Must be called before the
+  // first allocation (typically by the kernel at construction, from
+  // MachineConfig::numa). Idempotent for the default single-node setup.
+  void ConfigureNuma(int nodes, NumaPlacement placement);
 
-  // Increments the sharing count (fork/CoW).
+  // Allocates one frame with refcount 1 on node 0. `count` contiguous frames
+  // for huge pages (returns the first pfn; all share one refcount record
+  // keyed by the head pfn).
+  uint64_t Alloc(uint64_t count = 1) { return AllocOn(0, count); }
+
+  // Node-aware allocation: `node_hint` is the requesting CPU's node; the
+  // placement policy decides the actual node (kInterleave ignores the hint).
+  uint64_t AllocOn(int node_hint, uint64_t count = 1);
+
+  // Increments the sharing count (fork/CoW). Interior pfns of a multi-frame
+  // allocation resolve to the head record.
   void Ref(uint64_t pfn);
 
-  // Drops a reference; frees the frame when it reaches zero. Returns the
-  // refcount after the drop.
+  // Drops a reference; frees the whole allocation when it reaches zero.
+  // Returns the refcount after the drop.
   uint64_t Unref(uint64_t pfn);
 
   uint64_t RefCount(uint64_t pfn) const;
-  bool IsAllocated(uint64_t pfn) const { return refs_.count(pfn) != 0; }
+  bool IsAllocated(uint64_t pfn) const { return Resolve(pfn) != refs_.end(); }
 
+  // Memory node holding `pfn` (0 when NUMA-flat).
+  int NodeOf(uint64_t pfn) const;
+
+  int nodes() const { return static_cast<int>(node_next_.size()); }
   uint64_t allocated_frames() const;
   uint64_t total_allocs() const { return total_allocs_; }
+  uint64_t node_allocs(int node) const { return node_allocs_.at(static_cast<size_t>(node)); }
 
  private:
   struct Record {
     uint64_t refs;
     uint64_t count;  // frames in this allocation
   };
-  std::unordered_map<uint64_t, Record> refs_;
+  using RefMap = std::map<uint64_t, Record>;  // keyed by head pfn (ordered)
+
+  // Per-node pfn span. Generous: the simulator allocates thousands of
+  // frames, not millions.
+  static constexpr uint64_t kNodeSpan = 1ULL << 24;
+
+  // Head record covering `pfn` (head or interior), or refs_.end().
+  RefMap::const_iterator Resolve(uint64_t pfn) const;
+  RefMap::iterator Resolve(uint64_t pfn);
+
+  uint64_t NodeBase(int node) const {
+    return nodes() == 1 ? first_pfn_ : first_pfn_ + static_cast<uint64_t>(node) * kNodeSpan;
+  }
+
+  // Free-list maintenance. `free_` keeps the legacy vector (push_back on
+  // free, swap-with-back removal) so reuse order is bit-identical to the old
+  // linear scan; `free_index_` buckets the live indices by (node, count) so
+  // Alloc is O(log n) instead of O(n).
+  void PushFree(uint64_t pfn, uint64_t count);
+  uint64_t TakeFreeAt(uint32_t idx);
+
+  RefMap refs_;
   std::vector<std::pair<uint64_t, uint64_t>> free_;  // (pfn, count) free list
-  uint64_t next_pfn_;
+  std::map<std::pair<int, uint64_t>, std::set<uint32_t>> free_index_;
+  uint64_t first_pfn_;
+  std::vector<uint64_t> node_next_;    // bump pointer per node
+  std::vector<uint64_t> node_allocs_{0};
+  NumaPlacement placement_ = NumaPlacement::kLocal;
+  uint64_t interleave_next_ = 0;  // deterministic round-robin cursor
   uint64_t total_allocs_ = 0;
 };
 

@@ -1,0 +1,102 @@
+#include "src/workloads/numa_walk.h"
+
+#include <algorithm>
+
+#include "src/core/snapshot.h"
+
+namespace tlbsim {
+
+namespace {
+
+constexpr int kLocalWalkerCpu = 4;    // socket 0: same node as the tables
+constexpr int kRemoteWalkerCpu = 30;  // socket 1: across the interconnect
+
+Co<void> TimedWalkSweep(System& sys, Thread& t, uint64_t addr, const NumaWalkConfig& cfg,
+                        RunningStat* per_access) {
+  Kernel& k = sys.kernel();
+  SimCpu& cpu = sys.machine().cpu(t.cpu);
+  for (int it = 0; it < cfg.iterations; ++it) {
+    // Flush this walker's TLB and paging-structure cache so every access in
+    // the sweep performs a hardware walk — the quantity under measurement.
+    cpu.ArchFlushPcid(cpu.active_pcid());
+    for (int i = 0; i < cfg.pages; ++i) {
+      Cycles t0 = cpu.now();
+      co_await k.UserAccess(t, addr + static_cast<uint64_t>(i) * kPageSize4K, false);
+      per_access->Add(static_cast<double>(cpu.now() - t0));
+    }
+  }
+}
+
+SimTask NumaWalkProgram(System& sys, Thread& home, Thread& local, Thread& remote,
+                        const NumaWalkConfig& cfg, NumaWalkResult* out) {
+  Kernel& k = sys.kernel();
+  uint64_t bytes = static_cast<uint64_t>(cfg.pages) * kPageSize4K;
+  uint64_t addr = co_await k.SysMmap(home, bytes, true, false);
+  // First touch from cpu 0: data frames and the paging-structure pages that
+  // map them land on node 0 (local / first-touch policy).
+  for (int i = 0; i < cfg.pages; ++i) {
+    co_await k.UserAccess(home, addr + static_cast<uint64_t>(i) * kPageSize4K, true);
+  }
+
+  co_await TimedWalkSweep(sys, local, addr, cfg, &out->local_walk);
+  co_await TimedWalkSweep(sys, remote, addr, cfg, &out->remote_walk);
+
+  // Fig5-style storm: the home thread madvises the range while the walkers'
+  // CPUs sit in mm_cpumask as shootdown targets. With pt_replication on,
+  // every zap pays the replica write fan-out before its IPIs go out — the
+  // replication tax this bench ablates.
+  //
+  // The sweeps above advanced only the walkers' local clocks (pure inline
+  // cycles, no engine events), so fast-forward the initiator first: otherwise
+  // its first madvise absorbs the clock skew as phantom ack-wait latency —
+  // and the skew itself depends on how expensive the walks were.
+  SimCpu& icpu = sys.machine().cpu(home.cpu);
+  Cycles sweeps_done = std::max({icpu.now(), sys.machine().cpu(local.cpu).now(),
+                                 sys.machine().cpu(remote.cpu).now()});
+  if (sweeps_done > icpu.now()) {
+    icpu.AdvanceInline(sweeps_done - icpu.now());
+  }
+  for (int s = 0; s < cfg.storm_iterations; ++s) {
+    for (int i = 0; i < cfg.pages; ++i) {
+      co_await k.UserAccess(home, addr + static_cast<uint64_t>(i) * kPageSize4K, true);
+    }
+    Cycles t0 = icpu.now();
+    co_await k.SysMadviseDontneed(home, addr, bytes);
+    out->storm_initiator.Add(static_cast<double>(icpu.now() - t0));
+  }
+}
+
+}  // namespace
+
+NumaWalkResult RunNumaWalk(const NumaWalkConfig& cfg) {
+  SystemConfig sys_cfg;
+  sys_cfg.kernel.pti = cfg.pti;
+  sys_cfg.kernel.opts = cfg.opts;
+  sys_cfg.machine.seed = cfg.seed;
+  sys_cfg.machine.numa.nodes = cfg.numa_nodes;
+  sys_cfg.machine.numa.placement = cfg.placement;
+  System sys(sys_cfg);
+
+  Process* p = sys.kernel().CreateProcess();
+  Thread* home = sys.kernel().CreateThread(p, 0);
+  Thread* local = sys.kernel().CreateThread(p, kLocalWalkerCpu);
+  Thread* remote = sys.kernel().CreateThread(p, kRemoteWalkerCpu);
+
+  NumaWalkResult out;
+  sys.machine().cpu(0).Spawn(NumaWalkProgram(sys, *home, *local, *remote, cfg, &out));
+  sys.machine().engine().Run();
+
+  out.shootdowns = sys.shootdown().stats().shootdowns;
+  if (sys.machine().config().numa.enabled()) {
+    // Live counters registered by the SimCpus of NUMA machines; querying
+    // them on a flat machine would register (and thus serialize) them.
+    MetricsRegistry& m = sys.machine().metrics();
+    out.remote_walks = m.percpu("numa.remote_walks").total();
+    out.remote_walk_cycles = m.percpu("numa.remote_walk_cycles").total();
+    out.remote_dram_accesses = m.percpu("numa.remote_dram_accesses").total();
+  }
+  out.metrics = SystemMetricsJson(sys);
+  return out;
+}
+
+}  // namespace tlbsim

@@ -1,0 +1,53 @@
+// NUMA page-walk workload: measures what a hardware walk costs when the
+// paging structures live on another socket's memory node, and what
+// Mitosis-style per-socket page-table replication (OptimizationSet::
+// pt_replication) buys back — plus the replication write tax it charges a
+// fig5-style madvise storm.
+//
+// Shape: a "home" thread on cpu 0 (socket 0 / node 0) faults the working set
+// in, homing data frames and paging-structure pages on node 0. Two walker
+// threads then sweep the range with a TLB+PWC flush before every sweep so
+// each access performs a hardware walk: one walker on the home socket
+// (local walks) and one across the interconnect (remote walks). A final
+// storm phase re-touches and madvises the range from the home thread while
+// the walkers' CPUs are shootdown targets.
+#ifndef TLBSIM_SRC_WORKLOADS_NUMA_WALK_H_
+#define TLBSIM_SRC_WORKLOADS_NUMA_WALK_H_
+
+#include <cstdint>
+
+#include "src/core/system.h"
+#include "src/mm/numa.h"
+#include "src/sim/json.h"
+#include "src/sim/stats.h"
+
+namespace tlbsim {
+
+struct NumaWalkConfig {
+  bool pti = true;
+  OptimizationSet opts;  // pt_replication is the knob under study
+  int numa_nodes = 2;    // 1 = flat machine (the pre-NUMA baseline)
+  NumaPlacement placement = NumaPlacement::kLocal;
+  int pages = 48;            // working set walked per sweep
+  int iterations = 60;       // timed sweeps per walker
+  int storm_iterations = 80; // madvise storm rounds (replication tax)
+  uint64_t seed = 1;
+};
+
+struct NumaWalkResult {
+  RunningStat local_walk;       // cycles/access, walker on the tables' node
+  RunningStat remote_walk;      // cycles/access, walker across the interconnect
+  RunningStat storm_initiator;  // cycles per madvise in the storm phase
+  uint64_t remote_walks = 0;    // live numa.* counters (0 on flat machines)
+  uint64_t remote_walk_cycles = 0;
+  uint64_t remote_dram_accesses = 0;
+  uint64_t shootdowns = 0;
+  Json metrics;  // full registry snapshot (src/core/snapshot.h)
+};
+
+// One complete simulation run.
+NumaWalkResult RunNumaWalk(const NumaWalkConfig& config);
+
+}  // namespace tlbsim
+
+#endif  // TLBSIM_SRC_WORKLOADS_NUMA_WALK_H_

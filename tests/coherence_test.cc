@@ -140,5 +140,63 @@ TEST_F(CoherenceTest, EvictAllForcesMemoryFill) {
   EXPECT_EQ(model_.Access(0, a, AccessType::kRead), costs_.memory_fill);
 }
 
+// Degenerate topology: smt=1. NearestHolder can never report kSmtSibling, so
+// a transfer from the adjacent cpu id is charged at the same-socket rate.
+TEST(CoherenceDegenerateTest, NoSmtTransferFromAdjacentCpuIsSameSocket) {
+  Topology topo{.sockets = 2, .cores_per_socket = 4, .smt = 1};
+  CacheCosts costs;
+  CoherenceModel model(topo, costs);
+  LineId l = model.AllocateLine("x");
+  model.Access(0, l, AccessType::kWrite);
+  EXPECT_EQ(model.Access(1, l, AccessType::kRead), costs.same_socket_transfer);
+  // Across the socket boundary (cpus_per_socket = 4) it's still cross-socket.
+  model.Access(4, l, AccessType::kWrite);
+  model.EvictAll(l);
+  model.Access(4, l, AccessType::kWrite);
+  EXPECT_EQ(model.Access(0, l, AccessType::kRead), costs.cross_socket_transfer);
+}
+
+// Degenerate topology: sockets=1. NearestHolder never reports kCrossSocket —
+// the farthest any holder can be is the shared L3 — and upgrade costs are
+// capped accordingly.
+TEST(CoherenceDegenerateTest, SingleSocketNeverPaysCrossSocket) {
+  Topology topo{.sockets = 1, .cores_per_socket = 4, .smt = 2};
+  CacheCosts costs;
+  CoherenceModel model(topo, costs);
+  LineId l = model.AllocateLine("x");
+  model.Access(0, l, AccessType::kWrite);
+  EXPECT_EQ(model.Access(1, l, AccessType::kRead), costs.smt_transfer);
+  EXPECT_EQ(model.Access(6, l, AccessType::kRead), costs.same_socket_transfer);
+  // Upgrade with sharers spread over the whole (single-socket) machine.
+  EXPECT_EQ(model.Access(0, l, AccessType::kWrite), costs.same_socket_transfer);
+  EXPECT_EQ(model.global_stats().cross_socket_transfers, 0u);
+}
+
+// NearestHolder must pick the cheapest of several holders, also in the
+// degenerate single-socket case where the candidates are sibling vs. L3.
+TEST(CoherenceDegenerateTest, SingleSocketNearestOfManyHoldersIsSibling) {
+  Topology topo{.sockets = 1, .cores_per_socket = 4, .smt = 2};
+  CacheCosts costs;
+  CoherenceModel model(topo, costs);
+  LineId l = model.AllocateLine("x");
+  model.Access(6, l, AccessType::kRead);  // far corner holds it first
+  model.Access(1, l, AccessType::kRead);  // then cpu 0's smt sibling
+  EXPECT_EQ(model.Access(0, l, AccessType::kRead), costs.smt_transfer);
+}
+
+// Single-cpu machine: every access after the fill is a hit; no transfer class
+// is ever exercised.
+TEST(CoherenceDegenerateTest, SingleCpuMachineOnlyFillsAndHits) {
+  Topology topo{.sockets = 1, .cores_per_socket = 1, .smt = 1};
+  CacheCosts costs;
+  CoherenceModel model(topo, costs);
+  LineId l = model.AllocateLine("x");
+  EXPECT_EQ(model.Access(0, l, AccessType::kRead), costs.memory_fill);
+  EXPECT_EQ(model.Access(0, l, AccessType::kWrite), costs.l1_hit);
+  EXPECT_EQ(model.Access(0, l, AccessType::kAtomicRmw), costs.l1_hit);
+  EXPECT_EQ(model.global_stats().transfers, 0u);
+  EXPECT_EQ(model.global_stats().invalidations, 0u);
+}
+
 }  // namespace
 }  // namespace tlbsim

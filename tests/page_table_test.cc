@@ -195,5 +195,106 @@ TEST(PageTablePropertyTest, AgreesWithShadowModel) {
   EXPECT_EQ(found, shadow.size());
 }
 
+// --- NUMA homing & Mitosis-style replication ---
+
+TEST(PageTableNumaTest, FirstTouchHomesStructuresOnAllocNode) {
+  PageTable pt;
+  pt.set_alloc_node(1);
+  pt.Map(kBase, 0x100, PteFlags::kPresent);
+  // A walker on node 1 sees the interior levels as local (the root predates
+  // set_alloc_node, so it stays on node 0).
+  auto local = pt.Walk(kBase, 1);
+  auto remote = pt.Walk(kBase, 0);
+  EXPECT_TRUE(local.present);
+  EXPECT_LT(local.remote_levels, remote.remote_levels);
+  EXPECT_TRUE(remote.leaf_remote);
+  EXPECT_FALSE(local.leaf_remote);
+}
+
+TEST(PageTableNumaTest, FlatWalkerCountsNoRemoteLevels) {
+  PageTable pt;
+  pt.set_alloc_node(1);
+  pt.Map(kBase, 0x100, PteFlags::kPresent);
+  auto r = pt.Walk(kBase, -1);  // NUMA-flat walker
+  EXPECT_TRUE(r.present);
+  EXPECT_EQ(r.remote_levels, 0);
+  EXPECT_FALSE(r.leaf_remote);
+}
+
+TEST(PageTableReplicationTest, ReplicasStartAsExactCopies) {
+  PageTable pt;
+  pt.Map(kBase, 0x100, PteFlags::kPresent | PteFlags::kWrite);
+  pt.Map(kBase + kPageSize4K, 0x101, PteFlags::kPresent);
+  pt.EnableReplication(2);
+  ASSERT_TRUE(pt.replicated());
+  EXPECT_EQ(pt.replica_count(), 2);
+  uint64_t va = 0;
+  int node = -1;
+  EXPECT_FALSE(pt.FindReplicaDivergence(&va, &node));
+  // A node-1 walker now resolves through its local replica: zero remote
+  // levels even though the primary lives on node 0.
+  auto r = pt.Walk(kBase, 1);
+  EXPECT_TRUE(r.present);
+  EXPECT_EQ(r.remote_levels, 0);
+  EXPECT_FALSE(r.leaf_remote);
+  EXPECT_EQ(r.pte.pfn(), 0x100u);
+}
+
+TEST(PageTableReplicationTest, MutationsPropagateToReplicas) {
+  PageTable pt;
+  pt.Map(kBase, 0x100, PteFlags::kPresent | PteFlags::kWrite);
+  pt.EnableReplication(3);
+  EXPECT_EQ(pt.replica_count(), 3);
+
+  pt.Map(kBase + kPageSize4K, 0x200, PteFlags::kPresent);            // post-enable Map
+  pt.SetPte(kBase, Pte::Make(0x100, PteFlags::kPresent));            // protection change
+  uint64_t va = 0;
+  int node = -1;
+  EXPECT_FALSE(pt.FindReplicaDivergence(&va, &node));
+
+  for (int n = 0; n < 3; ++n) {
+    auto r = pt.Walk(kBase + kPageSize4K, n);
+    ASSERT_TRUE(r.present) << "node " << n;
+    EXPECT_EQ(r.pte.pfn(), 0x200u);
+    EXPECT_FALSE(pt.Walk(kBase, n).pte.writable());
+  }
+
+  pt.Unmap(kBase + kPageSize4K);
+  EXPECT_FALSE(pt.FindReplicaDivergence(&va, &node));
+  EXPECT_FALSE(pt.Walk(kBase + kPageSize4K, 2).present);
+}
+
+TEST(PageTableReplicationTest, ReplicaRootIdsAreDistinct) {
+  PageTable pt(42);
+  pt.EnableReplication(2);
+  EXPECT_EQ(pt.replica_root_id(0), pt.root_id());
+  EXPECT_NE(pt.replica_root_id(1), pt.root_id());
+}
+
+TEST(PageTableReplicationTest, SkipPropagationDiverges) {
+  PageTable pt;
+  pt.Map(kBase, 0x100, PteFlags::kPresent | PteFlags::kWrite);
+  pt.EnableReplication(2);
+  pt.set_skip_replica_propagation(true);
+  pt.Unmap(kBase);  // primary drops the leaf; replica 1 keeps a stale copy
+  uint64_t va = 0;
+  int node = -1;
+  ASSERT_TRUE(pt.FindReplicaDivergence(&va, &node));
+  EXPECT_EQ(va, kBase);
+  EXPECT_EQ(node, 1);
+  // The stale replica still translates for node-1 walkers — exactly the
+  // unsafe window the tlbcheck replica_divergence invariant flags.
+  EXPECT_TRUE(pt.Walk(kBase, 1).present);
+  EXPECT_FALSE(pt.Walk(kBase, 0).present);
+}
+
+TEST(PageTableReplicationTest, EnableIsIdempotentForSingleNode) {
+  PageTable pt;
+  pt.Map(kBase, 0x100, PteFlags::kPresent);
+  pt.EnableReplication(1);
+  EXPECT_FALSE(pt.replicated());
+  EXPECT_EQ(pt.replica_count(), 0);
+}
+
 }  // namespace
 }  // namespace tlbsim

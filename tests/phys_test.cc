@@ -76,5 +76,124 @@ TEST(FrameAllocatorTest, TotalAllocsMonotone) {
   EXPECT_EQ(fa.total_allocs(), 3u);
 }
 
+// Regression: interior pfns of a multi-frame allocation used to miss refs_
+// entirely — Ref() grew a phantom record and Unref() read an uninitialized
+// one (UB in Release builds). All of them must resolve to the head record.
+TEST(FrameAllocatorTest, InteriorPfnResolvesToHeadRecord) {
+  FrameAllocator fa;
+  uint64_t head = fa.Alloc(512);
+  EXPECT_TRUE(fa.IsAllocated(head + 7));
+  EXPECT_TRUE(fa.IsAllocated(head + 511));
+  EXPECT_FALSE(fa.IsAllocated(head + 512));
+  EXPECT_EQ(fa.RefCount(head + 255), 1u);
+
+  fa.Ref(head + 7);  // CoW share via an interior pfn
+  EXPECT_EQ(fa.RefCount(head), 2u);
+  EXPECT_EQ(fa.RefCount(head + 511), 2u);
+
+  EXPECT_EQ(fa.Unref(head + 300), 1u);
+  EXPECT_EQ(fa.Unref(head + 3), 0u);  // frees the whole allocation
+  EXPECT_FALSE(fa.IsAllocated(head));
+  EXPECT_FALSE(fa.IsAllocated(head + 511));
+  EXPECT_EQ(fa.allocated_frames(), 0u);
+}
+
+TEST(FrameAllocatorTest, InteriorPfnOfFreedHugeBlockIsUnknown) {
+  FrameAllocator fa;
+  uint64_t head = fa.Alloc(512);
+  uint64_t next = fa.Alloc();  // survives the huge free
+  fa.Unref(head + 100);
+  EXPECT_EQ(fa.RefCount(head + 100), 0u);
+  EXPECT_TRUE(fa.IsAllocated(next));
+}
+
+// The O(1) free-index rewrite must keep the legacy reuse order bit-identical:
+// the old linear scan took the lowest matching index and removed it by
+// swapping the back entry in, so freeing a,b,c replays as a,c,b.
+TEST(FrameAllocatorTest, ReuseOrderMatchesLegacyFreeList) {
+  FrameAllocator fa;
+  uint64_t a = fa.Alloc();
+  uint64_t b = fa.Alloc();
+  uint64_t c = fa.Alloc();
+  fa.Unref(a);
+  fa.Unref(b);
+  fa.Unref(c);
+  EXPECT_EQ(fa.Alloc(), a);  // [a,b,c]: lowest index
+  EXPECT_EQ(fa.Alloc(), c);  // swap-with-back left [c,b]
+  EXPECT_EQ(fa.Alloc(), b);
+}
+
+TEST(FrameAllocatorTest, MixedSizeChurnReusesExactBlocks) {
+  FrameAllocator fa;
+  uint64_t small1 = fa.Alloc();
+  uint64_t huge = fa.Alloc(512);
+  uint64_t small2 = fa.Alloc();
+  fa.Unref(huge);
+  fa.Unref(small1);
+  fa.Unref(small2);
+  EXPECT_EQ(fa.Alloc(512), huge);  // size-matched despite later small frees
+  // Taking the huge block swapped small2 into index 0.
+  EXPECT_EQ(fa.Alloc(), small2);
+  EXPECT_EQ(fa.Alloc(), small1);
+  EXPECT_EQ(fa.allocated_frames(), 514u);
+}
+
+TEST(FrameAllocatorTest, NumaNodesOwnDisjointRanges) {
+  FrameAllocator fa;
+  fa.ConfigureNuma(2, NumaPlacement::kLocal);
+  EXPECT_EQ(fa.nodes(), 2);
+  uint64_t on0 = fa.AllocOn(0);
+  uint64_t on1 = fa.AllocOn(1);
+  EXPECT_EQ(fa.NodeOf(on0), 0);
+  EXPECT_EQ(fa.NodeOf(on1), 1);
+  EXPECT_NE(fa.NodeOf(on0), fa.NodeOf(on1));
+  EXPECT_EQ(fa.node_allocs(0), 1u);
+  EXPECT_EQ(fa.node_allocs(1), 1u);
+}
+
+TEST(FrameAllocatorTest, LocalPlacementFollowsHint) {
+  FrameAllocator fa;
+  fa.ConfigureNuma(2, NumaPlacement::kLocal);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(fa.NodeOf(fa.AllocOn(1)), 1);
+  }
+  EXPECT_EQ(fa.node_allocs(1), 8u);
+  EXPECT_EQ(fa.node_allocs(0), 0u);
+}
+
+TEST(FrameAllocatorTest, InterleavePlacementIgnoresHint) {
+  FrameAllocator fa;
+  fa.ConfigureNuma(2, NumaPlacement::kInterleave);
+  // Round-robin regardless of the (constant) hint.
+  EXPECT_EQ(fa.NodeOf(fa.AllocOn(0)), 0);
+  EXPECT_EQ(fa.NodeOf(fa.AllocOn(0)), 1);
+  EXPECT_EQ(fa.NodeOf(fa.AllocOn(0)), 0);
+  EXPECT_EQ(fa.NodeOf(fa.AllocOn(0)), 1);
+  EXPECT_EQ(fa.node_allocs(0), 2u);
+  EXPECT_EQ(fa.node_allocs(1), 2u);
+}
+
+TEST(FrameAllocatorTest, NumaFreeListIsPerNode) {
+  FrameAllocator fa;
+  fa.ConfigureNuma(2, NumaPlacement::kLocal);
+  uint64_t on1 = fa.AllocOn(1);
+  fa.Unref(on1);
+  // A node-0 request must not steal node 1's freed frame.
+  uint64_t on0 = fa.AllocOn(0);
+  EXPECT_EQ(fa.NodeOf(on0), 0);
+  // The node-1 request reuses it.
+  EXPECT_EQ(fa.AllocOn(1), on1);
+}
+
+TEST(FrameAllocatorTest, FlatDefaultKeepsLegacySequence) {
+  FrameAllocator legacy;
+  FrameAllocator flat;
+  flat.ConfigureNuma(1, NumaPlacement::kLocal);  // idempotent no-op
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(flat.AllocOn(0), legacy.Alloc());
+  }
+  EXPECT_EQ(flat.NodeOf(flat.Alloc()), 0);
+}
+
 }  // namespace
 }  // namespace tlbsim

@@ -253,6 +253,64 @@ TEST(TlbCheckTest, FactoryAttachesCheckerThroughSystemConfig) {
   EXPECT_EQ(sys.checker()->violation_count(), 0u) << sys.checker()->Summary();
 }
 
+// NUMA system with per-socket page-table replication (Mitosis). The clean
+// run must be silent; with replica propagation faulted out, the replicas
+// diverge from the primary and the flush-ack-time scan classifies it.
+SystemConfig ReplicationConfig() {
+  SystemConfig cfg = TestConfig(OptimizationSet{});
+  cfg.kernel.opts.pt_replication = true;
+  cfg.machine.numa.nodes = 2;
+  return cfg;
+}
+
+// Touch two pages, madvise one. Two pages matter: with propagation skipped,
+// the initial Maps never reach the replica either, so a single-page scenario
+// ends with primary and replica both empty — agreeing by accident. The
+// second, unzapped page keeps the primary non-empty and exposes the skew.
+SimTask ReplicaStormProgram(System& sys, Thread& t, Thread& victim) {
+  Kernel& k = sys.kernel();
+  (void)victim;  // parked on the remote socket so its CPU is a flush target
+  uint64_t a = co_await k.SysMmap(t, 2 * kPageSize4K, true, false);
+  co_await k.UserAccess(t, a, true);
+  co_await k.UserAccess(t, a + kPageSize4K, true);
+  co_await k.SysMadviseDontneed(t, a, kPageSize4K);
+}
+
+TEST(TlbCheckTest, ReplicatedCleanRunReportsNothing) {
+  System sys(ReplicationConfig());
+  CheckContext chk;
+  chk.Attach(sys);
+  Kernel& k = sys.kernel();
+  auto* p = k.CreateProcess();
+  auto* t0 = k.CreateThread(p, 0);
+  auto* t1 = k.CreateThread(p, 30);  // socket 1 = node 1
+  ASSERT_TRUE(p->mm->pt.replicated());
+  sys.machine().engine().Spawn(0, ReplicaStormProgram(sys, *t0, *t1));
+  sys.machine().engine().Run();
+  EXPECT_EQ(chk.violation_count(), 0u) << chk.Summary();
+}
+
+TEST(TlbCheckTest, SkippedReplicaPropagationIsReplicaDivergence) {
+  System sys(ReplicationConfig());
+  CheckContext chk;
+  chk.Attach(sys);
+  Kernel& k = sys.kernel();
+  auto* p = k.CreateProcess();
+  auto* t0 = k.CreateThread(p, 0);
+  auto* t1 = k.CreateThread(p, 30);
+  FaultInjection fi;
+  fi.skip_replica_propagation = true;
+  sys.shootdown().set_fault_injection(fi);  // reaches the existing mm too
+  sys.machine().engine().Spawn(0, ReplicaStormProgram(sys, *t0, *t1));
+  sys.machine().engine().Run();
+
+  ASSERT_EQ(chk.violation_count(), 1u) << chk.Summary();
+  EXPECT_EQ(chk.CountOf(ViolationKind::kReplicaDivergence), 1u) << chk.Summary();
+  const Violation& v = chk.violations()[0];
+  EXPECT_EQ(v.cpu, 0);  // flagged on the initiator at shootdown completion
+  EXPECT_NE(v.va, 0u);
+}
+
 TEST(TlbCheckTest, ViolationJsonIsDeterministicallyShaped) {
   TwoCpuRig rig(OptimizationSet{});
   FaultInjection fi;

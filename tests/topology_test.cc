@@ -57,5 +57,55 @@ TEST(TopologyTest, SingleSocketNoSmt) {
   EXPECT_EQ(t.Between(0, 3), Topology::Distance::kSameSocket);
 }
 
+// Degenerate: smt=1 means adjacent cpu ids are distinct physical cores, so
+// kSmtSibling must never be produced — the next rung is kSameSocket.
+TEST(TopologyTest, NoSmtNeverClassifiesSiblings) {
+  Topology t{.sockets = 2, .cores_per_socket = 4, .smt = 1};
+  EXPECT_EQ(t.num_cpus(), 8);
+  for (int a = 0; a < t.num_cpus(); ++a) {
+    for (int b = 0; b < t.num_cpus(); ++b) {
+      EXPECT_NE(t.Between(a, b), Topology::Distance::kSmtSibling) << a << "," << b;
+    }
+  }
+  EXPECT_EQ(t.Between(0, 1), Topology::Distance::kSameSocket);
+  EXPECT_EQ(t.Between(0, 4), Topology::Distance::kCrossSocket);
+}
+
+// Degenerate: sockets=1 means no interconnect — kCrossSocket is unreachable
+// and every non-self, non-sibling pair shares the single L3.
+TEST(TopologyTest, SingleSocketNeverCrossesSockets) {
+  Topology t{.sockets = 1, .cores_per_socket = 4, .smt = 2};
+  EXPECT_EQ(t.num_cpus(), 8);
+  for (int a = 0; a < t.num_cpus(); ++a) {
+    for (int b = 0; b < t.num_cpus(); ++b) {
+      EXPECT_NE(t.Between(a, b), Topology::Distance::kCrossSocket) << a << "," << b;
+    }
+  }
+  EXPECT_EQ(t.Between(0, 1), Topology::Distance::kSmtSibling);
+  EXPECT_EQ(t.Between(0, 7), Topology::Distance::kSameSocket);
+}
+
+// Smallest legal machine: one cpu total. Only kSelf is reachable.
+TEST(TopologyTest, SingleCpuMachine) {
+  Topology t{.sockets = 1, .cores_per_socket = 1, .smt = 1};
+  EXPECT_EQ(t.num_cpus(), 1);
+  EXPECT_EQ(t.Between(0, 0), Topology::Distance::kSelf);
+  EXPECT_FALSE(t.AreSmtSiblings(0, 0));
+  EXPECT_EQ(t.num_nodes(), 1);
+  EXPECT_EQ(t.NodeOfCpu(0), 0);
+}
+
+TEST(TopologyTest, MemoryNodesTrackSockets) {
+  Topology t;  // paper testbed: 2 sockets
+  EXPECT_EQ(t.num_nodes(), 2);
+  EXPECT_EQ(t.NodeOfCpu(0), 0);
+  EXPECT_EQ(t.NodeOfCpu(27), 0);
+  EXPECT_EQ(t.NodeOfCpu(28), 1);
+  EXPECT_EQ(t.NodeOfCpu(55), 1);
+  Topology single{.sockets = 1, .cores_per_socket = 4, .smt = 1};
+  EXPECT_EQ(single.num_nodes(), 1);
+  EXPECT_EQ(single.NodeOfCpu(3), 0);
+}
+
 }  // namespace
 }  // namespace tlbsim
