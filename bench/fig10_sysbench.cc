@@ -40,7 +40,8 @@ struct Cell {
   Json metrics;
 };
 
-Cell MeasureCell(bool pti, int threads, const OptimizationSet& opts, int seeds) {
+Cell MeasureCell(bool pti, int threads, const OptimizationSet& opts, int seeds,
+                 FlushBackendKind backend) {
   Cell cell;
   double sum = 0.0;
   for (int s = 0; s < seeds; ++s) {
@@ -49,6 +50,7 @@ Cell MeasureCell(bool pti, int threads, const OptimizationSet& opts, int seeds) 
     cfg.threads = threads;
     cfg.opts = opts;
     cfg.seed = kSeeds[s];
+    cfg.backend = backend;
     SysbenchResult r = RunSysbench(cfg);
     sum += r.writes_per_mcycle;
     cell.metrics = std::move(r.metrics);
@@ -64,61 +66,91 @@ int main(int argc, char** argv) {
   using namespace tlbsim;
   BenchReport report("fig10_sysbench", argc, argv);
   const int seeds = report.quick() ? kQuickSeeds : static_cast<int>(std::size(kSeeds));
+  const std::vector<FlushBackendKind>& backends = report.backends();
+  if (!report.ipi_only()) {
+    Json config = Json::Object();
+    Json list = Json::Array();
+    for (FlushBackendKind b : backends) {
+      list.Append(Json(FlushBackendName(b)));
+    }
+    config["backends"] = std::move(list);
+    report.Set("config", std::move(config));
+  }
 
   // One job per table cell, row-major with the baseline first — the exact
   // order the sequential loops measured in.
   std::vector<std::function<Cell()>> jobs;
-  for (bool pti : {true, false}) {
-    auto cols = Columns(pti);
-    for (int threads : kThreadCounts) {
-      OptimizationSet base = OptimizationSet::None();
-      jobs.emplace_back([pti, threads, base, seeds] {
-        return MeasureCell(pti, threads, base, seeds);
-      });
-      for (auto& [name, opts] : cols) {
-        OptimizationSet o = opts;
-        jobs.emplace_back([pti, threads, o, seeds] {
-          return MeasureCell(pti, threads, o, seeds);
+  for (FlushBackendKind backend : backends) {
+    for (bool pti : {true, false}) {
+      auto cols = Columns(pti);
+      for (int threads : kThreadCounts) {
+        OptimizationSet base = OptimizationSet::None();
+        jobs.emplace_back([pti, threads, base, seeds, backend] {
+          return MeasureCell(pti, threads, base, seeds, backend);
         });
+        for (auto& [name, opts] : cols) {
+          OptimizationSet o = opts;
+          jobs.emplace_back([pti, threads, o, seeds, backend] {
+            return MeasureCell(pti, threads, o, seeds, backend);
+          });
+        }
       }
     }
   }
   SweepRunner runner(report.threads());
   std::vector<Cell> results = runner.Run(std::move(jobs));
 
-  Json last_metrics;
+  Json last_metrics_ipi;
+  Json last_metrics_queue;
   size_t next = 0;
-  for (bool pti : {true, false}) {
-    std::printf("# Figure 10 (%s mode): speedup over baseline, cumulative optimizations\n",
-                pti ? "safe" : "unsafe");
-    auto cols = Columns(pti);
-    std::printf("%-8s", "threads");
-    for (auto& [name, opts] : cols) {
-      std::printf(" %12s", name.c_str());
+  for (FlushBackendKind backend : backends) {
+    if (!report.ipi_only()) {
+      std::printf("== backend: %s ==\n", FlushBackendName(backend));
     }
-    std::printf("\n");
-    for (int threads : kThreadCounts) {
-      double base = results[next++].writes_per_mcycle;
-      std::printf("%-8d", threads);
-      Json row = Json::Object();
-      row["mode"] = pti ? "safe" : "unsafe";
-      row["threads"] = threads;
-      row["base_writes_per_mcycle"] = base;
-      Json& speedups = row["speedup"];
-      speedups = Json::Object();
+    for (bool pti : {true, false}) {
+      std::printf("# Figure 10 (%s mode): speedup over baseline, cumulative optimizations\n",
+                  pti ? "safe" : "unsafe");
+      auto cols = Columns(pti);
+      std::printf("%-8s", "threads");
       for (auto& [name, opts] : cols) {
-        Cell& cell = results[next++];
-        std::printf(" %11.2fx", cell.writes_per_mcycle / base);
-        speedups[name] = cell.writes_per_mcycle / base;
-        last_metrics = std::move(cell.metrics);
+        std::printf(" %12s", name.c_str());
       }
       std::printf("\n");
-      report.AddRow(std::move(row));
+      for (int threads : kThreadCounts) {
+        double base = results[next++].writes_per_mcycle;
+        std::printf("%-8d", threads);
+        Json row = Json::Object();
+        if (!report.ipi_only()) {
+          row["backend"] = FlushBackendName(backend);
+        }
+        row["mode"] = pti ? "safe" : "unsafe";
+        row["threads"] = threads;
+        row["base_writes_per_mcycle"] = base;
+        Json& speedups = row["speedup"];
+        speedups = Json::Object();
+        for (auto& [name, opts] : cols) {
+          Cell& cell = results[next++];
+          std::printf(" %11.2fx", cell.writes_per_mcycle / base);
+          speedups[name] = cell.writes_per_mcycle / base;
+          if (backend == FlushBackendKind::kQueue) {
+            last_metrics_queue = std::move(cell.metrics);
+          } else {
+            last_metrics_ipi = std::move(cell.metrics);
+          }
+        }
+        std::printf("\n");
+        report.AddRow(std::move(row));
+      }
+      std::printf("\n");
     }
-    std::printf("\n");
   }
-  // Snapshot from the last fully-optimized 16-thread unsafe run.
-  report.Set("metrics", std::move(last_metrics));
+  // Snapshot from each backend's last fully-optimized 16-thread unsafe run.
+  if (!last_metrics_ipi.is_null()) {
+    report.Set("metrics", std::move(last_metrics_ipi));
+  }
+  if (!last_metrics_queue.is_null()) {
+    report.Set("metrics_queue", std::move(last_metrics_queue));
+  }
   report.SetHost(runner);
   return report.Finish(0);
 }

@@ -54,26 +54,37 @@ int main(int argc, char** argv) {
   using namespace tlbsim;
   BenchReport report("fig9_cow", argc, argv);
   const int runs = report.quick() ? kQuickRuns : kRuns;
+  const std::vector<FlushBackendKind>& backends = report.backends();
   Json config = Json::Object();
   config["runs"] = runs;
   config["pages"] = 64;
   config["rounds"] = 4;
+  if (!report.ipi_only()) {
+    Json list = Json::Array();
+    for (FlushBackendKind b : backends) {
+      list.Append(Json(FlushBackendName(b)));
+    }
+    config["backends"] = std::move(list);
+  }
   report.Set("config", std::move(config));
 
-  // Jobs in cell-major order: (safe all, safe all+cow, unsafe all,
-  // unsafe all+cow), `runs` seeds each.
+  // Jobs in cell-major order per backend: (safe all, safe all+cow, unsafe
+  // all, unsafe all+cow), `runs` seeds each.
   std::vector<std::function<CowResult()>> jobs;
-  for (bool pti : {true, false}) {
-    for (bool cow_avoidance : {false, true}) {
-      for (int run = 0; run < runs; ++run) {
-        CowConfig cfg;
-        cfg.pti = pti;
-        cfg.opts = OptimizationSet::AllGeneral();
-        cfg.opts.cow_avoidance = cow_avoidance;
-        cfg.pages = 64;
-        cfg.rounds = 4;
-        cfg.seed = 40 + static_cast<uint64_t>(run);
-        jobs.emplace_back([cfg] { return RunCowMicrobench(cfg); });
+  for (FlushBackendKind backend : backends) {
+    for (bool pti : {true, false}) {
+      for (bool cow_avoidance : {false, true}) {
+        for (int run = 0; run < runs; ++run) {
+          CowConfig cfg;
+          cfg.pti = pti;
+          cfg.opts = OptimizationSet::AllGeneral();
+          cfg.opts.cow_avoidance = cow_avoidance;
+          cfg.pages = 64;
+          cfg.rounds = 4;
+          cfg.seed = 40 + static_cast<uint64_t>(run);
+          cfg.backend = backend;
+          jobs.emplace_back([cfg] { return RunCowMicrobench(cfg); });
+        }
       }
     }
   }
@@ -82,31 +93,54 @@ int main(int argc, char** argv) {
 
   std::printf("# Figure 9: CoW page-fault write latency (cycles per event)\n");
   std::printf("# paper: CoW avoidance saves ~130 cycles (~3%% safe, ~5%% unsafe)\n\n");
-  std::printf("%-8s %-10s %12s\n", "mode", "config", "cycles");
   int rc = 0;
-  Json last_metrics;
+  Json last_metrics_ipi;
+  Json last_metrics_queue;
   auto it = results.begin();
-  for (bool pti : {true, false}) {
-    Measured all = Aggregate(it, runs);
-    it += runs;
-    Measured all_cow = Aggregate(it, runs);
-    it += runs;
-    std::printf("%-8s %-10s %8.0f +-%3.0f\n", pti ? "safe" : "unsafe", "all",
-                all.across_runs.mean(), all.across_runs.stddev());
-    std::printf("%-8s %-10s %8.0f +-%3.0f   (saves %.0f cycles, %.1f%%)\n",
-                pti ? "safe" : "unsafe", "all+cow", all_cow.across_runs.mean(),
-                all_cow.across_runs.stddev(), all.across_runs.mean() - all_cow.across_runs.mean(),
-                100.0 * (1.0 - all_cow.across_runs.mean() / all.across_runs.mean()));
-    report.AddRow(Row(pti, "all", all));
-    report.AddRow(Row(pti, "all+cow", all_cow));
-    last_metrics = std::move(all_cow.metrics);
-    if (all_cow.across_runs.mean() >= all.across_runs.mean()) {
-      std::printf("!! CoW avoidance did not help\n");
-      rc = 1;
+  for (FlushBackendKind backend : backends) {
+    if (!report.ipi_only()) {
+      std::printf("== backend: %s ==\n", FlushBackendName(backend));
+    }
+    std::printf("%-8s %-10s %12s\n", "mode", "config", "cycles");
+    for (bool pti : {true, false}) {
+      Measured all = Aggregate(it, runs);
+      it += runs;
+      Measured all_cow = Aggregate(it, runs);
+      it += runs;
+      std::printf("%-8s %-10s %8.0f +-%3.0f\n", pti ? "safe" : "unsafe", "all",
+                  all.across_runs.mean(), all.across_runs.stddev());
+      std::printf("%-8s %-10s %8.0f +-%3.0f   (saves %.0f cycles, %.1f%%)\n",
+                  pti ? "safe" : "unsafe", "all+cow", all_cow.across_runs.mean(),
+                  all_cow.across_runs.stddev(),
+                  all.across_runs.mean() - all_cow.across_runs.mean(),
+                  100.0 * (1.0 - all_cow.across_runs.mean() / all.across_runs.mean()));
+      Json row_all = Row(pti, "all", all);
+      Json row_cow = Row(pti, "all+cow", all_cow);
+      if (!report.ipi_only()) {
+        row_all["backend"] = FlushBackendName(backend);
+        row_cow["backend"] = FlushBackendName(backend);
+      }
+      report.AddRow(std::move(row_all));
+      report.AddRow(std::move(row_cow));
+      if (backend == FlushBackendKind::kQueue) {
+        last_metrics_queue = std::move(all_cow.metrics);
+      } else {
+        last_metrics_ipi = std::move(all_cow.metrics);
+      }
+      if (all_cow.across_runs.mean() >= all.across_runs.mean()) {
+        std::printf("!! CoW avoidance did not help\n");
+        rc = 1;
+      }
     }
   }
-  // Snapshot from the last all+cow run: CI probes shootdown.cow_flush_avoided.
-  report.Set("metrics", std::move(last_metrics));
+  // Snapshot from each backend's last all+cow run: CI probes the
+  // cow_flush_avoided counter of whichever protocol ran.
+  if (!last_metrics_ipi.is_null()) {
+    report.Set("metrics", std::move(last_metrics_ipi));
+  }
+  if (!last_metrics_queue.is_null()) {
+    report.Set("metrics_queue", std::move(last_metrics_queue));
+  }
   report.SetHost(runner);
   return report.Finish(rc);
 }

@@ -1,6 +1,7 @@
 #include "bench/report.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <string_view>
@@ -27,6 +28,24 @@ std::string ResolvePath(std::string_view raw, std::string_view bench) {
 }  // namespace
 
 namespace {
+
+// `--backend` is the protocol axis; a typo here silently benchmarking the
+// wrong protocol would poison a whole sweep, so bad values are fatal.
+std::vector<FlushBackendKind> ParseBackends(const std::string& raw, const std::string& bench) {
+  if (raw == "both") {
+    return {FlushBackendKind::kIpi, FlushBackendKind::kQueue};
+  }
+  FlushBackendKind kind = FlushBackendKind::kIpi;
+  if (ParseFlushBackend(raw, &kind)) {
+    return {kind};
+  }
+  std::fprintf(stderr,
+               "%s: unknown --backend value '%s'\n"
+               "usage: %s [--backend {ipi,queue,both}] [--json PATH] [--threads N]"
+               " [--quick] [--check]\n",
+               bench.c_str(), raw.c_str(), bench.c_str());
+  std::exit(2);
+}
 
 int ParseThreads(std::string_view raw) {
   int v = 0;
@@ -63,7 +82,18 @@ BenchReport::BenchReport(const char* name, int argc, char** argv)
       quick_ = true;
     } else if (arg == "--check") {
       check_ = true;
+    } else if (arg == "--backend" && i + 1 < argc) {
+      backends_ = ParseBackends(argv[i + 1], name_);
+      ++i;
+    } else if (arg == "--backend") {
+      std::fprintf(stderr, "%s: --backend needs a value\n", name_.c_str());
+      backends_ = ParseBackends("", name_);  // prints usage and exits
+    } else if (arg.rfind("--backend=", 0) == 0) {
+      backends_ = ParseBackends(std::string(arg.substr(10)), name_);
     }
+  }
+  if (backends_.empty()) {
+    backends_ = {FlushBackendKind::kIpi, FlushBackendKind::kQueue};
   }
   if (check_) {
     // Before any System exists: every simulation this process runs gets a

@@ -37,6 +37,7 @@
 #define TLBSIM_BENCH_REPORT_H_
 
 #include <string>
+#include <vector>
 
 #include "src/core/system.h"
 #include "src/exec/sweep.h"
@@ -80,6 +81,20 @@ class BenchReport {
   // True when --check was passed (tlbcheck enabled for every System).
   bool check() const { return check_; }
 
+  // The flush backends this invocation sweeps, in run order. Default is
+  // {ipi, queue} (every figure carries both protocols side by side);
+  // `--backend ipi|queue` narrows to one, `--backend both` is the explicit
+  // default. A bad value prints usage to stderr and exits nonzero.
+  const std::vector<FlushBackendKind>& backends() const { return backends_; }
+
+  // True when this run is the paper's IPI protocol alone (`--backend ipi`).
+  // In that mode benches must emit exactly the single-backend document —
+  // no "backend" keys anywhere — so the output stays byte-identical with
+  // reports produced before the backend axis existed.
+  bool ipi_only() const {
+    return backends_.size() == 1 && backends_[0] == FlushBackendKind::kIpi;
+  }
+
   // Embeds `runner`'s accumulated host-side stats (wall seconds, realized
   // speedup) under root()["host"] — the one non-deterministic section.
   void SetHost(const SweepRunner& runner) { root_["host"] = runner.HostJson(); }
@@ -95,6 +110,7 @@ class BenchReport {
   int threads_;
   bool quick_ = false;
   bool check_ = false;
+  std::vector<FlushBackendKind> backends_;
   Json root_;
 };
 

@@ -53,6 +53,56 @@ REQUIRED_NONZERO = {
     ],
 }
 
+# Counters that must be strictly positive in the queue backend's snapshot
+# ("metrics_queue" -> "counters"), present whenever a bench ran with
+# --backend queue or both. The async protocol's vital signs: rings were
+# actually occupied, initiators actually spun, and (where drains outlast the
+# initial spin budget) the retry loop actually resent IPIs. The ablations
+# bench additionally proves the overflow -> flush_all safety valve fires
+# (its snapshot comes from the deliberately undersized-ring row).
+QUEUE_REQUIRED_NONZERO = {
+    "fig5_safe_1pte": [
+        "queue.flush_requests",
+        "queue.shootdowns",
+        "queue.enqueued",
+        "queue.max_ring_occupancy",
+        "queue.drains",
+        "queue.drained_entries",
+        "queue.acks",
+        "queue.spin_polls",
+        "queue.spin_cycles",
+        "queue.ipi_resends",
+        "engine.events_processed",
+    ],
+    "fig6_safe_10pte": [
+        "queue.shootdowns",
+        "queue.max_ring_occupancy",
+        "queue.spin_cycles",
+        "queue.ipi_resends",
+    ],
+    "fig7_unsafe_1pte": [
+        "queue.shootdowns",
+        "queue.max_ring_occupancy",
+        "queue.spin_cycles",
+    ],
+    "fig8_unsafe_10pte": [
+        "queue.shootdowns",
+        "queue.max_ring_occupancy",
+        "queue.spin_cycles",
+    ],
+    "fig9_cow": ["kernel.cow_faults", "queue.cow_flush_avoided"],
+    "fig10_sysbench": ["queue.shootdowns", "queue.drains", "queue.acks"],
+    "fig11_apache": ["queue.shootdowns", "queue.drains", "queue.acks"],
+    "ablations": [
+        "queue.shootdowns",
+        "queue.max_ring_occupancy",
+        "queue.ring_overflows",
+        "queue.flush_all_fallbacks",
+        "queue.ipi_resends",
+        "queue.spin_cycles",
+    ],
+}
+
 
 def fail(path, msg):
     print(f"FAIL {path}: {msg}")
@@ -130,20 +180,47 @@ def check(path):
     if doc.get("status") != "pass":
         rc |= fail(path, f'status is {doc.get("status")!r}, expected "pass"')
     rc |= check_histograms(path, doc.get("metrics", {}).get("histograms", {}))
+    rc |= check_histograms(path, doc.get("metrics_queue", {}).get("histograms", {}))
 
     if name == "sim_throughput":
         return rc | check_sim_throughput(path, doc)
 
-    counters = doc.get("metrics", {}).get("counters", {})
-    required = REQUIRED_NONZERO.get(name, [])
-    if required and not counters:
-        return rc | fail(path, 'no "metrics.counters" section')
-    for key in required:
-        value = counters.get(key)
-        if value is None:
-            rc |= fail(path, f"counter {key} missing")
-        elif value <= 0:
-            rc |= fail(path, f"counter {key} is {value}, expected nonzero")
+    # Which backends did this invocation run? An ipi-only run carries no
+    # backend markers at all (byte-compatibility with pre-axis reports), so
+    # the absence of "backends" in config means ipi alone.
+    backends = doc.get("config", {}).get("backends", ["ipi"])
+    has_ipi = "metrics" in doc
+    has_queue = "metrics_queue" in doc
+    if "ipi" in backends and not has_ipi and REQUIRED_NONZERO.get(name):
+        rc |= fail(path, 'backend "ipi" ran but there is no "metrics" snapshot')
+    if "queue" in backends and not has_queue and QUEUE_REQUIRED_NONZERO.get(name):
+        rc |= fail(path, 'backend "queue" ran but there is no "metrics_queue" snapshot')
+
+    checked = 0
+    if has_ipi:
+        counters = doc.get("metrics", {}).get("counters", {})
+        required = REQUIRED_NONZERO.get(name, [])
+        if required and not counters:
+            return rc | fail(path, 'no "metrics.counters" section')
+        for key in required:
+            value = counters.get(key)
+            if value is None:
+                rc |= fail(path, f"counter {key} missing")
+            elif value <= 0:
+                rc |= fail(path, f"counter {key} is {value}, expected nonzero")
+        checked += len(required)
+    if has_queue:
+        counters = doc.get("metrics_queue", {}).get("counters", {})
+        required = QUEUE_REQUIRED_NONZERO.get(name, [])
+        if required and not counters:
+            return rc | fail(path, 'no "metrics_queue.counters" section')
+        for key in required:
+            value = counters.get(key)
+            if value is None:
+                rc |= fail(path, f"queue counter {key} missing")
+            elif value <= 0:
+                rc |= fail(path, f"queue counter {key} is {value}, expected nonzero")
+        checked += len(required)
 
     # table3 carries the per-optimization ablation gate: every enabled
     # optimization must strictly reduce its targeted counter.
@@ -157,7 +234,6 @@ def check(path):
             )
 
     if rc == 0:
-        checked = len(required)
         print(f"OK   {path}: status=pass, {checked} required counters nonzero")
     return rc
 

@@ -417,6 +417,39 @@ void CheckContext::OnCowAvoidance(SimCpu& cpu, MmStruct& mm, uint64_t va, bool e
   }
 }
 
+// --- queue backend (src/core/queue_backend.h) ---
+
+void CheckContext::OnQueueOverflow(SimCpu& cpu, MmStruct& mm, int target, uint64_t gen,
+                                   bool fallback_set) {
+  if (fallback_set) {
+    return;  // the flush_all fallback covers the dropped addresses: by design
+  }
+  Violation v;
+  v.kind = ViolationKind::kQueueOverflowLost;
+  v.time = cpu.now();
+  v.cpu = target;
+  v.mm_id = mm.id;
+  v.write_gen = gen;
+  v.detail = "cpu" + std::to_string(cpu.id()) + " overflowed cpu" + std::to_string(target) +
+             "'s flush ring at queue gen " + std::to_string(gen) +
+             " without raising the flush_all fallback";
+  Report(std::move(v));
+}
+
+void CheckContext::OnQueueAckTimeout(SimCpu& cpu, MmStruct& mm, int target, uint64_t gen) {
+  Violation v;
+  v.kind = ViolationKind::kQueueAckTimeout;
+  v.time = cpu.now();
+  v.cpu = target;
+  v.mm_id = mm.id;
+  v.write_gen = gen;
+  const PerCpu& pc = kernel_->percpu(target);
+  v.applied_gen = pc.loaded_mm_tlb_gen;
+  v.detail = "cpu" + std::to_string(cpu.id()) + " exhausted its retry budget waiting for cpu" +
+             std::to_string(target) + " to acknowledge queue gen " + std::to_string(gen);
+  Report(std::move(v));
+}
+
 // --- oracle ---
 
 void CheckContext::OnTlbInsertTap(int cpu, bool itlb, const TlbEntry& e) {

@@ -85,6 +85,9 @@ class CheckContext final : public SystemChecker,
   void OnShootdownComplete(SimCpu& cpu, MmStruct& mm, uint64_t gen,
                            const std::vector<int>& targets) override;
   void OnCowAvoidance(SimCpu& cpu, MmStruct& mm, uint64_t va, bool executable) override;
+  void OnQueueOverflow(SimCpu& cpu, MmStruct& mm, int target, uint64_t gen,
+                       bool fallback_set) override;
+  void OnQueueAckTimeout(SimCpu& cpu, MmStruct& mm, int target, uint64_t gen) override;
 
   // HwCheckSink:
   void OnTlbHit(SimCpu& cpu, bool itlb, uint16_t pcid, uint64_t va, const TlbEntry& entry,

@@ -37,6 +37,14 @@ enum class ViolationKind {
   // page-table replica disagreed with the primary — remote walkers could
   // translate through an entry the completed shootdown claims is gone.
   kReplicaDivergence,
+  // Invariant (queue backend): a responder ring overflowed and the dropped
+  // addresses were not converted into a flush_all fallback — the overflowed
+  // pages will never be invalidated on that CPU.
+  kQueueOverflowLost,
+  // Invariant (queue backend): the initiator exhausted its spin/backoff/resend
+  // retry budget and abandoned a responder that never published its ack — the
+  // shootdown "completed" with that CPU's queued flushes still pending.
+  kQueueAckTimeout,
 };
 
 inline const char* ViolationKindName(ViolationKind k) {
@@ -61,6 +69,10 @@ inline const char* ViolationKindName(ViolationKind k) {
       return "irq_unsafe_lock";
     case ViolationKind::kReplicaDivergence:
       return "replica_divergence";
+    case ViolationKind::kQueueOverflowLost:
+      return "queue_overflow_lost";
+    case ViolationKind::kQueueAckTimeout:
+      return "queue_ack_timeout";
   }
   return "unknown";
 }

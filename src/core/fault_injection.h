@@ -34,6 +34,16 @@ struct FaultInjection {
   // skipping the flush the paper requires for executable mappings.
   bool cow_avoid_executable = false;
 
+  // Queue backend: a full ring swallows further addresses without setting the
+  // responder's flush_all fallback flag — the overflowed pages are simply
+  // lost (the bug the bounded-ring design must defend against).
+  bool ring_overflow_no_fallback = false;
+
+  // Queue backend: the initiator's retry loop never resends the IPI, so a
+  // responder that missed the ack-publication window is waited on forever
+  // (bounded by queue_max_retries) and abandoned with stale entries.
+  bool drop_ipi_resend = false;
+
   // With pt_replication on, PTE stores update only the primary table and
   // never fan out to the per-node replicas — remote walkers keep translating
   // through stale replica entries (the coherence bug Mitosis must avoid).

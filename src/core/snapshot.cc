@@ -99,10 +99,46 @@ void CollectShootdownMetrics(const ShootdownEngine& engine, MetricsRegistry& m) 
   m.counter("shootdown.switch_in_flushes").Set(s.switch_in_flushes);
 }
 
+void CollectQueueMetrics(const QueueFlushBackend& backend, MetricsRegistry& m) {
+  const QueueFlushBackend::Stats& s = backend.stats();
+  m.counter("queue.flush_requests").Set(s.flush_requests);
+  m.counter("queue.shootdowns").Set(s.shootdowns);
+  m.counter("queue.local_only").Set(s.local_only);
+  m.counter("queue.full_requests").Set(s.full_requests);
+  m.counter("queue.enqueued").Set(s.enqueued);
+  m.counter("queue.max_ring_occupancy").Set(s.max_ring_occupancy);
+  m.counter("queue.ring_overflows").Set(s.ring_overflows);
+  m.counter("queue.flush_all_fallbacks").Set(s.flush_all_fallbacks);
+  m.counter("queue.ipi_sends").Set(s.ipi_sends);
+  m.counter("queue.ipi_coalesced").Set(s.ipi_coalesced);
+  m.counter("queue.ipi_resends").Set(s.ipi_resends);
+  m.counter("queue.acks").Set(s.acks);
+  m.counter("queue.ack_timeouts").Set(s.ack_timeouts);
+  m.counter("queue.spin_polls").Set(s.spin_polls);
+  m.counter("queue.spin_cycles").Set(s.spin_cycles);
+  m.counter("queue.drains").Set(s.drains);
+  m.counter("queue.drained_entries").Set(s.drained_entries);
+  m.counter("queue.drain_skipped_mm").Set(s.drain_skipped_mm);
+  m.counter("queue.drain_skipped_gen").Set(s.drain_skipped_gen);
+  m.counter("queue.drain_flush_all").Set(s.drain_flush_all);
+  m.counter("queue.drain_full").Set(s.drain_full);
+  m.counter("queue.drain_full_storm").Set(s.drain_full_storm);
+  m.counter("queue.full_local_flushes").Set(s.full_local_flushes);
+  m.counter("queue.invlpg_issued").Set(s.invlpg_issued);
+  m.counter("queue.invpcid_issued").Set(s.invpcid_issued);
+  m.counter("queue.lazy_skipped").Set(s.lazy_skipped);
+  m.counter("queue.switch_in_flushes").Set(s.switch_in_flushes);
+  m.counter("queue.cow_flush_avoided").Set(s.cow_flush_avoided);
+  m.counter("queue.cow_flushes").Set(s.cow_flushes);
+}
+
 MetricsRegistry& CollectSystemMetrics(System& system) {
   CollectMachineMetrics(system.machine());
   CollectKernelMetrics(system.kernel());
   CollectShootdownMetrics(system.shootdown(), system.machine().metrics());
+  if (system.queue() != nullptr) {
+    CollectQueueMetrics(*system.queue(), system.machine().metrics());
+  }
   return system.machine().metrics();
 }
 

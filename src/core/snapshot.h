@@ -34,6 +34,12 @@ void CollectKernelMetrics(Kernel& kernel);
 // a registry, so the caller names the destination (normally the machine's).
 void CollectShootdownMetrics(const ShootdownEngine& engine, MetricsRegistry& metrics);
 
+// QueueFlushBackend::Stats as "queue.*" counters. Only ever called for
+// systems that run the queue backend (CollectSystemMetrics guards on
+// system.queue() != nullptr, like the NUMA counters) so ipi-mode reports
+// never serialize queue.* names.
+void CollectQueueMetrics(const QueueFlushBackend& backend, MetricsRegistry& metrics);
+
 // All of the above for a wired System; returns the machine's registry.
 MetricsRegistry& CollectSystemMetrics(System& system);
 

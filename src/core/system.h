@@ -15,15 +15,48 @@
 #include <memory>
 #include <string>
 
+#include "src/core/queue_backend.h"
 #include "src/core/shootdown.h"
 #include "src/hw/machine.h"
 #include "src/kernel/kernel.h"
 
 namespace tlbsim {
 
+// Which TLB-flush protocol drives the kernel: the paper's Linux 5.2.8
+// call-function-data IPI engine, or the asynchronous per-CPU-ring queue
+// design (src/core/queue_backend.h). Benches sweep this axis via --backend.
+enum class FlushBackendKind {
+  kIpi,
+  kQueue,
+};
+
+inline const char* FlushBackendName(FlushBackendKind kind) {
+  switch (kind) {
+    case FlushBackendKind::kIpi:
+      return "ipi";
+    case FlushBackendKind::kQueue:
+      return "queue";
+  }
+  return "unknown";
+}
+
+// Parses "ipi" / "queue"; returns false (and leaves *out alone) otherwise.
+inline bool ParseFlushBackend(const std::string& name, FlushBackendKind* out) {
+  if (name == "ipi") {
+    *out = FlushBackendKind::kIpi;
+    return true;
+  }
+  if (name == "queue") {
+    *out = FlushBackendKind::kQueue;
+    return true;
+  }
+  return false;
+}
+
 struct SystemConfig {
   MachineConfig machine;
   KernelConfig kernel;
+  FlushBackendKind backend = FlushBackendKind::kIpi;
   // Attach a tlbcheck CheckContext (src/check/) to this system. Requires a
   // checker factory to be installed (linking tlbsim_check does that via
   // EnableTlbCheckEverywhere / InstallTlbCheckFactory); without one the flag
@@ -59,6 +92,13 @@ class System {
  public:
   explicit System(const SystemConfig& config = SystemConfig{})
       : machine_(config.machine), kernel_(&machine_, config.kernel), shootdown_(&kernel_) {
+    if (config.backend == FlushBackendKind::kQueue) {
+      // Constructed after shootdown_: its ctor re-registers itself as the
+      // kernel's flush backend (same pattern as src/core/alternatives.cc).
+      // In ipi mode nothing queue-related is allocated or registered, so
+      // ipi reports stay byte-identical with single-backend builds.
+      queue_ = std::make_unique<QueueFlushBackend>(&kernel_);
+    }
     MaybeCreateChecker(config);
   }
   System(const System&) = delete;
@@ -67,6 +107,10 @@ class System {
   Machine& machine() { return machine_; }
   Kernel& kernel() { return kernel_; }
   ShootdownEngine& shootdown() { return shootdown_; }
+
+  // Non-null iff this system runs the queue backend.
+  QueueFlushBackend* queue() { return queue_.get(); }
+  const QueueFlushBackend* queue() const { return queue_.get(); }
 
   // Non-null iff checking is attached (config.check or the global switch,
   // with a factory installed).
@@ -78,6 +122,7 @@ class System {
   Machine machine_;
   Kernel kernel_;
   ShootdownEngine shootdown_;
+  std::unique_ptr<QueueFlushBackend> queue_;
   // Declared last: destroyed first, so the checker drains its reports while
   // machine/kernel state is still alive.
   std::unique_ptr<SystemChecker> checker_;

@@ -67,6 +67,19 @@ struct CostModel {
   // stack, costing extra dTLB pressure vs 2MB-mapped globals (§3.3 item 2).
   Cycles stack_info_tlb_penalty = 35;
 
+  // --- queue flush backend (charmos-style async shootdown) ---
+  // Protocol knobs: bounded per-responder address ring, initiator spin with
+  // exponential backoff between IPI resends. Constants mirror charmos
+  // (TLB_QUEUE_SIZE / INITIAL_SPIN / MAX_RETRIES / BACKOFF_MULT).
+  int queue_ring_entries = 64;       // per-responder ring capacity (addresses)
+  Cycles queue_initial_spin = 2000;  // first ack-wait budget before a resend
+  int queue_max_retries = 6;         // IPI resends before the initiator gives up
+  int queue_backoff_mult = 4;        // spin budget multiplier per retry round
+  // Cycle costs for the queue protocol's software paths.
+  Cycles queue_enqueue = 60;         // one ring slot store (plus cacheline)
+  Cycles queue_spin_poll = 100;      // one ack_gen poll iteration while spinning
+  Cycles queue_ack_publish = 50;     // responder's tail/ack_gen publication window
+
   // --- NUMA (charged only when MachineConfig::numa.nodes > 1) ---
   // Remote-DRAM penalties follow the ~1.4-2x local/remote latency ratio of
   // 2-socket Xeons. Page-walk steps hit DRAM on PWC misses, so a walk

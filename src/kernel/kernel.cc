@@ -428,7 +428,10 @@ Co<bool> Kernel::UserAccess(Thread& t, uint64_t va, bool write) {
     }
     co_await HandlePageFault(t, va, write, r.fault);
   }
-  assert(false && "fault loop did not converge");
+  // Give-up path, not an invariant: a thread can lose the install/zap race on
+  // every retry when another thread keeps madvising the same range (fig10's
+  // sysbench mix does this), so bounded retries legitimately run dry. Release
+  // builds have always fallen through here; Debug must behave the same.
   co_return false;
 }
 

@@ -60,6 +60,23 @@ class ProtocolCheckSink {
   // §4.1 CoW flush avoidance replaced the flush for `va`; `executable` is the
   // paper's guard condition (must force a real flush when set).
   virtual void OnCowAvoidance(SimCpu& cpu, MmStruct& mm, uint64_t va, bool executable) = 0;
+
+  // --- queue backend (charmos-style async rings; default no-op so the IPI
+  // protocol's sinks need not care) ---
+
+  // `target`'s bounded ring overflowed while the initiator enqueued for
+  // `gen`; `fallback_set` reports whether the flush_all fallback flag was
+  // raised to cover the dropped addresses.
+  virtual void OnQueueOverflow(SimCpu& cpu, MmStruct& mm, int target, uint64_t gen,
+                               bool fallback_set) {
+    (void)cpu; (void)mm; (void)target; (void)gen; (void)fallback_set;
+  }
+
+  // The initiator exhausted its spin/backoff/resend budget for `gen` and
+  // abandoned `target` without ever observing its ack.
+  virtual void OnQueueAckTimeout(SimCpu& cpu, MmStruct& mm, int target, uint64_t gen) {
+    (void)cpu; (void)mm; (void)target; (void)gen;
+  }
 };
 
 }  // namespace tlbsim

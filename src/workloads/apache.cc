@@ -36,6 +36,7 @@ ApacheResult RunApache(const ApacheConfig& cfg) {
   sys_cfg.kernel.pti = cfg.pti;
   sys_cfg.kernel.opts = cfg.opts;
   sys_cfg.machine.seed = cfg.seed;
+  sys_cfg.backend = cfg.backend;
   System sys(sys_cfg);
 
   Process* p = sys.kernel().CreateProcess();
@@ -55,7 +56,10 @@ ApacheResult RunApache(const ApacheConfig& cfg) {
   double total = static_cast<double>(cfg.server_cores) * cfg.requests_per_core;
   out.raw_requests_per_mcycle = total / (static_cast<double>(end) / 1e6);
   out.requests_per_mcycle = std::min(out.raw_requests_per_mcycle, cfg.generator_cap_per_mcycle);
-  out.shootdowns = sys.shootdown().stats().shootdowns + sys.shootdown().stats().batch_shootdowns;
+  out.shootdowns =
+      sys.queue() != nullptr
+          ? sys.queue()->stats().shootdowns
+          : sys.shootdown().stats().shootdowns + sys.shootdown().stats().batch_shootdowns;
   out.metrics = SystemMetricsJson(sys);
   return out;
 }

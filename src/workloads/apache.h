@@ -28,6 +28,7 @@ struct ApacheConfig {
   // clips the optimized configurations' speedup at 11 cores).
   double generator_cap_per_mcycle = 92.0;
   uint64_t seed = 1;
+  FlushBackendKind backend = FlushBackendKind::kIpi;
 };
 
 struct ApacheResult {

@@ -61,6 +61,7 @@ MicroResult RunMadviseMicrobench(const MicroConfig& cfg) {
   sys_cfg.kernel.pti = cfg.pti;
   sys_cfg.kernel.opts = cfg.opts;
   sys_cfg.machine.seed = cfg.seed;
+  sys_cfg.backend = cfg.backend;
   System sys(sys_cfg);
 
   Process* p = sys.kernel().CreateProcess();
@@ -77,8 +78,15 @@ MicroResult RunMadviseMicrobench(const MicroConfig& cfg) {
 
   out.responder_cycles_per_op =
       static_cast<double>(responder.stats().cycles_in_irq) / cfg.iterations;
-  out.shootdowns = sys.shootdown().stats().shootdowns;
-  out.early_acks = sys.shootdown().stats().early_acks;
+  if (sys.queue() != nullptr) {
+    // Queue protocol has no early acks; the resend count is the analogous
+    // "protocol pressure" signal figures report alongside shootdowns.
+    out.shootdowns = sys.queue()->stats().shootdowns;
+    out.early_acks = 0;
+  } else {
+    out.shootdowns = sys.shootdown().stats().shootdowns;
+    out.early_acks = sys.shootdown().stats().early_acks;
+  }
   out.metrics = SystemMetricsJson(sys);
   return out;
 }
@@ -113,6 +121,7 @@ CowResult RunCowMicrobench(const CowConfig& cfg) {
   sys_cfg.kernel.pti = cfg.pti;
   sys_cfg.kernel.opts = cfg.opts;
   sys_cfg.machine.seed = cfg.seed;
+  sys_cfg.backend = cfg.backend;
   System sys(sys_cfg);
 
   Process* p = sys.kernel().CreateProcess();
@@ -121,7 +130,8 @@ CowResult RunCowMicrobench(const CowConfig& cfg) {
   sys.machine().cpu(0).Spawn(CowProgram(sys, *t, cfg, &out));
   sys.machine().engine().Run();
   out.cow_faults = sys.kernel().stats().cow_faults;
-  out.flushes_avoided = sys.shootdown().stats().cow_flush_avoided;
+  out.flushes_avoided = sys.queue() != nullptr ? sys.queue()->stats().cow_flush_avoided
+                                               : sys.shootdown().stats().cow_flush_avoided;
   out.metrics = SystemMetricsJson(sys);
   return out;
 }

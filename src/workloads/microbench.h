@@ -28,6 +28,7 @@ struct MicroConfig {
   Placement placement = Placement::kOtherSocket;
   int iterations = 1000;  // madvise calls (scaled down from the paper's 100k)
   uint64_t seed = 1;
+  FlushBackendKind backend = FlushBackendKind::kIpi;
 };
 
 struct MicroResult {
@@ -49,6 +50,7 @@ struct CowConfig {
   int pages = 64;     // CoW events per round
   int rounds = 5;
   uint64_t seed = 1;
+  FlushBackendKind backend = FlushBackendKind::kIpi;
 };
 
 struct CowResult {

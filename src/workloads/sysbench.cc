@@ -37,6 +37,7 @@ SysbenchResult RunSysbench(const SysbenchConfig& cfg) {
   sys_cfg.kernel.pti = cfg.pti;
   sys_cfg.kernel.opts = cfg.opts;
   sys_cfg.machine.seed = cfg.seed;
+  sys_cfg.backend = cfg.backend;
   System sys(sys_cfg);
 
   Process* p = sys.kernel().CreateProcess();
@@ -71,9 +72,16 @@ SysbenchResult RunSysbench(const SysbenchConfig& cfg) {
   out.total_cycles = end;
   double total_writes = static_cast<double>(cfg.threads) * cfg.writes_per_thread;
   out.writes_per_mcycle = total_writes / (static_cast<double>(end) / 1e6);
-  out.shootdowns = sys.shootdown().stats().shootdowns + sys.shootdown().stats().batch_shootdowns;
-  out.responder_full_storm = sys.shootdown().stats().responder_full_storm;
-  out.skipped_gen = sys.shootdown().stats().responder_skipped_gen;
+  if (sys.queue() != nullptr) {
+    out.shootdowns = sys.queue()->stats().shootdowns;
+    out.responder_full_storm = sys.queue()->stats().drain_full_storm;
+    out.skipped_gen = sys.queue()->stats().drain_skipped_gen;
+  } else {
+    out.shootdowns =
+        sys.shootdown().stats().shootdowns + sys.shootdown().stats().batch_shootdowns;
+    out.responder_full_storm = sys.shootdown().stats().responder_full_storm;
+    out.skipped_gen = sys.shootdown().stats().responder_skipped_gen;
+  }
   out.metrics = SystemMetricsJson(sys);
   return out;
 }

@@ -28,6 +28,7 @@ struct SysbenchConfig {
   // a realistic fraction of the run instead of dominating it.
   Cycles db_work_cycles = 6000;
   uint64_t seed = 1;
+  FlushBackendKind backend = FlushBackendKind::kIpi;
 };
 
 struct SysbenchResult {
