@@ -287,6 +287,140 @@ void QueueRingAblation(SweepRunner* runner, BenchReport* report) {
   std::printf("\n");
 }
 
+// Ablation 5: queue cost-knob crossover. The queue backend's initiator cost
+// is governed by three knobs (ring capacity, initial spin budget, backoff
+// multiplier); this sweep runs the 24-PTE madvise storm across their grid
+// and puts the IPI protocol's cost on the same storm next to it, exposing
+// where the async protocol crosses over the synchronous one.
+struct CrossoverPoint {
+  FlushBackendKind backend = FlushBackendKind::kQueue;
+  int ring_entries = 64;
+  Cycles initial_spin = 2000;
+  int backoff_mult = 4;
+};
+
+struct CrossoverResult {
+  Cycles madvise_cycles = 0;
+  uint64_t spin_polls = 0;
+  uint64_t spin_cycles = 0;
+  uint64_t ipi_resends = 0;
+  uint64_t fallbacks = 0;
+  uint64_t ack_timeouts = 0;
+};
+
+CrossoverResult MeasureCrossover(const CrossoverPoint& pt) {
+  SystemConfig cfg;
+  cfg.kernel.pti = true;
+  cfg.kernel.opts = OptimizationSet::AllGeneral();
+  cfg.machine.seed = 5;
+  cfg.backend = pt.backend;
+  cfg.machine.costs.queue_ring_entries = pt.ring_entries;
+  cfg.machine.costs.queue_initial_spin = pt.initial_spin;
+  cfg.machine.costs.queue_backoff_mult = pt.backoff_mult;
+  System sys(cfg);
+  Process* p = sys.kernel().CreateProcess();
+  Thread* ti = sys.kernel().CreateThread(p, 0);
+  sys.kernel().CreateThread(p, 30);
+  bool stop = false;
+  SimCpu& rc = sys.machine().cpu(30);
+  rc.Spawn([](SimCpu& cc, const bool* s) -> SimTask {
+    while (!*s) {
+      co_await cc.Execute(500);
+    }
+  }(rc, &stop));
+  Cycles dur = 0;
+  sys.machine().cpu(0).Spawn([](System& s, Thread& t, Cycles* out, bool* st) -> SimTask {
+    Kernel& k = s.kernel();
+    uint64_t a = co_await k.SysMmap(t, 24 * kPageSize4K, true, false);
+    RunningStat stat;
+    for (int it = 0; it < 100; ++it) {
+      for (int i = 0; i < 24; ++i) {
+        co_await k.UserAccess(t, a + static_cast<uint64_t>(i) * kPageSize4K, true);
+      }
+      Cycles t0 = s.machine().cpu(0).now();
+      co_await k.SysMadviseDontneed(t, a, 24 * kPageSize4K);
+      stat.Add(static_cast<double>(s.machine().cpu(0).now() - t0));
+    }
+    *out = static_cast<Cycles>(stat.mean());
+    *st = true;
+  }(sys, *ti, &dur, &stop));
+  sys.machine().engine().Run();
+  CrossoverResult r;
+  r.madvise_cycles = dur;
+  if (sys.queue() != nullptr) {
+    const QueueFlushBackend::Stats& qs = sys.queue()->stats();
+    r.spin_polls = qs.spin_polls;
+    r.spin_cycles = qs.spin_cycles;
+    r.ipi_resends = qs.ipi_resends;
+    r.fallbacks = qs.flush_all_fallbacks;
+    r.ack_timeouts = qs.ack_timeouts;
+  }
+  return r;
+}
+
+void QueueCrossoverAblation(SweepRunner* runner, BenchReport* report) {
+  constexpr int kRings[] = {8, 64};
+  constexpr Cycles kSpins[] = {500, 2000, 8000};
+  constexpr int kBackoffs[] = {2, 4};
+
+  std::vector<CrossoverPoint> points;
+  points.push_back(CrossoverPoint{FlushBackendKind::kIpi, 64, 2000, 4});  // baseline
+  for (int ring : kRings) {
+    for (Cycles spin : kSpins) {
+      for (int backoff : kBackoffs) {
+        points.push_back(CrossoverPoint{FlushBackendKind::kQueue, ring, spin, backoff});
+      }
+    }
+  }
+  std::vector<std::function<CrossoverResult()>> jobs;
+  for (const CrossoverPoint& pt : points) {
+    jobs.emplace_back([pt] { return MeasureCrossover(pt); });
+  }
+  std::vector<CrossoverResult> results = runner->Run(std::move(jobs));
+
+  std::printf("== Ablation 5: queue cost-knob crossover vs IPI ==\n");
+  std::printf("  madvise of 24 PTEs x100, cross-socket responder\n");
+  Cycles ipi_cycles = results[0].madvise_cycles;
+  for (size_t i = 0; i < points.size(); ++i) {
+    const CrossoverPoint& pt = points[i];
+    const CrossoverResult& r = results[i];
+    bool queue = pt.backend == FlushBackendKind::kQueue;
+    double vs_ipi = ipi_cycles > 0
+                        ? static_cast<double>(r.madvise_cycles) / static_cast<double>(ipi_cycles)
+                        : 0.0;
+    if (queue) {
+      std::printf("  queue ring %2d spin %4lld backoff %d: %lld cycles (%.2fx IPI),"
+                  " polls %llu, resends %llu, fallbacks %llu\n",
+                  pt.ring_entries, static_cast<long long>(pt.initial_spin), pt.backoff_mult,
+                  static_cast<long long>(r.madvise_cycles), vs_ipi,
+                  static_cast<unsigned long long>(r.spin_polls),
+                  static_cast<unsigned long long>(r.ipi_resends),
+                  static_cast<unsigned long long>(r.fallbacks));
+    } else {
+      std::printf("  ipi baseline: %lld cycles\n", static_cast<long long>(r.madvise_cycles));
+    }
+    Json row = Json::Object();
+    row["ablation"] = "queue_cost_crossover";
+    row["backend"] = queue ? "queue" : "ipi";
+    if (queue) {
+      row["ring_entries"] = pt.ring_entries;
+      row["initial_spin"] = static_cast<int64_t>(pt.initial_spin);
+      row["backoff_mult"] = pt.backoff_mult;
+    }
+    row["madvise_cycles"] = static_cast<int64_t>(r.madvise_cycles);
+    row["vs_ipi"] = vs_ipi;
+    if (queue) {
+      row["spin_polls"] = r.spin_polls;
+      row["spin_cycles"] = r.spin_cycles;
+      row["ipi_resends"] = r.ipi_resends;
+      row["flush_all_fallbacks"] = r.fallbacks;
+      row["ack_timeouts"] = r.ack_timeouts;
+    }
+    report->AddRow(std::move(row));
+  }
+  std::printf("\n");
+}
+
 }  // namespace
 }  // namespace tlbsim
 
@@ -318,6 +452,9 @@ int main(int argc, char** argv) {
   }
   if (run_queue) {
     QueueRingAblation(&runner, &report);
+    // Includes its own IPI-baseline row: the crossover is only meaningful
+    // with the queue protocol side by side, so it rides the queue axis.
+    QueueCrossoverAblation(&runner, &report);
   }
   report.SetHost(runner);
   return report.Finish(0);

@@ -9,7 +9,15 @@
 //   2. coro_storm      — awaited Co<> chains under a root SimTask
 //                        (coroutine frames/sec, allocations per frame);
 //   3. shootdown_storm — the Fig.5 madvise microbenchmark (wall-clock ns per
-//                        simulated shootdown).
+//                        simulated shootdown), at --sim-threads 1 and 2 (the
+//                        sharded engine config must not tax the serial
+//                        protocol path);
+//   4. shard_sweep     — the cross-socket shard storm on the 8-socket
+//                        224-cpu preset at 1/2/4/8 event shards: aggregate
+//                        events/s, cross-shard messages per event, horizon-
+//                        stall fraction, allocations per event — and a
+//                        checksum cross-check that every shard count replays
+//                        the identical timeline.
 //
 // Allocations are counted by a replacement global operator new in this TU.
 // Each phase runs a warmup pass first so pools, free lists and vectors reach
@@ -19,28 +27,34 @@
 // Report layout: everything under "virtual" and "config" is seeded virtual-
 // simulation data and must be byte-identical across runs (CI strips "wall"
 // and cmps the rest); "wall" holds host-dependent wall-clock results.
+#include <atomic>
 #include <chrono>
 #include <coroutine>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <new>
+#include <thread>
+#include <vector>
 
 #include "bench/report.h"
+#include "src/hw/cost_model.h"
 #include "src/sim/engine.h"
 #include "src/sim/task.h"
 #include "src/workloads/microbench.h"
+#include "src/workloads/shard_storm.h"
 
 // ----- counting allocator hook ---------------------------------------------
-// Single-threaded bench: plain counters are fine and keep the hook cheap.
+// Relaxed atomics: the shard sweep allocates from pool worker threads, and
+// the hook must stay cheap on the single-threaded phases.
 namespace {
-uint64_t g_allocs = 0;
-uint64_t g_alloc_bytes = 0;
+std::atomic<uint64_t> g_allocs{0};
+std::atomic<uint64_t> g_alloc_bytes{0};
 }  // namespace
 
 void* operator new(std::size_t n) {
-  ++g_allocs;
-  g_alloc_bytes += n;
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(n, std::memory_order_relaxed);
   if (void* p = std::malloc(n)) {
     return p;
   }
@@ -93,7 +107,7 @@ PlainEventResult RunPlainEvents(uint64_t budget) {
   // the steady-state allocs-per-event figure (CI gates it at exactly zero).
   e.RunUntil(2048);
   uint64_t before_events = e.events_processed();
-  uint64_t before_allocs = g_allocs;
+  uint64_t before_allocs = g_allocs.load(std::memory_order_relaxed);
   auto t0 = Clock::now();
   e.Run();
   auto t1 = Clock::now();
@@ -101,7 +115,9 @@ PlainEventResult RunPlainEvents(uint64_t budget) {
   r.events = e.events_processed() - before_events;
   r.seconds = Seconds(t0, t1);
   r.allocs_per_event =
-      r.events == 0 ? 0.0 : static_cast<double>(g_allocs - before_allocs) / static_cast<double>(r.events);
+      r.events == 0 ? 0.0
+                    : static_cast<double>(g_allocs.load(std::memory_order_relaxed) - before_allocs) /
+                          static_cast<double>(r.events);
   return r;
 }
 
@@ -152,7 +168,7 @@ CoroResult RunCoroStorm(uint64_t rounds) {
   e.Spawn(0, storm(rounds / 8));  // warmup: size-bucketed pools fill here
   e.Run();
   frames = 0;
-  uint64_t before_allocs = g_allocs;
+  uint64_t before_allocs = g_allocs.load(std::memory_order_relaxed);
   auto t0 = Clock::now();
   e.Spawn(e.now(), storm(rounds));
   e.Run();
@@ -161,11 +177,55 @@ CoroResult RunCoroStorm(uint64_t rounds) {
   r.frames = frames;
   r.seconds = Seconds(t0, t1);
   r.allocs_per_frame =
-      r.frames == 0 ? 0.0 : static_cast<double>(g_allocs - before_allocs) / static_cast<double>(r.frames);
+      r.frames == 0 ? 0.0
+                    : static_cast<double>(g_allocs.load(std::memory_order_relaxed) - before_allocs) /
+                          static_cast<double>(r.frames);
   if (sink == 0xdeadbeef) {  // defeat dead-code elimination
     std::printf("impossible\n");
   }
   return r;
+}
+
+// Phase 4: the shard-scaling sweep. One point per shard count on the
+// 8-socket preset, host threads matching shards; the same seeded storm, so
+// every point must replay the identical virtual timeline.
+struct ShardPoint {
+  int shards = 0;
+  ShardStormResult storm;
+  double seconds = 0;
+  double allocs_per_event = 0;
+};
+
+ShardPoint RunShardPoint(int shards, uint64_t events_per_cpu, Cycles lookahead) {
+  ShardStormConfig cfg;
+  cfg.topo = Topology::EightSocket();
+  cfg.shards = shards;
+  cfg.host_threads = shards;
+  cfg.lookahead = lookahead;
+  cfg.events_per_cpu = events_per_cpu;
+  cfg.cross_period = 64;
+  cfg.cross_latency = 1500;  // the cost model's cross-socket IPI wire time
+  cfg.seed = 42;
+
+  // Warmup at 1/8 length: spins up the thread pool and fills the allocator's
+  // size buckets so the measured run sees steady-state malloc behaviour.
+  ShardStormConfig warm = cfg;
+  warm.events_per_cpu = events_per_cpu / 8 + 1;
+  RunShardStorm(warm);
+
+  ShardPoint p;
+  p.shards = shards;
+  uint64_t before_allocs = g_allocs.load(std::memory_order_relaxed);
+  auto t0 = Clock::now();
+  p.storm = RunShardStorm(cfg);
+  auto t1 = Clock::now();
+  uint64_t allocs = g_allocs.load(std::memory_order_relaxed) - before_allocs;
+  p.seconds = Seconds(t0, t1);
+  p.allocs_per_event = p.storm.events_processed == 0
+                           ? 0.0
+                           : static_cast<double>(allocs) /
+                                 static_cast<double>(p.storm.events_processed);
+  return p;
 }
 
 }  // namespace
@@ -193,6 +253,26 @@ int Main(int argc, char** argv) {
   auto t1 = Clock::now();
   double storm_seconds = Seconds(t0, t1);
 
+  // Same storm with the sharded engine configured (--sim-threads 2 on the
+  // 2-socket machine). The protocol runs on the serial timeline, so the
+  // simulated result is identical; the delta is the sharded config's residual
+  // cost on a protocol-only workload, which must stay noise-level.
+  MicroConfig mc2 = mc;
+  mc2.sim_threads = 2;
+  RunMadviseMicrobench(mc2);  // warmup (thread pool spin-up)
+  auto t2 = Clock::now();
+  MicroResult micro2 = RunMadviseMicrobench(mc2);
+  auto t3 = Clock::now();
+  double storm2_seconds = Seconds(t2, t3);
+
+  // Phase 4: shard scaling. --quick shrinks the storm for local iteration.
+  const uint64_t storm_events_per_cpu = report.quick() ? 1000 : 4000;
+  const Cycles lookahead = CostModel{}.CrossShardLookahead();
+  std::vector<ShardPoint> sweep;
+  for (int shards : {1, 2, 4, 8}) {
+    sweep.push_back(RunShardPoint(shards, storm_events_per_cpu, lookahead));
+  }
+
   double events_per_sec =
       plain.seconds > 0 ? static_cast<double>(plain.events) / plain.seconds : 0;
   double frames_per_sec = coro.seconds > 0 ? static_cast<double>(coro.frames) / coro.seconds : 0;
@@ -204,14 +284,86 @@ int Main(int argc, char** argv) {
               events_per_sec / 1e6, plain.allocs_per_event);
   std::printf("  coroutine storm: %.2fM frames/s, %.4f allocs/frame (steady state)\n",
               frames_per_sec / 1e6, coro.allocs_per_frame);
-  std::printf("  shootdown storm: %lu shootdowns, %.0f ns/shootdown\n",
-              static_cast<unsigned long>(micro.shootdowns), ns_per_shootdown);
+  double ns_per_shootdown2 =
+      micro2.shootdowns > 0 ? storm2_seconds * 1e9 / static_cast<double>(micro2.shootdowns) : 0;
+  std::printf("  shootdown storm: %lu shootdowns, %.0f ns/shootdown"
+              " (%.0f ns at --sim-threads 2)\n",
+              static_cast<unsigned long>(micro.shootdowns), ns_per_shootdown,
+              ns_per_shootdown2);
+
+  int rc = 0;
+
+  // The --sim-threads axis must not perturb the simulation itself.
+  if (micro2.shootdowns != micro.shootdowns || micro2.early_acks != micro.early_acks) {
+    std::fprintf(stderr,
+                 "sim_throughput: --sim-threads 2 changed the madvise storm "
+                 "(shootdowns %lu vs %lu)\n",
+                 static_cast<unsigned long>(micro2.shootdowns),
+                 static_cast<unsigned long>(micro.shootdowns));
+    rc = 1;
+  }
+
+  std::printf("  shard sweep    : 8-socket/224-cpu storm, %lu events/cpu\n",
+              static_cast<unsigned long>(storm_events_per_cpu));
+  const ShardPoint& base = sweep.front();
+  for (const ShardPoint& p : sweep) {
+    double eps = p.seconds > 0
+                     ? static_cast<double>(p.storm.events_processed) / p.seconds
+                     : 0;
+    double msgs_per_event =
+        p.storm.events_processed == 0
+            ? 0.0
+            : static_cast<double>(p.storm.par.cross_shard_messages) /
+                  static_cast<double>(p.storm.events_processed);
+    double stall_frac =
+        p.storm.par.shard_windows + p.storm.par.horizon_stalls == 0
+            ? 0.0
+            : static_cast<double>(p.storm.par.horizon_stalls) /
+                  static_cast<double>(p.storm.par.shard_windows + p.storm.par.horizon_stalls);
+    std::printf("    shards=%d: %6.2fM events/s, %.4f msgs/event, "
+                "%.3f stall frac, %.4f allocs/event, speedup %.2fx\n",
+                p.shards, eps / 1e6, msgs_per_event, stall_frac, p.allocs_per_event,
+                base.seconds > 0 && p.seconds > 0 ? base.seconds / p.seconds : 0.0);
+    // Every shard count must replay the same timeline — this is the replay
+    // determinism contract, checked on every bench run.
+    if (p.storm.timeline_checksum != base.storm.timeline_checksum ||
+        p.storm.events_processed != base.storm.events_processed ||
+        p.storm.end_time != base.storm.end_time) {
+      std::fprintf(stderr, "sim_throughput: shard count %d diverged from the serial replay\n",
+                   p.shards);
+      rc = 1;
+    }
+    if (p.storm.par.clamped_deliveries != 0) {
+      std::fprintf(stderr, "sim_throughput: storm violated the lookahead contract (%lu clamps)\n",
+                   static_cast<unsigned long>(p.storm.par.clamped_deliveries));
+      rc = 1;
+    }
+    // Deterministic per-shard-count row (virtual quantities only).
+    Json row = Json::Object();
+    row["shards"] = p.shards;
+    row["events_processed"] = p.storm.events_processed;
+    row["chain_events"] = p.storm.chain_events;
+    row["deliveries"] = p.storm.deliveries;
+    row["timeline_checksum"] = p.storm.timeline_checksum;
+    row["end_time"] = static_cast<uint64_t>(p.storm.end_time);
+    row["windows"] = p.storm.par.windows;
+    row["shard_windows"] = p.storm.par.shard_windows;
+    row["cross_shard_messages"] = p.storm.par.cross_shard_messages;
+    row["msgs_per_event"] = msgs_per_event;
+    row["horizon_stalls"] = p.storm.par.horizon_stalls;
+    row["horizon_stall_fraction"] = stall_frac;
+    row["clamped_deliveries"] = p.storm.par.clamped_deliveries;
+    row["mailbox_overflows"] = p.storm.par.mailbox_overflows;
+    report.AddRow(std::move(row));
+  }
 
   Json config = Json::Object();
   config["plain_event_budget"] = static_cast<uint64_t>(2000000);
   config["coro_rounds"] = static_cast<uint64_t>(300000);
   config["storm_iterations"] = mc.iterations;
   config["storm_seed"] = mc.seed;
+  config["shard_storm_events_per_cpu"] = storm_events_per_cpu;
+  config["shard_storm_lookahead"] = static_cast<uint64_t>(lookahead);
   report.Set("config", std::move(config));
 
   // Seeded, wall-clock-free quantities: must replay byte-identically.
@@ -220,6 +372,8 @@ int Main(int argc, char** argv) {
   virt["coro_frames"] = coro.frames;
   virt["storm_shootdowns"] = micro.shootdowns;
   virt["storm_early_acks"] = micro.early_acks;
+  virt["shard_storm_checksum"] = base.storm.timeline_checksum;
+  virt["shard_storm_events"] = base.storm.events_processed;
   report.Set("virtual", std::move(virt));
 
   // Host-dependent wall-clock results; CI strips this key before the
@@ -228,11 +382,25 @@ int Main(int argc, char** argv) {
   wall["events_per_sec"] = events_per_sec;
   wall["coro_frames_per_sec"] = frames_per_sec;
   wall["ns_per_shootdown"] = ns_per_shootdown;
+  wall["ns_per_shootdown_sim_threads_2"] = ns_per_shootdown2;
   wall["allocs_per_event_steady"] = plain.allocs_per_event;
   wall["allocs_per_coro_frame_steady"] = coro.allocs_per_frame;
+  wall["host_cores"] = static_cast<uint64_t>(std::thread::hardware_concurrency());
+  Json shard_wall = Json::Array();
+  for (const ShardPoint& p : sweep) {
+    Json w = Json::Object();
+    w["shards"] = p.shards;
+    w["seconds"] = p.seconds;
+    w["events_per_sec"] =
+        p.seconds > 0 ? static_cast<double>(p.storm.events_processed) / p.seconds : 0.0;
+    w["allocs_per_event"] = p.allocs_per_event;
+    w["speedup_vs_serial"] =
+        base.seconds > 0 && p.seconds > 0 ? base.seconds / p.seconds : 0.0;
+    shard_wall.Append(std::move(w));
+  }
+  wall["shard_sweep"] = std::move(shard_wall);
   report.Set("wall", std::move(wall));
 
-  int rc = 0;
   if (plain.events == 0 || micro.shootdowns == 0) {
     std::fprintf(stderr, "sim_throughput: empty run (events=%lu shootdowns=%lu)\n",
                  static_cast<unsigned long>(plain.events),

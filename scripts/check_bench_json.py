@@ -159,12 +159,114 @@ def check_sim_throughput(path, doc):
             f'wall.allocs_per_coro_frame_steady is {wall.get("allocs_per_coro_frame_steady")!r},'
             " expected exactly 0 (coroutine frame pool regressed)",
         )
+
+    # --sim-threads must not tax the serial protocol path: the same madvise
+    # storm under the sharded engine config (whose shard queues stay empty)
+    # must stay within noise of the serial engine. 1.5x is far above timer
+    # jitter on any CI machine yet catches an accidental hot-path branch.
+    ns1 = wall.get("ns_per_shootdown", 0)
+    ns2 = wall.get("ns_per_shootdown_sim_threads_2", 0)
+    if ns2 <= 0:
+        rc |= fail(path, "wall.ns_per_shootdown_sim_threads_2 is not positive")
+    elif ns1 > 0 and ns2 > ns1 * 1.5:
+        rc |= fail(
+            path,
+            f"--sim-threads 2 shootdown storm regressed: {ns2:.0f} ns vs {ns1:.0f} ns serial",
+        )
+
+    # Shard-scaling sweep: every shard count must replay the identical
+    # timeline (the conservative-lookahead determinism contract), cross-shard
+    # traffic must actually flow, and nothing may violate the lookahead
+    # contract (clamped deliveries would mean nondeterministic delivery).
+    rows = {row.get("shards"): row for row in doc.get("rows", [])}
+    for shards in (1, 2, 4, 8):
+        if shards not in rows:
+            rc |= fail(path, f"shard sweep row for {shards} shards missing")
+    if rc:
+        return rc
+    base = rows[1]
+    if base.get("events_processed", 0) <= 0:
+        rc |= fail(path, "shard sweep: serial baseline processed no events")
+    for shards, row in sorted(rows.items()):
+        if row.get("timeline_checksum") != base.get("timeline_checksum") or row.get(
+            "events_processed"
+        ) != base.get("events_processed"):
+            rc |= fail(path, f"shard sweep: {shards} shards diverged from the serial replay")
+        if row.get("clamped_deliveries", 0) != 0:
+            rc |= fail(path, f"shard sweep: {shards} shards clamped deliveries")
+        if shards > 1 and row.get("cross_shard_messages", 0) <= 0:
+            rc |= fail(path, f"shard sweep: {shards} shards sent no cross-shard messages")
+        if not 0 <= row.get("horizon_stall_fraction", -1) <= 1:
+            rc |= fail(path, f"shard sweep: {shards} shards bad horizon_stall_fraction")
+
+    sweep_wall = {p.get("shards"): p for p in wall.get("shard_sweep", [])}
+    serial = sweep_wall.get(1, {})
+    if serial.get("events_per_sec", 0) <= 0:
+        rc |= fail(path, "wall.shard_sweep serial point missing or idle")
+    # The storm run allocates only during setup (engine pool growth, lanes)
+    # and per cross-shard delivery (mailed-id registry); amortized it must
+    # stay far below one allocation per event.
+    if serial.get("allocs_per_event", 1) > 0.01:
+        rc |= fail(
+            path,
+            f'shard sweep: serial allocs/event {serial.get("allocs_per_event")!r} > 0.01',
+        )
+    # The scaling gate proper: >= 2x aggregate events/s at 8 shards. Only
+    # meaningful with real parallelism under the pool, so it is conditional
+    # on the host actually having cores to scale onto.
+    host_cores = wall.get("host_cores", 0)
+    speedup8 = sweep_wall.get(8, {}).get("speedup_vs_serial", 0)
+    if host_cores >= 4:
+        if speedup8 < 2.0:
+            rc |= fail(
+                path,
+                f"shard sweep: 8-shard speedup {speedup8:.2f}x < 2x on a {host_cores}-core host",
+            )
+    elif speedup8 <= 0:
+        rc |= fail(path, "shard sweep: 8-shard point missing")
+
     if rc == 0:
         print(
             f"OK   {path}: status=pass, "
             f'{wall.get("events_per_sec", 0) / 1e6:.1f}M events/s, '
-            "0 steady-state allocs/event"
+            "0 steady-state allocs/event, "
+            f"8-shard speedup {speedup8:.2f}x on {host_cores} cores"
         )
+    return rc
+
+
+def check_ablation_crossover(path, doc):
+    """Queue cost-knob crossover gate: the sweep must carry an IPI baseline
+    plus the full knob grid, every point must have actually run the storm
+    (nonzero madvise cycles and spin polls), and the grid must exercise both
+    queue failure modes — IPI resends (spin budget exhausted) and flush_all
+    fallbacks (ring overflow) — somewhere in the grid.
+    """
+    rc = 0
+    rows = [r for r in doc.get("rows", []) if r.get("ablation") == "queue_cost_crossover"]
+    ipi_rows = [r for r in rows if r.get("backend") == "ipi"]
+    queue_rows = [r for r in rows if r.get("backend") == "queue"]
+    if len(ipi_rows) != 1:
+        return rc | fail(path, f"crossover: expected 1 ipi baseline row, got {len(ipi_rows)}")
+    if len(queue_rows) < 8:
+        return rc | fail(path, f"crossover: only {len(queue_rows)} queue grid points")
+    if ipi_rows[0].get("madvise_cycles", 0) <= 0:
+        rc |= fail(path, "crossover: ipi baseline madvise_cycles not positive")
+    for row in queue_rows:
+        label = (
+            f'ring {row.get("ring_entries")} spin {row.get("initial_spin")}'
+            f' backoff {row.get("backoff_mult")}'
+        )
+        if row.get("madvise_cycles", 0) <= 0:
+            rc |= fail(path, f"crossover {label}: madvise_cycles not positive")
+        if row.get("spin_polls", 0) <= 0:
+            rc |= fail(path, f"crossover {label}: initiator never spun")
+        if row.get("vs_ipi", 0) <= 0:
+            rc |= fail(path, f"crossover {label}: vs_ipi ratio not positive")
+    if not any(r.get("ipi_resends", 0) > 0 for r in queue_rows):
+        rc |= fail(path, "crossover: no grid point exercised IPI resends")
+    if not any(r.get("flush_all_fallbacks", 0) > 0 for r in queue_rows):
+        rc |= fail(path, "crossover: no grid point exercised the flush_all fallback")
     return rc
 
 
@@ -221,6 +323,8 @@ def check(path):
             elif value <= 0:
                 rc |= fail(path, f"queue counter {key} is {value}, expected nonzero")
         checked += len(required)
+        if name == "ablations":
+            rc |= check_ablation_crossover(path, doc)
 
     # table3 carries the per-optimization ablation gate: every enabled
     # optimization must strictly reduce its targeted counter.

@@ -16,6 +16,13 @@ struct Topology {
   int cores_per_socket = 14;
   int smt = 2;
 
+  // Big-machine presets for the sharded engine (ROADMAP item 5): the same
+  // per-socket core/SMT shape as the paper's testbed, scaled to 4 and 8
+  // sockets (112 and 224 logical CPUs) — the glueless 4S and node-controller
+  // 8S configurations Xeon E5/E7 platforms actually shipped.
+  static Topology FourSocket() { return Topology{4, 14, 2}; }
+  static Topology EightSocket() { return Topology{8, 14, 2}; }
+
   int num_cpus() const { return sockets * cores_per_socket * smt; }
   int cpus_per_socket() const { return cores_per_socket * smt; }
 

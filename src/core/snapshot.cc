@@ -48,6 +48,21 @@ void CollectMachineMetrics(Machine& machine) {
   m.counter("apic.multicast_messages").Set(ap.multicast_messages);
   m.counter("engine.events_processed").Set(machine.engine().events_processed());
   m.counter("engine.virtual_cycles").Set(static_cast<uint64_t>(machine.engine().now()));
+  const Engine::ParallelStats par = machine.engine().parallel_stats();
+  if (par.windows > 0) {
+    // Sharded-engine gauges, only once a parallel window actually ran.
+    // Guarded: the shootdown protocol lives on the serial timeline, so a
+    // figure bench at any --sim-threads never enters a window and its
+    // report stays byte-identical with the serial engine's.
+    m.counter("engine.windows").Set(par.windows);
+    m.counter("engine.shard_windows").Set(par.shard_windows);
+    m.counter("engine.parallel_events").Set(par.parallel_events);
+    m.counter("engine.cross_shard_messages").Set(par.cross_shard_messages);
+    m.counter("engine.cross_shard_cancels").Set(par.cross_shard_cancels);
+    m.counter("engine.horizon_stalls").Set(par.horizon_stalls);
+    m.counter("engine.clamped_deliveries").Set(par.clamped_deliveries);
+    m.counter("engine.mailbox_overflows").Set(par.mailbox_overflows);
+  }
   if (machine.config().numa.enabled()) {
     // Gauge view of the live per-CPU NUMA counters, so bench gates can probe
     // them under "counters" by dotted name. Guarded: registering these on a

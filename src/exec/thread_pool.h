@@ -26,8 +26,10 @@
 #include <deque>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include "src/sim/engine.h"
 #include "src/sim/inline_fn.h"
 
 namespace tlbsim {
@@ -88,6 +90,22 @@ class ThreadPool {
   size_t queued_ = 0;                    // sitting in a deque right now
   size_t next_submit_ = 0;               // round-robin cursor for Submit()
   bool stop_ = false;
+};
+
+// Adapts ThreadPool to the engine's host-parallelism hook. The sim layer
+// cannot depend on exec/, so Engine only sees the Executor interface; the
+// sharded engine's window barrier is ThreadPool::Drain, whose mutex hand-off
+// provides the happens-before edge between shard windows and the
+// coordinator's mailbox drain (this is what keeps the parallel core
+// TSan-clean without any atomics in shard code).
+class EngineExecutor final : public Engine::Executor {
+ public:
+  explicit EngineExecutor(ThreadPool& pool) : pool_(pool) {}
+  void Submit(InlineFn task) override { pool_.Submit(std::move(task)); }
+  void Drain() override { pool_.Drain(); }
+
+ private:
+  ThreadPool& pool_;
 };
 
 }  // namespace tlbsim

@@ -10,6 +10,8 @@
 #ifndef TLBSIM_SRC_HW_COST_MODEL_H_
 #define TLBSIM_SRC_HW_COST_MODEL_H_
 
+#include <algorithm>
+
 #include "src/cache/coherence.h"
 #include "src/sim/time.h"
 
@@ -94,6 +96,19 @@ struct CostModel {
 
   // Fractional jitter applied to wire/entry costs when an Rng is supplied.
   double jitter_frac = 0.03;
+
+  // Conservative lookahead for the sharded event engine (src/sim/engine.h):
+  // the cheapest cross-socket interaction — an APIC IPI on the wire or a
+  // cache-line transfer across the interconnect — bounds how soon one
+  // socket's events can affect another's, so every shard may safely run
+  // `lookahead` cycles past the global minimum event time. Discounted by the
+  // jitter band's lower edge since jittered wire costs can undershoot the
+  // nominal value.
+  Cycles CrossShardLookahead() const {
+    Cycles wire = std::min(ipi_wire_cross_socket, cache.cross_socket_transfer);
+    auto floor = static_cast<Cycles>(static_cast<double>(wire) * (1.0 - jitter_frac));
+    return std::max<Cycles>(1, floor);
+  }
 };
 
 }  // namespace tlbsim

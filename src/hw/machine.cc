@@ -1,5 +1,9 @@
 #include "src/hw/machine.h"
 
+#include <algorithm>
+
+#include "src/exec/thread_pool.h"
+
 namespace tlbsim {
 
 Machine::Machine(const MachineConfig& config)
@@ -7,6 +11,25 @@ Machine::Machine(const MachineConfig& config)
       metrics_(config_.topo.num_cpus()),
       coherence_(config_.topo, config_.costs.cache),
       apic_(&engine_, config_.topo, &config_.costs) {
+  // --sim-threads N on a multi-socket topology: shard the event heap per
+  // socket and hand the engine a window executor. The engine must be
+  // configured before anything schedules; nothing has run yet here. More
+  // threads than sockets buys nothing (one host thread per shard plus the
+  // coordinator), so the pool is clamped.
+  if (config_.sim_threads > 1 && config_.topo.sockets > 1) {
+    int threads = std::min(config_.sim_threads, config_.topo.sockets);
+    sim_pool_ = std::make_unique<ThreadPool>(threads - 1);
+    sim_executor_ = std::make_unique<EngineExecutor>(*sim_pool_);
+    Engine::ShardPlan plan;
+    plan.shards = config_.topo.sockets;
+    plan.shard_of_cpu.resize(static_cast<size_t>(config_.topo.num_cpus()));
+    for (int i = 0; i < config_.topo.num_cpus(); ++i) {
+      plan.shard_of_cpu[static_cast<size_t>(i)] = config_.topo.SocketOf(i);
+    }
+    plan.lookahead = config_.costs.CrossShardLookahead();
+    plan.executor = sim_executor_.get();
+    engine_.ConfigureSharding(std::move(plan));
+  }
   apic_.set_metrics(&metrics_);
   Rng root(config_.seed);
   std::vector<SimCpu*> raw;
@@ -23,5 +46,7 @@ Machine::Machine(const MachineConfig& config)
   }
   apic_.set_cpus(std::move(raw));
 }
+
+Machine::~Machine() = default;
 
 }  // namespace tlbsim

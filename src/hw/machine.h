@@ -20,6 +20,9 @@
 
 namespace tlbsim {
 
+class ThreadPool;       // src/exec/thread_pool.h; owned here when sim_threads > 1
+class EngineExecutor;   // adapter handing the pool to the engine
+
 struct MachineConfig {
   Topology topo;           // default: 2 sockets x 14 cores x 2 SMT
   CostModel costs;
@@ -28,6 +31,15 @@ struct MachineConfig {
   // pre-NUMA timings exactly. Experiments set numa.nodes = topo.sockets.
   NumaConfig numa;
   uint64_t seed = 1;
+  // Host threads for the sharded event engine (the --sim-threads axis).
+  // 1 (default) keeps the single-heap engine, bit-identical to every
+  // pre-sharding report. >1 splits the engine into per-socket event shards
+  // with conservative-lookahead windows; the shootdown protocol itself still
+  // runs on the serial timeline (see src/sim/engine.h), so simulation
+  // results stay byte-identical at any value — only host-side wall metrics
+  // and shard-confined workloads (ScheduleOnCpu traffic) use the extra
+  // threads.
+  int sim_threads = 1;
 };
 
 class Machine {
@@ -35,6 +47,7 @@ class Machine {
   explicit Machine(const MachineConfig& config = MachineConfig{});
   Machine(const Machine&) = delete;
   Machine& operator=(const Machine&) = delete;
+  ~Machine();  // out of line: sim_pool_ is incomplete here
 
   Engine& engine() { return engine_; }
   CoherenceModel& coherence() { return coherence_; }
@@ -54,6 +67,11 @@ class Machine {
 
  private:
   MachineConfig config_;
+  // Host threads backing the engine's parallel windows (sim_threads > 1 on a
+  // multi-socket topology only); declared before engine_ so the executor
+  // outlives every window the engine could still reference.
+  std::unique_ptr<ThreadPool> sim_pool_;
+  std::unique_ptr<EngineExecutor> sim_executor_;
   Engine engine_;
   Trace trace_;
   MetricsRegistry metrics_;  // before coherence/apic/cpus: they hold handles

@@ -13,7 +13,10 @@
 
 namespace tlbsim {
 
-inline constexpr int kMaxCpus = 64;
+// Upper bound on simulated CPUs (sizes mm_cpumask and the checker's vector
+// clocks). 256 covers the 8-socket/224-cpu big-machine preset; all cpumask
+// walks iterate machine.num_cpus(), so small topologies pay nothing.
+inline constexpr int kMaxCpus = 256;
 
 struct MmStruct {
   MmStruct(uint64_t id, Engine* engine, CoherenceModel* coherence)

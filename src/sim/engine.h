@@ -1,11 +1,12 @@
-// Discrete-event simulation engine.
+// Discrete-event simulation engine: a serial global timeline plus optional
+// per-socket event-heap shards synchronized by conservative lookahead.
 //
-// The engine owns a global event queue ordered by virtual time (Cycles) with
-// FIFO tie-breaking for determinism. Simulated CPUs keep *local* clocks that
-// may run ahead of the engine clock within one uninterrupted computation
-// (e.g. accounting cacheline-access costs without yielding); every
-// cross-entity interaction is mediated by an event scheduled at the acting
-// CPU's local time, which is always >= the engine clock, so causality holds.
+// The engine owns event queues ordered by virtual time (Cycles) with FIFO
+// tie-breaking for determinism. Simulated CPUs keep *local* clocks that may
+// run ahead of the engine clock within one uninterrupted computation (e.g.
+// accounting cacheline-access costs without yielding); every cross-entity
+// interaction is mediated by an event scheduled at the acting CPU's local
+// time, which is always >= the engine clock, so causality holds.
 //
 // Hot-path design (the simulator's throughput ceiling lives here):
 //   - Callbacks are InlineFn, not std::function: small captures are stored
@@ -18,17 +19,43 @@
 //     position, so Cancel() removes the entry in O(log n) directly instead of
 //     lazily skipping it at pop time. Heap entries carry (at, seq) inline, so
 //     sift comparisons never chase into the pool.
+//
+// Sharded mode (ConfigureSharding): queue 0 is the *serial* timeline — every
+// plain Schedule() from outside a shard window lands there, exactly as in the
+// unsharded engine — and queues 1..S are per-socket shards fed through
+// ScheduleOnCpu(). Shards advance in lockstep *windows*: with T the earliest
+// pending event anywhere and L the lookahead (the cheapest cross-socket
+// interaction in the cost model), every queue may run its events with
+// `at < T + L` concurrently on host threads, because no message sent during
+// the window can demand delivery before T + L. Cross-shard schedules travel
+// through per-(src,dst) SPSC mailboxes drained at the window barrier in fixed
+// (dst, src, FIFO) order with receiver-assigned sequence numbers — so results
+// are bit-identical for any shard/thread count, provided senders respect the
+// lookahead contract: a cross-shard ScheduleOnCpu must target
+// `at >= now() + lookahead()`. Contract violators are not wrong, just
+// conservative: delivery is clamped forward to the receiver's clock and
+// counted in ParallelStats::clamped_deliveries.
+//
+// What is NOT parallel: the shootdown protocol itself (kernel, coherence,
+// APIC handlers) mutates shared machine state directly and therefore runs
+// entirely on the serial timeline, byte-identical at any --sim-threads.
+// Shard queues carry shard-confined work (traffic replay, storms); see
+// docs/ARCHITECTURE.md "Parallel discrete-event core".
 #ifndef TLBSIM_SRC_SIM_ENGINE_H_
 #define TLBSIM_SRC_SIM_ENGINE_H_
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <type_traits>
+#include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
 #include "src/sim/inline_fn.h"
+#include "src/sim/mailbox.h"
 #include "src/sim/task.h"
 #include "src/sim/time.h"
 
@@ -38,12 +65,61 @@ class Engine {
  public:
   using EventId = uint64_t;
   static constexpr EventId kInvalidEvent = 0;
+  // Queue count ceiling (serial queue + shards): bounded by the 7-bit queue
+  // fields in EventIds and the uint64 window bookkeeping.
+  static constexpr int kMaxQueues = 64;
 
-  Engine() = default;
+  // Host-execution hook for parallel windows. Implemented by an adapter over
+  // src/exec/thread_pool (see EngineExecutor there); defined as an interface
+  // here so the sim layer does not depend on exec. Submit() enqueues a task
+  // for any worker; Drain() blocks until all submitted tasks finished and is
+  // the window barrier (it must establish happens-before between the tasks
+  // and the caller).
+  class Executor {
+   public:
+    virtual ~Executor() = default;
+    virtual void Submit(InlineFn task) = 0;
+    virtual void Drain() = 0;
+  };
+
+  // Sharding layout, fixed before any event is scheduled.
+  struct ShardPlan {
+    int shards = 1;                  // event shards (<=1: stay unsharded)
+    std::vector<int> shard_of_cpu;   // cpu -> shard in [0, shards)
+    Cycles lookahead = 1;            // conservative window width, >= 1
+    Executor* executor = nullptr;    // borrowed; null runs windows inline
+  };
+
+  struct ParallelStats {
+    uint64_t windows = 0;               // barrier rounds executed
+    uint64_t shard_windows = 0;         // per-shard window activations
+    uint64_t parallel_events = 0;       // events fired in shard queues
+    uint64_t cross_shard_messages = 0;  // schedules that crossed shards
+    uint64_t cross_shard_cancels = 0;   // cancels that crossed shards
+    uint64_t horizon_stalls = 0;        // non-empty shard couldn't enter a window
+    uint64_t clamped_deliveries = 0;    // contract-violating sends delayed
+    uint64_t mailbox_overflows = 0;     // messages that spilled past the ring
+  };
+
+  Engine();
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
-  // Schedules `fn` to run at virtual time `at` (>= now()).
+  // Splits the engine into `plan.shards` per-socket queues plus the serial
+  // queue. Must be called before anything is scheduled; a plan with
+  // shards <= 1 leaves the engine in the unsharded (legacy) shape.
+  void ConfigureSharding(ShardPlan plan);
+
+  bool sharded() const { return queues_.size() > 1; }
+  int num_shards() const { return static_cast<int>(queues_.size()) - 1; }
+  Cycles lookahead() const { return lookahead_; }
+
+  // Aggregated sharding counters. Call between runs (quiescent engine).
+  ParallelStats parallel_stats() const;
+
+  // Schedules `fn` to run at virtual time `at` (>= now()) on the *current*
+  // timeline: the serial queue from outside the engine or from serial
+  // events, the owning shard from inside a shard event.
   EventId Schedule(Cycles at, InlineFn fn);
 
   // Hot-path overload for callables: constructs the callback directly in its
@@ -51,53 +127,90 @@ class Engine {
   template <typename F,
             typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, InlineFn>>>
   EventId Schedule(Cycles at, F&& f) {
-    uint32_t slot = AllocSlot();
-    FnAt(slot).Emplace(std::forward<F>(f));
-    return Enqueue(at, slot);
+    Queue& q = CurrentQueue();
+    uint32_t slot = AllocSlot(q);
+    FnAt(q, slot).Emplace(std::forward<F>(f));
+    return Enqueue(q, at, slot);
   }
 
   // Convenience: schedule relative to now().
   EventId ScheduleAfter(Cycles delay, InlineFn fn) {
-    return Schedule(now_ + delay, std::move(fn));
+    return Schedule(now() + delay, std::move(fn));
   }
 
   template <typename F,
             typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, InlineFn>>>
   EventId ScheduleAfter(Cycles delay, F&& f) {
-    return Schedule(now_ + delay, std::forward<F>(f));
+    return Schedule(now() + delay, std::forward<F>(f));
+  }
+
+  // Schedules `fn` on the event shard that owns `cpu` (the serial queue when
+  // unsharded). From a different shard this is a cross-shard send: exact
+  // when `at >= now() + lookahead()`, conservatively delayed otherwise.
+  EventId ScheduleOnCpu(int cpu, Cycles at, InlineFn fn);
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, InlineFn>>>
+  EventId ScheduleOnCpu(int cpu, Cycles at, F&& f) {
+    Queue& dst = QueueForCpu(cpu);
+    Queue& cur = CurrentQueue();
+    if (&dst == &cur || !in_parallel_phase_) {
+      // Direct insert (same timeline, or coordinator context with every
+      // other thread parked). A foreign queue's clock may already sit past
+      // `at` — possible only for lookahead-contract violators — so clamp
+      // forward rather than scheduling into its past.
+      if (&dst != &cur && at < dst.now) {
+        at = dst.now;
+        ++dst.clamped;
+      }
+      uint32_t slot = AllocSlot(dst);
+      FnAt(dst, slot).Emplace(std::forward<F>(f));
+      return Enqueue(dst, at, slot);
+    }
+    return MailSchedule(cur, dst, at, InlineFn(std::forward<F>(f)));
   }
 
   // Cancels a pending event in O(log n). Cancelling kInvalidEvent, an
-  // already-fired id, or an already-cancelled id is a no-op.
+  // already-fired id, or an already-cancelled id is a no-op. Cross-shard
+  // cancels ride the mailboxes and take effect at the next window barrier;
+  // like sends, they are exact under the lookahead contract (the victim
+  // fires >= lookahead past the canceller's clock) and best-effort — the
+  // legacy "already fired" no-op — otherwise.
   void Cancel(EventId id);
 
-  // Starts a detached root task at time `at`.
+  // Starts a detached root task at time `at` on the current timeline.
   void Spawn(Cycles at, SimTask task);
 
-  // Runs events until the queue is empty. Returns the final virtual time.
+  // Runs events until every queue is empty. Returns the final virtual time
+  // (the maximum queue clock; the serial clock when unsharded).
   Cycles Run();
 
   // Runs events with time <= `deadline` (inclusive: an event scheduled
-  // exactly at `deadline` fires). Returns true if the queue drained.
+  // exactly at `deadline` fires). Returns true if all queues drained.
   bool RunUntil(Cycles deadline);
 
-  Cycles now() const { return now_; }
-  uint64_t events_processed() const { return events_processed_; }
+  // The current timeline's clock: the serial clock from outside the engine,
+  // the running queue's clock from inside an event.
+  Cycles now() const {
+    const Queue* q = tls_queue_;
+    return (q != nullptr ? q : main_queue_)->now;
+  }
 
-  // True when no live events remain. Cancelled events are removed eagerly,
-  // so this is a plain O(1) query.
-  bool empty() const { return heap_.empty(); }
+  uint64_t events_processed() const;
 
-  // Number of pending events.
-  size_t size() const { return heap_.size(); }
+  // True when no live events remain anywhere. Cancelled events are removed
+  // eagerly and mailboxes are empty between runs, so this is O(#queues).
+  bool empty() const;
+
+  // Number of pending events across all queues.
+  size_t size() const;
 
  private:
   // Heap entry, 16 bytes: the ordering key inline (no pool chase during
   // sifts) plus the owning pool slot packed into the low bits of the
-  // tie-break word. seq is monotone and unique per Schedule, so the slot
-  // bits never influence ordering; 2^40 events and 2^24 concurrent events
-  // are both far beyond any simulation this engine drives (asserted in
-  // Schedule).
+  // tie-break word. seq is monotone and unique per queue, so the slot bits
+  // never influence ordering; 2^40 events and 2^24 concurrent events are
+  // both far beyond any simulation this engine drives (asserted in Enqueue).
   struct HeapItem {
     Cycles at;
     uint64_t seq_slot;  // seq << kSlotBits | slot
@@ -106,6 +219,66 @@ class Engine {
   static constexpr uint32_t kSlotMask = (1u << kSlotBits) - 1;
   static constexpr uint32_t kChunkShift = 6;  // 64 callables (~3.5KB) per chunk
   static constexpr uint32_t kChunkSize = 1u << kChunkShift;
+
+  // EventId layouts. Direct ids are handed out by Enqueue:
+  //   [gen:32][queue:7][slot+1:25]
+  // (queue 0 makes this bit-compatible with the pre-sharding encoding).
+  // Mailed ids are handed out by MailSchedule for cross-shard sends, before
+  // the receiver has assigned a slot:
+  //   [1:1][src queue:7][dst queue:7][pair seq:49]
+  static constexpr int kQueueBits = 7;
+  static constexpr int kDirectSlotBits = kSlotBits + 1;  // slot+1 field width
+  static constexpr EventId kMailedBit = EventId{1} << 63;
+  static constexpr uint64_t kPairSeqBits = 49;
+  static constexpr uint64_t kQueueMask = (uint64_t{1} << kQueueBits) - 1;
+  static constexpr uint64_t kPairSeqMask = (uint64_t{1} << kPairSeqBits) - 1;
+
+  // Cross-shard message: a schedule (fn set) or a cancel (cancel_id set).
+  struct CrossMsg {
+    Cycles at = 0;
+    uint64_t seq = 0;          // per-(src,dst) FIFO sequence, 1-based
+    EventId cancel_id = 0;     // nonzero: cancel this id instead of scheduling
+    InlineFn fn;
+  };
+
+  // One event queue: the serial timeline (index 0) or a shard. Everything a
+  // window touches is confined here, so shard windows share no mutable
+  // engine state with each other.
+  struct Queue {
+    int index = 0;
+    std::vector<HeapItem> heap;  // 4-ary min-heap by (at, seq)
+    // Callbacks, slot-indexed, in fixed-size chunks: addresses are stable
+    // across pool growth, so Step() runs a callback directly from its slot
+    // (no copy out) even if the callback schedules new events. The sift-path
+    // bookkeeping lives in flat dense arrays instead, keeping heap
+    // maintenance free of chunk chasing:
+    std::vector<std::unique_ptr<InlineFn[]>> chunks;
+    std::vector<int32_t> pos;    // slot -> heap index; -1: free or fired
+    std::vector<uint32_t> gen;   // slot -> generation; stale ids fail this
+    uint32_t pool_size = 0;      // slots handed out so far
+    std::vector<uint32_t> free;  // recycled pool slots (LIFO)
+    Cycles now = 0;
+    uint64_t next_seq = 1;
+    uint64_t events_processed = 0;
+
+    // --- cross-shard bookkeeping (sharded mode only) ---
+    // Set on every queue by ConfigureSharding; keeps the unsharded hot path
+    // free of mailed-id maintenance.
+    bool track_mailed = false;
+    // Producer side: per-destination pair sequence counters and counters.
+    std::vector<uint64_t> next_pair_seq;  // dst queue -> next seq (1-based)
+    uint64_t cross_msgs = 0;
+    uint64_t cross_cancels = 0;
+    // Consumer side, all touched only under the window barrier:
+    std::vector<uint64_t> mailed_tag;     // slot -> mailed id (0: none)
+    std::unordered_map<uint64_t, EventId> mailed;  // mailed id -> direct id
+    std::unordered_set<uint64_t> pending_cancels;  // cancels that beat their victim
+    std::vector<uint64_t> drained_seq;    // src queue -> highest seq drained
+    uint64_t clamped = 0;                 // contract-violating sends delayed
+    // Dynamic window limit support: virtual time of this queue's first
+    // cross-shard send in the current window (kNever: none yet).
+    Cycles window_first_send = kNever;
+  };
 
   // Packed (at, seq) ordering key. A single 128-bit compare lets the sift
   // loops select the min child with conditional moves instead of
@@ -119,41 +292,89 @@ class Engine {
   static uint32_t SlotOf(const HeapItem& x) {
     return static_cast<uint32_t>(x.seq_slot) & kSlotMask;
   }
-  static EventId MakeId(uint32_t gen, uint32_t slot) {
-    return (static_cast<EventId>(gen) << 32) | (static_cast<EventId>(slot) + 1);
+  static EventId MakeId(uint32_t gen, int queue, uint32_t slot) {
+    return (static_cast<EventId>(gen) << 32) |
+           (static_cast<EventId>(queue) << kDirectSlotBits) |
+           (static_cast<EventId>(slot) + 1);
+  }
+  static EventId MakeMailedId(int src, int dst, uint64_t seq) {
+    return kMailedBit | (static_cast<EventId>(src) << (kQueueBits + kPairSeqBits)) |
+           (static_cast<EventId>(dst) << kPairSeqBits) | seq;
   }
 
-  InlineFn& FnAt(uint32_t slot) {
-    return chunks_[slot >> kChunkShift][slot & (kChunkSize - 1)];
+  static InlineFn& FnAt(Queue& q, uint32_t slot) {
+    return q.chunks[slot >> kChunkShift][slot & (kChunkSize - 1)];
   }
 
-  // Slot allocation and heap insertion, shared by both Schedule overloads.
-  // The callable is filled into FnAt(slot) between the two calls.
-  uint32_t AllocSlot();
-  EventId Enqueue(Cycles at, uint32_t slot);
+  static Cycles SatAdd(Cycles a, Cycles b) { return a > kNever - b ? kNever : a + b; }
 
-  void SiftUp(size_t i);
-  void SiftDown(size_t i);
-  void FreeSlot(uint32_t slot);
-  void RemoveAt(size_t i);
+  Queue& CurrentQueue() {
+    Queue* q = tls_queue_;
+    return q != nullptr ? *q : *main_queue_;
+  }
+  Queue& QueueForCpu(int cpu) {
+    if (queues_.size() == 1) {
+      return *main_queue_;
+    }
+    assert(cpu >= 0 && static_cast<size_t>(cpu) < queue_of_cpu_.size());
+    return *queues_[queue_of_cpu_[static_cast<size_t>(cpu)]];
+  }
+  SpscMailbox<CrossMsg>& MailboxFor(int src, int dst) {
+    return *mail_[static_cast<size_t>(src) * queues_.size() + static_cast<size_t>(dst)];
+  }
 
-  // Pops and runs the next event. Precondition: heap non-empty.
-  void Step();
+  // Slot allocation and heap insertion, shared by the Schedule overloads.
+  // The callable is filled into FnAt(q, slot) between the two calls.
+  static uint32_t AllocSlot(Queue& q);
+  EventId Enqueue(Queue& q, Cycles at, uint32_t slot);
 
-  std::vector<HeapItem> heap_;  // 4-ary min-heap by (at, seq)
-  // Callbacks, slot-indexed, in fixed-size chunks: addresses are stable
-  // across pool growth, so Step() runs a callback directly from its slot (no
-  // copy out) even if the callback schedules new events. The sift-path
-  // bookkeeping lives in flat dense arrays instead, keeping heap
-  // maintenance free of chunk chasing:
-  std::vector<std::unique_ptr<InlineFn[]>> chunks_;
-  std::vector<int32_t> pos_;    // slot -> heap index; -1: free or fired
-  std::vector<uint32_t> gen_;   // slot -> generation; stale ids fail this
-  uint32_t pool_size_ = 0;      // slots handed out so far
-  std::vector<uint32_t> free_;  // recycled pool slots (LIFO)
-  Cycles now_ = 0;
-  uint64_t next_seq_ = 1;
-  uint64_t events_processed_ = 0;
+  // Producer side of a cross-shard send/cancel (runs on src's host thread).
+  EventId MailSchedule(Queue& src, Queue& dst, Cycles at, InlineFn fn);
+  void MailCancel(Queue& src, Queue& dst, EventId victim);
+
+  static void SiftUp(Queue& q, size_t i);
+  static void SiftDown(Queue& q, size_t i);
+  static void FreeSlot(Queue& q, uint32_t slot);
+  void RemoveAt(Queue& q, size_t i);
+  void CancelLocal(Queue& q, EventId id);
+
+  // Pops and runs the next event. Precondition: q.heap non-empty.
+  void Step(Queue& q);
+
+  // Runs q's events with `at < bound`, shrinking the bound to
+  // first_cross_send + lookahead so replies can never land in q's past.
+  void RunWindow(Queue& q, Cycles bound);
+
+  // Window loop: runs until every *shard* queue is empty (true) or every
+  // pending event anywhere lies beyond `deadline` (false). The serial queue
+  // participates in windows but may be left non-empty on a true return; the
+  // caller's serial fast loop takes over.
+  bool RunParallelPhase(Cycles deadline);
+
+  // Barrier-side message application (coordinator thread only).
+  void DrainMailboxes();
+  void ApplyCrossSchedule(Queue& dst, int src, CrossMsg msg);
+  void ApplyCancel(Queue& dst, EventId victim);
+
+  std::vector<std::unique_ptr<Queue>> queues_;  // [0]: serial; [1..]: shards
+  Queue* main_queue_ = nullptr;                 // == queues_[0].get()
+  std::vector<uint8_t> queue_of_cpu_;           // cpu -> queue index (sharded)
+  std::vector<std::unique_ptr<SpscMailbox<CrossMsg>>> mail_;  // src * nq + dst
+  Executor* executor_ = nullptr;
+  Cycles lookahead_ = 1;
+  // Events pending in shard queues, maintained while the coordinator is the
+  // only running thread and recomputed at each window barrier; the serial
+  // fast loop polls it to know when a parallel phase is due.
+  size_t parallel_pending_ = 0;
+  bool in_parallel_phase_ = false;
+  uint64_t stat_windows_ = 0;
+  uint64_t stat_shard_windows_ = 0;
+  uint64_t stat_horizon_stalls_ = 0;
+
+  // The queue whose window is executing on this host thread (null outside
+  // windows). Static: at most one engine runs a window on a given thread at
+  // a time, and RunWindow saves/restores for safety.
+  static thread_local Queue* tls_queue_;
 };
 
 }  // namespace tlbsim

@@ -1,0 +1,94 @@
+// SpscMailbox: a single-producer single-consumer FIFO for cross-shard
+// engine messages.
+//
+// Each ordered pair of event-heap shards owns one mailbox (src -> dst). The
+// producer is whichever host thread runs the source shard's window; the
+// consumer is the coordinator thread draining mailboxes at the window
+// barrier. Producer and consumer never run concurrently today — the barrier
+// (ThreadPool::Drain) orders every push before the drain — but the fast path
+// is a genuine lock-free SPSC ring (acquire/release head/tail), so a future
+// asynchronous engine can drain mid-window without changing callers.
+//
+// Capacity is fixed; a full ring spills into an overflow vector owned by the
+// producer. Because the ring is only drained at barriers, a full ring stays
+// full for the rest of the window, so spilled messages strictly follow the
+// ring's contents in send order — Drain() preserves global per-pair FIFO.
+#ifndef TLBSIM_SRC_SIM_MAILBOX_H_
+#define TLBSIM_SRC_SIM_MAILBOX_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace tlbsim {
+
+template <typename T>
+class SpscMailbox {
+ public:
+  // 256 slots absorbs every realistic window's worth of cross-shard traffic
+  // (IPI fan-outs are bounded by cpus-per-socket); overflow is correct, just
+  // not allocation-free.
+  static constexpr uint32_t kCapacity = 256;
+
+  SpscMailbox() : ring_(kCapacity) {}
+  SpscMailbox(const SpscMailbox&) = delete;
+  SpscMailbox& operator=(const SpscMailbox&) = delete;
+
+  // Producer side. Never blocks: a full ring spills to the overflow vector.
+  void Push(T msg) {
+    uint32_t h = head_.load(std::memory_order_relaxed);
+    uint32_t t = tail_.load(std::memory_order_acquire);
+    if (h - t >= kCapacity) {
+      overflow_.push_back(std::move(msg));
+      ++overflowed_;
+      return;
+    }
+    ring_[h & (kCapacity - 1)] = std::move(msg);
+    head_.store(h + 1, std::memory_order_release);
+  }
+
+  // Consumer side: applies `fn` to every message visible at entry, in send
+  // order, and returns how many were delivered. The overflow spill is only
+  // touched here under the window barrier (producer quiescent); a future
+  // concurrent drain must skip it until its own barrier.
+  template <typename Fn>
+  size_t Drain(Fn&& fn) {
+    size_t n = 0;
+    uint32_t h = head_.load(std::memory_order_acquire);
+    uint32_t t = tail_.load(std::memory_order_relaxed);
+    while (t != h) {
+      fn(std::move(ring_[t & (kCapacity - 1)]));
+      ++t;
+      ++n;
+    }
+    tail_.store(t, std::memory_order_release);
+    for (T& msg : overflow_) {
+      fn(std::move(msg));
+      ++n;
+    }
+    overflow_.clear();
+    return n;
+  }
+
+  // True when no message is buffered (barrier-synchronized callers only).
+  bool empty() const {
+    return head_.load(std::memory_order_acquire) == tail_.load(std::memory_order_acquire) &&
+           overflow_.empty();
+  }
+
+  // Messages that missed the ring and took the overflow path (lifetime total).
+  uint64_t overflowed() const { return overflowed_; }
+
+ private:
+  std::vector<T> ring_;
+  std::atomic<uint32_t> head_{0};  // producer-owned
+  std::atomic<uint32_t> tail_{0};  // consumer-owned
+  std::vector<T> overflow_;        // producer-owned between barriers
+  uint64_t overflowed_ = 0;        // producer-owned
+};
+
+}  // namespace tlbsim
+
+#endif  // TLBSIM_SRC_SIM_MAILBOX_H_

@@ -1,0 +1,148 @@
+#include "src/workloads/shard_storm.h"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+#include <vector>
+
+#include "src/exec/thread_pool.h"
+#include "src/sim/rng.h"
+
+namespace tlbsim {
+namespace {
+
+// Per-cpu storm state. Only the owning cpu's events touch a lane — chain
+// steps consume the rng, deliveries and echoes only bump counters — so
+// lanes are confined to their cpu's shard, and same-time chain/delivery
+// ties commute (every mutation is an order-independent increment).
+struct Lane {
+  uint64_t fired = 0;
+  uint64_t received = 0;
+  uint64_t echoes = 0;
+  uint64_t checksum = 0;
+  Rng rng{0};
+};
+
+struct StormCtx {
+  Engine* eng = nullptr;
+  std::vector<Lane>* lanes = nullptr;
+  Topology topo;
+  uint64_t events_per_cpu = 0;
+  uint32_t cross_period = 0;
+  Cycles cross_latency = 0;
+};
+
+// splitmix64-style finalizer: commutative-sum ingredients must already be
+// well mixed, or colliding (cpu, t) pairs would cancel structurally.
+uint64_t Mix(uint64_t cpu, uint64_t t, uint64_t kind) {
+  uint64_t x = cpu * 0x9E3779B97F4A7C15ULL ^ (t + kind * 0xBF58476D1CE4E5B9ULL);
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+void ChainStep(StormCtx* ctx, int cpu);
+
+void Deliver(StormCtx* ctx, int cpu) {
+  Lane& lane = (*ctx->lanes)[static_cast<size_t>(cpu)];
+  Cycles t = ctx->eng->now();
+  ++lane.received;
+  lane.checksum += Mix(static_cast<uint64_t>(cpu), static_cast<uint64_t>(t), 2);
+  // The "IRQ handler" tail: one shard-local echo event.
+  ctx->eng->ScheduleOnCpu(cpu, t + 7, [ctx, cpu] {
+    Lane& l = (*ctx->lanes)[static_cast<size_t>(cpu)];
+    ++l.echoes;
+    l.checksum += Mix(static_cast<uint64_t>(cpu),
+                      static_cast<uint64_t>(ctx->eng->now()), 3);
+  });
+}
+
+void ChainStep(StormCtx* ctx, int cpu) {
+  Lane& lane = (*ctx->lanes)[static_cast<size_t>(cpu)];
+  Cycles t = ctx->eng->now();
+  ++lane.fired;
+  lane.checksum += Mix(static_cast<uint64_t>(cpu), static_cast<uint64_t>(t), 1);
+  if (lane.fired % ctx->cross_period == 0) {
+    // Remote IPI: a cpu on a different socket, from this lane's own stream.
+    int sockets = ctx->topo.sockets;
+    int per = ctx->topo.cpus_per_socket();
+    int my = ctx->topo.SocketOf(cpu);
+    int other = (my + 1 + static_cast<int>(lane.rng.UniformInt(0, sockets - 2))) % sockets;
+    int target = other * per + static_cast<int>(lane.rng.UniformInt(0, per - 1));
+    ctx->eng->ScheduleOnCpu(target, t + ctx->cross_latency,
+                            [ctx, target] { Deliver(ctx, target); });
+  }
+  if (lane.fired < ctx->events_per_cpu) {
+    Cycles d = 1 + static_cast<Cycles>(lane.rng.UniformInt(0, 6));
+    ctx->eng->ScheduleOnCpu(cpu, t + d, [ctx, cpu] { ChainStep(ctx, cpu); });
+  }
+}
+
+}  // namespace
+
+ShardStormResult RunShardStorm(const ShardStormConfig& cfg) {
+  assert(cfg.topo.sockets >= 2 && "the storm needs a remote socket to shoot at");
+  assert(cfg.shards >= 1 && cfg.shards <= cfg.topo.sockets);
+  assert(cfg.cross_latency >= cfg.lookahead &&
+         "cross sends must respect the lookahead contract for exact replay");
+
+  Engine eng;
+  std::unique_ptr<ThreadPool> pool;
+  std::unique_ptr<EngineExecutor> executor;
+  if (cfg.shards > 1) {
+    int threads = std::min(std::max(cfg.host_threads, 1), cfg.shards);
+    if (threads > 1) {
+      pool = std::make_unique<ThreadPool>(threads - 1);
+      executor = std::make_unique<EngineExecutor>(*pool);
+    }
+    Engine::ShardPlan plan;
+    plan.shards = cfg.shards;
+    plan.shard_of_cpu.resize(static_cast<size_t>(cfg.topo.num_cpus()));
+    for (int i = 0; i < cfg.topo.num_cpus(); ++i) {
+      // Contiguous socket groups per shard (all-sockets sharding when
+      // shards == sockets): cross-shard implies cross-socket, so the
+      // cross-socket lookahead stays valid at every shard count.
+      plan.shard_of_cpu[static_cast<size_t>(i)] =
+          cfg.topo.SocketOf(i) * cfg.shards / cfg.topo.sockets;
+    }
+    plan.lookahead = cfg.lookahead;
+    plan.executor = executor.get();
+    eng.ConfigureSharding(std::move(plan));
+  }
+
+  std::vector<Lane> lanes(static_cast<size_t>(cfg.topo.num_cpus()));
+  Rng root(cfg.seed);
+  for (auto& lane : lanes) {
+    lane.rng = root.Fork();
+  }
+
+  StormCtx ctx;
+  ctx.eng = &eng;
+  ctx.lanes = &lanes;
+  ctx.topo = cfg.topo;
+  ctx.events_per_cpu = cfg.events_per_cpu;
+  ctx.cross_period = cfg.cross_period;
+  ctx.cross_latency = cfg.cross_latency;
+
+  for (int cpu = 0; cpu < cfg.topo.num_cpus(); ++cpu) {
+    int c = cpu;
+    eng.ScheduleOnCpu(c, (c * 7) % 97, [ctx_p = &ctx, c] { ChainStep(ctx_p, c); });
+  }
+
+  ShardStormResult r;
+  r.end_time = eng.Run();
+  for (const Lane& lane : lanes) {
+    r.chain_events += lane.fired;
+    r.deliveries += lane.received;
+    r.echoes += lane.echoes;
+    r.timeline_checksum += lane.checksum;
+  }
+  r.events_processed = eng.events_processed();
+  r.par = eng.parallel_stats();
+  return r;
+}
+
+}  // namespace tlbsim

@@ -1,0 +1,60 @@
+// Shard storm: a synthetic cross-socket event workload for the parallel
+// discrete-event core.
+//
+// Every cpu runs a self-rescheduling event chain on its own socket's event
+// shard; every `cross_period`-th step fires a remote "IPI" at a cpu on a
+// different socket (delivery latency >= the engine lookahead, so cross-shard
+// sends respect the conservative contract and deliveries are exact). The
+// receiving cpu's handler schedules one local echo event. All mutable state
+// is per-cpu (per-lane), so the workload is shard-confined by construction.
+//
+// The result — event counts and an order-independent timeline checksum — is
+// bit-identical for ANY shard count and ANY host-thread count, which is both
+// the determinism assertion in tests/parallel_engine_test.cc and the
+// self-check inside bench/sim_throughput's shard-scaling sweep. Wall-clock
+// measurement is the caller's job (this layer stays free of host clocks).
+#ifndef TLBSIM_SRC_WORKLOADS_SHARD_STORM_H_
+#define TLBSIM_SRC_WORKLOADS_SHARD_STORM_H_
+
+#include <cstdint>
+
+#include "src/cache/topology.h"
+#include "src/sim/engine.h"
+#include "src/sim/time.h"
+
+namespace tlbsim {
+
+struct ShardStormConfig {
+  Topology topo = Topology::EightSocket();
+  // Event shards. 1 runs the legacy single-heap engine (the scaling
+  // baseline); up to topo.sockets, cpu -> shard maps contiguous socket
+  // groups (shard = socket * shards / sockets).
+  int shards = 1;
+  // Total host threads including the coordinator; clamped to `shards`.
+  // 1 with shards > 1 runs every window inline on the coordinator —
+  // the full sharded machinery without host parallelism (for tests).
+  int host_threads = 1;
+  Cycles lookahead = 1;            // engine lookahead (CostModel::CrossShardLookahead)
+  uint64_t events_per_cpu = 4000;  // chain steps per cpu
+  uint32_t cross_period = 64;      // every Nth step sends a remote IPI
+  Cycles cross_latency = 1500;     // must be >= lookahead for exact delivery
+  uint64_t seed = 42;
+};
+
+struct ShardStormResult {
+  uint64_t chain_events = 0;      // per-cpu chain steps fired
+  uint64_t deliveries = 0;        // remote IPIs received
+  uint64_t echoes = 0;            // handler follow-up events
+  uint64_t events_processed = 0;  // engine total (== sum of the above)
+  uint64_t timeline_checksum = 0; // commutative hash over (cpu, time, kind)
+  Cycles end_time = 0;            // final virtual time
+  Engine::ParallelStats par;      // windows/messages/stalls/clamps
+};
+
+// Builds an engine per the config, runs the storm to completion, and
+// returns the (deterministic) result.
+ShardStormResult RunShardStorm(const ShardStormConfig& cfg);
+
+}  // namespace tlbsim
+
+#endif  // TLBSIM_SRC_WORKLOADS_SHARD_STORM_H_

@@ -1,0 +1,320 @@
+// Parallel engine: shard windows, the lookahead contract, cross-shard
+// mailboxes/cancels, and bit-exact replay across shard and thread counts.
+//
+// Most tests run windows inline (ShardPlan.executor == nullptr): the full
+// sharded machinery — windows, mailboxes, barrier drains — without host
+// threads, so event interleavings are deterministic and the tests can poke
+// single protocol edges. The storm tests at the bottom run the real
+// ThreadPool path and assert bit-identical results, which is the whole
+// point of the conservative design (and what the TSan CI job hammers).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/cache/topology.h"
+#include "src/sim/engine.h"
+#include "src/workloads/shard_storm.h"
+
+namespace tlbsim {
+namespace {
+
+// Two shards, two cpus each: cpus {0,1} -> shard A (queue 1), {2,3} ->
+// shard B (queue 2). Null executor: windows run inline on the caller.
+Engine::ShardPlan TwoShardPlan(Cycles lookahead) {
+  Engine::ShardPlan plan;
+  plan.shards = 2;
+  plan.shard_of_cpu = {0, 0, 1, 1};
+  plan.lookahead = lookahead;
+  return plan;
+}
+
+TEST(ParallelEngineTest, DegeneratePlanStaysLegacy) {
+  // shards <= 1 must leave the engine in the unsharded shape: same ids,
+  // same ordering, ScheduleOnCpu lands on the serial queue.
+  Engine legacy;
+  Engine degenerate;
+  Engine::ShardPlan plan;
+  plan.shards = 1;
+  plan.lookahead = 7;
+  degenerate.ConfigureSharding(std::move(plan));
+  EXPECT_FALSE(degenerate.sharded());
+
+  std::vector<int> legacy_order;
+  std::vector<int> degen_order;
+  std::vector<Engine::EventId> legacy_ids;
+  std::vector<Engine::EventId> degen_ids;
+  for (Engine* e : {&legacy, &degenerate}) {
+    auto& order = (e == &legacy) ? legacy_order : degen_order;
+    auto& ids = (e == &legacy) ? legacy_ids : degen_ids;
+    ids.push_back(e->Schedule(30, [&order] { order.push_back(3); }));
+    ids.push_back(e->ScheduleOnCpu(2, 10, [&order] { order.push_back(1); }));
+    ids.push_back(e->Schedule(20, [&order] { order.push_back(2); }));
+    e->Cancel(ids[2]);
+    e->Run();
+  }
+  EXPECT_EQ(legacy_order, (std::vector<int>{1, 3}));
+  EXPECT_EQ(degen_order, legacy_order);
+  EXPECT_EQ(degen_ids, legacy_ids);  // bit-compatible EventId encoding
+  EXPECT_EQ(degenerate.now(), legacy.now());
+  EXPECT_EQ(degenerate.events_processed(), legacy.events_processed());
+}
+
+TEST(ParallelEngineTest, UnshardedScheduleOnCpuInterleavesWithSchedule) {
+  Engine e;
+  std::vector<int> order;
+  e.Schedule(20, [&] { order.push_back(2); });
+  e.ScheduleOnCpu(55, 10, [&] { order.push_back(1); });
+  e.ScheduleOnCpu(3, 30, [&] { order.push_back(3); });
+  e.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), 30);
+}
+
+TEST(ParallelEngineTest, CrossSendExactlyAtHorizonBoundary) {
+  // A send targeting exactly now() + lookahead() — the contract minimum —
+  // must be delivered exactly, at exactly that virtual time.
+  Engine e;
+  e.ConfigureSharding(TwoShardPlan(50));
+  ASSERT_TRUE(e.sharded());
+  ASSERT_EQ(e.lookahead(), 50);
+
+  Cycles fired_at = 0;
+  Cycles sent_from = 0;
+  e.ScheduleOnCpu(0, 100, [&] {
+    sent_from = e.now();
+    e.ScheduleOnCpu(2, e.now() + e.lookahead(), [&] { fired_at = e.now(); });
+  });
+  e.Run();
+  EXPECT_EQ(sent_from, 100);
+  EXPECT_EQ(fired_at, 150);
+  Engine::ParallelStats par = e.parallel_stats();
+  EXPECT_EQ(par.cross_shard_messages, 1u);
+  EXPECT_EQ(par.clamped_deliveries, 0u);
+  EXPECT_GE(par.windows, 2u);  // delivery happens a window after the send
+}
+
+TEST(ParallelEngineTest, ContractViolatorIsClampedForward) {
+  // A send targeting now() + 1 with lookahead 200 may be delivered late —
+  // clamped to the receiver's clock — but never into the receiver's past,
+  // and the violation is counted.
+  Engine e;
+  e.ConfigureSharding(TwoShardPlan(200));
+
+  // Shard B: a dense chain so its clock is deep into the window when the
+  // violating message drains at the barrier.
+  uint64_t b_ran = 0;
+  for (Cycles t = 0; t < 300; ++t) {
+    e.ScheduleOnCpu(2, t, [&] { ++b_ran; });
+  }
+  Cycles fired_at = 0;
+  e.ScheduleOnCpu(0, 100, [&] {
+    e.ScheduleOnCpu(2, e.now() + 1, [&] { fired_at = e.now(); });  // violator
+  });
+  e.Run();
+  // Window [0, 200): B runs its chain to t=199; the barrier clamps the
+  // t=101 delivery forward to B's clock.
+  EXPECT_EQ(fired_at, 199);
+  EXPECT_EQ(b_ran, 300u);
+  Engine::ParallelStats par = e.parallel_stats();
+  EXPECT_EQ(par.clamped_deliveries, 1u);
+  EXPECT_EQ(par.cross_shard_messages, 1u);
+}
+
+TEST(ParallelEngineTest, CancelMailedEventSameWindow) {
+  // Cancel an event that was mailed to another shard within the same
+  // window: the cancel rides the same mailbox behind the schedule (FIFO)
+  // and must kill the victim at the barrier, before it can fire.
+  Engine e;
+  e.ConfigureSharding(TwoShardPlan(50));
+
+  bool victim_ran = false;
+  e.ScheduleOnCpu(0, 100, [&] {
+    Engine::EventId id =
+        e.ScheduleOnCpu(2, e.now() + 150, [&] { victim_ran = true; });
+    e.Cancel(id);
+  });
+  e.Run();
+  EXPECT_FALSE(victim_ran);
+  Engine::ParallelStats par = e.parallel_stats();
+  EXPECT_EQ(par.cross_shard_messages, 1u);
+  EXPECT_EQ(par.cross_shard_cancels, 1u);
+}
+
+TEST(ParallelEngineTest, CancelMailedEventFromLaterWindow) {
+  // The victim is mailed in one window and cancelled from a later one
+  // (after it already sits in the receiver's heap), under the cancel
+  // contract: victim time >= canceller clock + lookahead.
+  Engine e;
+  e.ConfigureSharding(TwoShardPlan(50));
+
+  // Shard B pre-chain bounds the first window so the schedule and the
+  // cancel land in distinct windows.
+  uint64_t b_ran = 0;
+  for (Cycles t = 0; t < 100; t += 10) {
+    e.ScheduleOnCpu(2, t, [&] { ++b_ran; });
+  }
+  bool victim_ran = false;
+  Engine::EventId victim = Engine::kInvalidEvent;
+  e.ScheduleOnCpu(0, 100, [&] {
+    victim = e.ScheduleOnCpu(2, 250, [&] { victim_ran = true; });
+  });
+  e.ScheduleOnCpu(0, 160, [&] {
+    ASSERT_NE(victim, Engine::kInvalidEvent);
+    e.Cancel(victim);  // 160 + 50 <= 250: exact under the contract
+  });
+  e.Run();
+  EXPECT_FALSE(victim_ran);
+  EXPECT_EQ(b_ran, 10u);
+  Engine::ParallelStats par = e.parallel_stats();
+  EXPECT_EQ(par.cross_shard_cancels, 1u);
+  EXPECT_EQ(par.clamped_deliveries, 0u);
+}
+
+TEST(ParallelEngineTest, CancelArrivingBeforeItsVictimIsRemembered) {
+  // Mailboxes drain in (dst, src) order, so a cancel from a lower-index
+  // queue (the serial queue) drains before the schedule it targets when
+  // both cross in the same window. The receiver must remember the cancel
+  // and drop the victim on arrival instead of losing the cancel.
+  Engine e;
+  e.ConfigureSharding(TwoShardPlan(50));
+
+  bool victim_ran = false;
+  Engine::EventId victim = Engine::kInvalidEvent;
+  // Queue 1 (shard A) mails the schedule; windows run shards before the
+  // serial queue, so the id is visible to the serial event below.
+  e.ScheduleOnCpu(0, 100, [&] {
+    victim = e.ScheduleOnCpu(2, 300, [&] { victim_ran = true; });
+  });
+  // Queue 0 (serial) cancels it in the same window; at the barrier the
+  // cancel (src 0) drains before the schedule (src 1).
+  e.Schedule(100, [&] {
+    ASSERT_NE(victim, Engine::kInvalidEvent);
+    e.Cancel(victim);
+  });
+  e.Run();
+  EXPECT_FALSE(victim_ran);
+  Engine::ParallelStats par = e.parallel_stats();
+  EXPECT_EQ(par.cross_shard_messages, 1u);
+  EXPECT_EQ(par.cross_shard_cancels, 1u);
+}
+
+TEST(ParallelEngineTest, CancelAfterMailedEventFiredIsNoop) {
+  Engine e;
+  e.ConfigureSharding(TwoShardPlan(50));
+
+  bool victim_ran = false;
+  Engine::EventId victim = Engine::kInvalidEvent;
+  e.ScheduleOnCpu(0, 100, [&] {
+    victim = e.ScheduleOnCpu(2, 150, [&] { victim_ran = true; });
+  });
+  e.ScheduleOnCpu(0, 400, [&] { e.Cancel(victim); });  // long fired by now
+  e.Run();
+  EXPECT_TRUE(victim_ran);
+  EXPECT_EQ(e.parallel_stats().cross_shard_cancels, 1u);
+  // Double-cancel of a direct id after the run is equally a no-op.
+  e.Cancel(victim);
+}
+
+TEST(ParallelEngineTest, MailboxOverflowPreservesFifoDelivery) {
+  // One event mails more messages than the SPSC ring holds; the overflow
+  // spill must still deliver every message, in FIFO order.
+  Engine e;
+  e.ConfigureSharding(TwoShardPlan(10));
+
+  constexpr int kSends = 300;  // ring capacity is 256
+  std::vector<int> delivered;
+  e.ScheduleOnCpu(0, 100, [&] {
+    for (int i = 0; i < kSends; ++i) {
+      e.ScheduleOnCpu(2, e.now() + 10 + i,
+                      [&delivered, i] { delivered.push_back(i); });
+    }
+  });
+  e.Run();
+  ASSERT_EQ(delivered.size(), static_cast<size_t>(kSends));
+  for (int i = 0; i < kSends; ++i) {
+    EXPECT_EQ(delivered[static_cast<size_t>(i)], i);
+  }
+  Engine::ParallelStats par = e.parallel_stats();
+  EXPECT_EQ(par.cross_shard_messages, static_cast<uint64_t>(kSends));
+  EXPECT_GT(par.mailbox_overflows, 0u);
+  EXPECT_EQ(par.clamped_deliveries, 0u);
+}
+
+TEST(ParallelEngineTest, RunUntilStopsAtDeadlineAndResumes) {
+  Engine e;
+  e.ConfigureSharding(TwoShardPlan(50));
+
+  std::vector<Cycles> fired;
+  e.ScheduleOnCpu(0, 100, [&] { fired.push_back(e.now()); });
+  e.ScheduleOnCpu(2, 200, [&] { fired.push_back(e.now()); });
+  EXPECT_FALSE(e.RunUntil(150));
+  EXPECT_EQ(fired, (std::vector<Cycles>{100}));
+  e.Run();
+  EXPECT_EQ(fired, (std::vector<Cycles>{100, 200}));
+  EXPECT_TRUE(e.empty());
+}
+
+// --- seeded-storm replay: the determinism contract end to end ---
+
+ShardStormConfig SmallStorm() {
+  ShardStormConfig cfg;
+  cfg.topo = Topology::EightSocket();  // 224 cpus
+  cfg.events_per_cpu = 300;
+  cfg.cross_period = 16;
+  cfg.lookahead = 135;  // CostModel::CrossShardLookahead() on defaults
+  cfg.cross_latency = 1500;
+  cfg.seed = 0x5eed;
+  return cfg;
+}
+
+void ExpectSameStorm(const ShardStormResult& a, const ShardStormResult& b) {
+  EXPECT_EQ(a.chain_events, b.chain_events);
+  EXPECT_EQ(a.deliveries, b.deliveries);
+  EXPECT_EQ(a.echoes, b.echoes);
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  EXPECT_EQ(a.timeline_checksum, b.timeline_checksum);
+  EXPECT_EQ(a.end_time, b.end_time);
+}
+
+TEST(ParallelEngineTest, StormShardsOneMatchesShardedInlineRun) {
+  ShardStormConfig cfg = SmallStorm();
+  cfg.shards = 1;
+  ShardStormResult base = RunShardStorm(cfg);
+  EXPECT_GT(base.chain_events, 0u);
+  EXPECT_GT(base.deliveries, 0u);
+  EXPECT_EQ(base.events_processed,
+            base.chain_events + base.deliveries + base.echoes);
+
+  for (int shards : {2, 4, 8}) {
+    ShardStormConfig sharded = SmallStorm();
+    sharded.shards = shards;
+    sharded.host_threads = 1;  // inline windows: sharding alone
+    ShardStormResult r = RunShardStorm(sharded);
+    SCOPED_TRACE(shards);
+    ExpectSameStorm(base, r);
+    EXPECT_GT(r.par.windows, 0u);
+    EXPECT_GT(r.par.cross_shard_messages, 0u);
+    EXPECT_EQ(r.par.clamped_deliveries, 0u);  // contract-respecting workload
+  }
+}
+
+TEST(ParallelEngineTest, StormReplayBitIdenticalAcrossHostThreads) {
+  // The real thing: same seed, real worker threads, bit-identical results.
+  // (The TSan CI job runs this test to certify the window barrier.)
+  ShardStormConfig cfg = SmallStorm();
+  cfg.shards = 1;
+  ShardStormResult base = RunShardStorm(cfg);
+
+  for (int threads : {2, 4, 8}) {
+    ShardStormConfig sharded = SmallStorm();
+    sharded.shards = 8;
+    sharded.host_threads = threads;
+    ShardStormResult r = RunShardStorm(sharded);
+    SCOPED_TRACE(threads);
+    ExpectSameStorm(base, r);
+    EXPECT_EQ(r.par.clamped_deliveries, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace tlbsim

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+
 namespace tlbsim {
 namespace {
 
@@ -105,6 +107,53 @@ TEST(TopologyTest, MemoryNodesTrackSockets) {
   Topology single{.sockets = 1, .cores_per_socket = 4, .smt = 1};
   EXPECT_EQ(single.num_nodes(), 1);
   EXPECT_EQ(single.NodeOfCpu(3), 0);
+}
+
+// Big-machine presets for the sharded engine: same per-socket shape as the
+// paper testbed, scaled to 4 and 8 sockets.
+TEST(TopologyTest, FourSocketPreset) {
+  Topology t = Topology::FourSocket();
+  EXPECT_EQ(t.sockets, 4);
+  EXPECT_EQ(t.num_cpus(), 112);
+  EXPECT_EQ(t.cpus_per_socket(), 28);
+  EXPECT_EQ(t.num_nodes(), 4);
+  EXPECT_EQ(t.SocketOf(0), 0);
+  EXPECT_EQ(t.SocketOf(27), 0);
+  EXPECT_EQ(t.SocketOf(28), 1);
+  EXPECT_EQ(t.SocketOf(111), 3);
+  EXPECT_EQ(t.NodeOfCpu(84), 3);
+  EXPECT_EQ(t.Between(0, 111), Topology::Distance::kCrossSocket);
+  EXPECT_EQ(t.Between(84, 110), Topology::Distance::kSameSocket);
+  EXPECT_EQ(t.Between(110, 111), Topology::Distance::kSmtSibling);
+}
+
+TEST(TopologyTest, EightSocketPreset) {
+  Topology t = Topology::EightSocket();
+  EXPECT_EQ(t.sockets, 8);
+  EXPECT_EQ(t.num_cpus(), 224);
+  EXPECT_EQ(t.cpus_per_socket(), 28);
+  EXPECT_EQ(t.num_nodes(), 8);
+  // Socket/node mapping holds at 200+ cpus.
+  EXPECT_EQ(t.SocketOf(195), 6);
+  EXPECT_EQ(t.SocketOf(196), 7);
+  EXPECT_EQ(t.SocketOf(223), 7);
+  EXPECT_EQ(t.NodeOfCpu(223), 7);
+  EXPECT_EQ(t.Between(0, 223), Topology::Distance::kCrossSocket);
+  EXPECT_EQ(t.Between(196, 223), Topology::Distance::kSameSocket);
+  EXPECT_EQ(t.Between(222, 223), Topology::Distance::kSmtSibling);
+  EXPECT_EQ(t.Between(195, 196), Topology::Distance::kCrossSocket);
+  // Every cpu maps to a valid socket and the per-socket population is even.
+  std::array<int, 8> pop{};
+  for (int cpu = 0; cpu < t.num_cpus(); ++cpu) {
+    int s = t.SocketOf(cpu);
+    ASSERT_GE(s, 0);
+    ASSERT_LT(s, 8);
+    ++pop[static_cast<size_t>(s)];
+    EXPECT_EQ(t.NodeOfCpu(cpu), s);
+  }
+  for (int s = 0; s < 8; ++s) {
+    EXPECT_EQ(pop[static_cast<size_t>(s)], 28) << "socket " << s;
+  }
 }
 
 }  // namespace
