@@ -37,3 +37,10 @@ for b in build/bench/*; do
   # shellcheck disable=SC2086
   "$b" $bench_args
 done
+# 224-cpu preset smoke: the 8-socket sharded-protocol storm must replay the
+# serial engine bit-exactly at 8 shard threads (exits nonzero otherwise).
+echo "===== build/examples/big_machine ====="
+./build/examples/big_machine --sim-threads 8
+# Wall-clock tripwire: warn (never fail locally) when sim_throughput's
+# events/s or ns/shootdown drifted >10% from the committed baseline.
+python3 scripts/perf_compare.py results/BENCH_sim_throughput.json

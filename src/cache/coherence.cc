@@ -69,8 +69,51 @@ Cycles CoherenceModel::TransferCost(Topology::Distance d) const {
   return costs_.memory_fill;
 }
 
+void CoherenceModel::ConfigureBanks(int banks, int cpus_per_bank) {
+  if (banks < 1) banks = 1;
+  if (cpus_per_bank < 1) cpus_per_bank = 1;
+  std::vector<Bank> old = std::move(banks_);
+  banks_.assign(static_cast<size_t>(banks), Bank{});
+  cpus_per_bank_ = cpus_per_bank;
+  // Migrate resident lines into the bank of their current holder so warmth
+  // built during the serial setup phase survives re-banking. Access cost is
+  // a function of LineState *contents* (owner/sharer distances), not of which
+  // bank holds the entry, so every access whose line keeps a single resident
+  // copy replays its serial cost exactly; a line with no holder (invalidated
+  // everywhere) lands in bank 0. Aggregate counters accumulate into bank 0 so
+  // global_stats() sums are unchanged.
+  for (Bank& b : old) {
+    for (auto& [id, e] : b.line_map) {  // det-ok: destination maps are keyed, never order-iterated
+      int holder = e.state.owner >= 0
+                       ? e.state.owner
+                       : (e.state.sharers.empty() ? 0 : e.state.sharers[0]);
+      banks_[BankIndexFor(holder)].line_map.emplace(id, std::move(e));
+    }
+    AccumulateStats(banks_[0].stats, b.stats);
+  }
+}
+
+CoherenceModel::GlobalStats CoherenceModel::global_stats() const {
+  GlobalStats sum;
+  for (const Bank& b : banks_) {
+    AccumulateStats(sum, b.stats);
+  }
+  return sum;
+}
+
+void CoherenceModel::AccumulateStats(GlobalStats& into, const GlobalStats& from) {
+  into.accesses += from.accesses;
+  into.hits += from.hits;
+  into.transfers += from.transfers;
+  into.cross_socket_transfers += from.cross_socket_transfers;
+  into.invalidations += from.invalidations;
+  into.memory_fills += from.memory_fills;
+}
+
 Cycles CoherenceModel::Access(int cpu, LineId line, AccessType type) {
-  Entry& e = lines_[line];
+  Bank& bank = BankFor(cpu);
+  Entry& e = bank.line_map[line];
+  GlobalStats& global_ = bank.stats;
   LineState& s = e.state;
   ++e.stats.accesses;
   ++global_.accesses;
@@ -159,15 +202,28 @@ Cycles CoherenceModel::Access(int cpu, LineId line, AccessType type) {
 }
 
 void CoherenceModel::ResetStats() {
-  global_ = GlobalStats{};
-  for (auto& [id, e] : lines_) {  // det-ok: order-independent (zeroes every entry)
-    e.stats = LineStats{};
+  for (Bank& b : banks_) {
+    b.stats = GlobalStats{};
+    for (auto& [id, e] : b.line_map) {  // det-ok: order-independent (zeroes every entry)
+      e.stats = LineStats{};
+    }
   }
 }
 
 CoherenceModel::LineStats CoherenceModel::StatsFor(LineId line) const {
-  auto it = lines_.find(line);
-  return it == lines_.end() ? LineStats{} : it->second.stats;
+  // A line normally resides in exactly one bank; summing tolerates the
+  // (contract-violating) case of copies in several.
+  LineStats sum;
+  for (const Bank& b : banks_) {
+    auto it = b.line_map.find(line);
+    if (it == b.line_map.end()) continue;
+    sum.accesses += it->second.stats.accesses;
+    sum.hits += it->second.stats.hits;
+    sum.transfers += it->second.stats.transfers;
+    sum.cross_socket_transfers += it->second.stats.cross_socket_transfers;
+    sum.invalidations += it->second.stats.invalidations;
+  }
+  return sum;
 }
 
 std::string CoherenceModel::NameOf(LineId line) const {

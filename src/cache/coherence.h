@@ -92,9 +92,24 @@ class CoherenceModel {
   Cycles Access(int cpu, LineId line, AccessType type);
 
   // Drops a line from every cache (e.g. clflush); free for accounting.
-  void EvictAll(LineId line) { lines_.erase(line); }
+  void EvictAll(LineId line) {
+    for (Bank& b : banks_) {
+      b.line_map.erase(line);
+    }
+  }
 
-  const GlobalStats& global_stats() const { return global_; }
+  // Protocol sharding: banks the directory per socket. Accesses resolve into
+  // the *accessing* cpu's socket bank; under the socket-confinement contract
+  // (every line is only ever touched by one socket) that is the line's home
+  // socket, each bank is mutated exclusively by its shard's host thread, and
+  // the per-bank MESI trajectories replay the serial ones exactly. Must be
+  // called before any Access (typically by Machine construction); banks <= 1
+  // keeps the legacy single-directory shape.
+  void ConfigureBanks(int banks, int cpus_per_bank);
+  int banks() const { return static_cast<int>(banks_.size()); }
+
+  // Summed over banks (one bank — the legacy single directory — by default).
+  GlobalStats global_stats() const;
   void ResetStats();
 
   // Per-line statistics (zero-initialized for untouched lines).
@@ -107,6 +122,13 @@ class CoherenceModel {
   struct Entry {
     LineState state;
     LineStats stats;
+  };
+
+  // One directory bank: the line map plus its aggregate counters. Everything
+  // a shard window touches through Access() lives in its own socket's bank.
+  struct Bank {
+    std::unordered_map<LineId, Entry> line_map;
+    GlobalStats stats;
   };
 
   // Deferred name of one named line (see the AllocateLine overloads). Either
@@ -124,11 +146,19 @@ class CoherenceModel {
   Topology::Distance NearestHolder(int cpu, const LineState& s) const;
   Cycles TransferCost(Topology::Distance d) const;
 
+  size_t BankIndexFor(int cpu) const {
+    if (banks_.size() == 1) return 0;
+    size_t b = static_cast<size_t>(cpu) / static_cast<size_t>(cpus_per_bank_);
+    return b < banks_.size() ? b : banks_.size() - 1;
+  }
+  Bank& BankFor(int cpu) { return banks_[BankIndexFor(cpu)]; }
+  static void AccumulateStats(GlobalStats& into, const GlobalStats& from);
+
   const Topology topo_;
   const CacheCosts costs_;
-  std::unordered_map<LineId, Entry> lines_;
+  std::vector<Bank> banks_{1};  // single legacy directory until ConfigureBanks
+  int cpus_per_bank_ = 1 << 30;
   std::vector<NameRec> named_;  // indexed by LineId - 1 (named ids are dense)
-  GlobalStats global_;
   LineId next_named_ = 1;
 };
 

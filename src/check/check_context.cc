@@ -330,15 +330,11 @@ void CheckContext::OnShootdownComplete(SimCpu& cpu, MmStruct& mm, uint64_t gen,
   // this mm may still be behind `gen` — except in the windows the protocol
   // explicitly licenses (lazy CPUs, catch-up in progress, accepted-but-
   // unapplied early acks, deferred-IPI / batched responders).
-  Machine& machine = kernel_->machine();
-  for (int t = 0; t < machine.num_cpus(); ++t) {
-    if (!mm.cpumask.test(static_cast<size_t>(t))) {
-      continue;
-    }
+  mm.cpumask.ForEachSet([&](int t) {
     const PerCpu& pc = kernel_->percpu(t);
     if (pc.loaded_mm != &mm || pc.is_lazy || pc.catching_up || pc.unfinished_flushes > 0 ||
         pc.ipi_defer_mode || pc.batched_mode) {
-      continue;
+      return;
     }
     if (pc.loaded_mm_tlb_gen < gen) {
       Violation v;
@@ -353,7 +349,7 @@ void CheckContext::OnShootdownComplete(SimCpu& cpu, MmStruct& mm, uint64_t gen,
                  std::to_string(pc.loaded_mm_tlb_gen);
       Report(std::move(v));
     }
-  }
+  });
 
   // Invariant (pt_replication): flush acknowledgement is also the point where
   // Mitosis-style replicas must agree with the primary — a completed

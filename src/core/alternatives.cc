@@ -79,11 +79,11 @@ Co<void> FreeBsdShootdownEngine::FlushRange(SimCpu& cpu, MmStruct& mm, uint64_t 
   co_await cpu.Execute(cpu.rng().Jitter(costs.flush_dispatch, costs.jitter_frac));
 
   std::vector<int> targets;
-  for (int t = 0; t < kernel_->machine().num_cpus(); ++t) {
-    if (t != cpu.id() && mm.cpumask.test(static_cast<size_t>(t))) {
+  mm.cpumask.ForEachSet([&](int t) {
+    if (t != cpu.id()) {
       targets.push_back(t);
     }
-  }
+  });
   if (targets.empty()) {
     ++stats_.local_only;
     co_await LocalFlush(cpu, mm, info);
@@ -256,16 +256,16 @@ Co<void> LatrEngine::FlushRange(SimCpu& cpu, MmStruct& mm, uint64_t start, uint6
 
   // Remote CPUs get lazy queue entries; NO IPI is sent.
   bool queued_any = false;
-  for (int t = 0; t < kernel_->machine().num_cpus(); ++t) {
-    if (t == cpu.id() || !mm.cpumask.test(static_cast<size_t>(t))) {
-      continue;
+  mm.cpumask.ForEachSet([&](int t) {
+    if (t == cpu.id()) {
+      return;
     }
     cpu.AccessLine(kernel_->percpu(t).csq_line, AccessType::kAtomicRmw);
     cpu.AdvanceInline(costs.smp_enqueue);
     queues_[static_cast<size_t>(t)].push_back(info);
     ++stats_.flushes_queued;
     queued_any = true;
-  }
+  });
   if (!queued_any) {
     ++stats_.local_only;
     co_return;

@@ -84,8 +84,25 @@ class QueueFlushBackend final : public TlbFlushBackend {
   Co<void> OnSwitchIn(SimCpu& cpu, MmStruct& mm) override;
   Co<void> HandleFlushIrq(SimCpu& cpu) override;
 
-  const Stats& stats() const { return stats_; }
-  void ResetStats() { stats_ = Stats{}; }
+  // Summed over banks (max for max_ring_occupancy); one bank — the legacy
+  // flat counters — by default.
+  Stats stats() const;
+  void ResetStats() {
+    for (Stats& b : banks_) {
+      b = Stats{};
+    }
+  }
+
+  // Protocol sharding: banks the counters, histograms ("queue.*.socket<k>")
+  // and the global ticket counter by the acting CPU's socket. Per-socket
+  // ticket streams seed from the current global value; under the socket-
+  // confinement contract tickets are only ever compared against ack_gens of
+  // same-socket responders, so the per-socket streams replay the serial
+  // ordering relations exactly. banks <= 1 keeps the legacy flat shape.
+  void ConfigureBanks(int banks, int cpus_per_bank);
+
+  // Debug contract check for socket-confined storms (see ShootdownEngine).
+  void set_require_confined(bool on) { require_confined_ = on; }
 
   // Deliberate protocol faults for tlbcheck validation (tests only).
   void set_fault_injection(const FaultInjection& fi) {
@@ -96,7 +113,16 @@ class QueueFlushBackend final : public TlbFlushBackend {
   // Current occupancy of `cpu`'s ring (tests).
   uint64_t RingOccupancy(int cpu) const;
   uint64_t ack_gen(int cpu) const { return queues_[static_cast<size_t>(cpu)]->ack_gen; }
-  uint64_t next_tlb_gen() const { return next_tlb_gen_; }
+  // Tickets issued so far: the per-socket streams overlap numerically after
+  // ConfigureBanks, so report the count (bank deltas summed), which equals
+  // the serial counter value.
+  uint64_t next_tlb_gen() const {
+    uint64_t n = ticket_banks_[0];
+    for (size_t b = 1; b < ticket_banks_.size(); ++b) {
+      n += ticket_banks_[b] - ticket_seed_;
+    }
+    return n;
+  }
 
  private:
   // One queued invalidation: a single page of one mm, tagged with the mm
@@ -141,11 +167,27 @@ class QueueFlushBackend final : public TlbFlushBackend {
   // True when every target's ack_gen has reached `queue_gen`.
   bool AllAcked(SimCpu& cpu, const std::vector<int>& targets, uint64_t queue_gen);
 
+  size_t BankIndexFor(int cpu_id) const {
+    if (banks_.size() == 1) return 0;
+    size_t b = static_cast<size_t>(cpu_id) / static_cast<size_t>(cpus_per_bank_);
+    return b < banks_.size() ? b : banks_.size() - 1;
+  }
+  Stats& StatsFor(const SimCpu& cpu) { return banks_[BankIndexFor(cpu.id())]; }
+  uint64_t& TicketFor(int cpu_id) { return ticket_banks_[BankIndexFor(cpu_id)]; }
+  LineId GenLineFor(int cpu_id) const { return gen_lines_[BankIndexFor(cpu_id)]; }
+  Histogram* HistFor(const std::vector<Histogram*>& banked, Histogram* flat, int cpu_id) const {
+    if (banked.empty()) return flat;
+    return banked[BankIndexFor(cpu_id)];
+  }
+
   Kernel* kernel_;
   std::vector<std::unique_ptr<CpuQueue>> queues_;
-  uint64_t next_tlb_gen_ = 0;  // global ticket counter
-  LineId gen_line_ = 0;        // its cacheline
-  Stats stats_;
+  std::vector<uint64_t> ticket_banks_{0};  // per-socket ticket counters
+  uint64_t ticket_seed_ = 0;               // global value when banks split
+  std::vector<LineId> gen_lines_;          // per-bank ticket cachelines
+  std::vector<Stats> banks_{1};
+  int cpus_per_bank_ = 1 << 30;
+  bool require_confined_ = false;
   FaultInjection inject_;
 
   // Live observability handles (registered only when this backend exists, so
@@ -155,6 +197,10 @@ class QueueFlushBackend final : public TlbFlushBackend {
   Histogram* h_drain_cycles_ = nullptr;     // queue.drain_cycles
   PerCpuCounter* c_initiated_ = nullptr;    // queue.initiated
   PerCpuCounter* c_drains_ = nullptr;       // queue.drains
+  // Per-socket variants ("<name>.socket<k>"), protocol-shard mode only.
+  std::vector<Histogram*> hb_ring_occupancy_;
+  std::vector<Histogram*> hb_ack_wait_cycles_;
+  std::vector<Histogram*> hb_drain_cycles_;
 };
 
 }  // namespace tlbsim

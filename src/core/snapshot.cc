@@ -15,6 +15,7 @@ void SetTlbStats(MetricsRegistry& m, const char* prefix, int cpu, const Tlb::Sta
   m.percpu(p + ".selective_flushes").Set(cpu, s.selective_flushes);
   m.percpu(p + ".full_flushes").Set(cpu, s.full_flushes);
   m.percpu(p + ".fracture_forced_full").Set(cpu, s.fracture_forced_full);
+  m.percpu(p + ".fastpath_hits").Set(cpu, s.fastpath_hits);
 }
 
 }  // namespace
@@ -62,6 +63,17 @@ void CollectMachineMetrics(Machine& machine) {
     m.counter("engine.horizon_stalls").Set(par.horizon_stalls);
     m.counter("engine.clamped_deliveries").Set(par.clamped_deliveries);
     m.counter("engine.mailbox_overflows").Set(par.mailbox_overflows);
+    m.counter("engine.mailbox_high_water").Set(par.mailbox_high_water);
+  }
+  if (machine.protocol_shards_active()) {
+    // Protocol-shard gauges (MachineConfig::shard_protocol). Guarded like the
+    // window gauges above: legacy and plain --sim-threads reports never see
+    // these names.
+    m.counter("engine.protocol_shard_banks").Set(
+        static_cast<uint64_t>(machine.topo().sockets));
+    m.counter("engine.protocol_shard_lookahead").Set(
+        static_cast<uint64_t>(machine.engine().lookahead()));
+    m.counter("engine.protocol_shard_events").Set(par.parallel_events);
   }
   if (machine.config().numa.enabled()) {
     // Gauge view of the live per-CPU NUMA counters, so bench gates can probe

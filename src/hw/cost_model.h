@@ -109,6 +109,18 @@ struct CostModel {
     auto floor = static_cast<Cycles>(static_cast<double>(wire) * (1.0 - jitter_frac));
     return std::max<Cycles>(1, floor);
   }
+
+  // Lookahead when the protocol state itself is sharded per socket
+  // (MachineConfig::shard_protocol): the coherence directory is banked by the
+  // acting CPU's socket and mm_cpumask words are per-socket, so a cache-line
+  // transfer no longer crosses shard boundaries. The only remaining
+  // cross-socket edge is an explicit IPI on the wire, whose latency bounds
+  // how soon one socket can affect another. Same jitter discount as above.
+  Cycles ProtocolShardLookahead() const {
+    auto floor = static_cast<Cycles>(static_cast<double>(ipi_wire_cross_socket) *
+                                     (1.0 - jitter_frac));
+    return std::max<Cycles>(1, floor);
+  }
 };
 
 }  // namespace tlbsim

@@ -113,19 +113,29 @@ void SimCpu::Spawn(SimTask task) {
     }
   };
   ++scheduled_resumes_;
-  engine_->Schedule(at, [this, handle] {
+  auto resume = [this, handle] {
     --scheduled_resumes_;
     handle.resume();
-  });
+  };
+  if (shard_queue_) {
+    engine_->ScheduleOnCpu(id_, at, std::move(resume));
+  } else {
+    engine_->Schedule(at, std::move(resume));
+  }
 }
 
 void SimCpu::ScheduleResume(InlineFn fn) {
   Cycles at = std::max(now_, engine_->now());
   ++scheduled_resumes_;
-  engine_->Schedule(at, [this, fn = std::move(fn)] {
+  auto resume = [this, fn = std::move(fn)] {
     --scheduled_resumes_;
     fn();
-  });
+  };
+  if (shard_queue_) {
+    engine_->ScheduleOnCpu(id_, at, std::move(resume));
+  } else {
+    engine_->Schedule(at, std::move(resume));
+  }
 }
 
 bool SimCpu::CanDeliver(int vector) const {
@@ -289,7 +299,9 @@ void SimCpu::ExecAwaitable::Arm() {
   started = cpu->now();
   armed_here = true;
   cpu->set_armed(this);
-  event = cpu->engine()->Schedule(started + remaining, [this] { Fire(); });
+  event = cpu->shard_queue()
+              ? cpu->engine()->ScheduleOnCpu(cpu->id(), started + remaining, [this] { Fire(); })
+              : cpu->engine()->Schedule(started + remaining, [this] { Fire(); });
 }
 
 void SimCpu::ExecAwaitable::Fire() {

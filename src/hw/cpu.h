@@ -187,6 +187,15 @@ class SimCpu {
   // logic knows the CPU is about to run (not truly idle).
   void ScheduleResume(InlineFn fn);
 
+  // Protocol sharding: when set, this CPU's self-schedules (Spawn, resume
+  // kicks, Execute completions) land on the event shard that owns the CPU via
+  // ScheduleOnCpu instead of the current timeline. Once a program runs inside
+  // its shard, everything it schedules follows it there, so socket-confined
+  // work never touches the serial queue. On an unsharded engine
+  // ScheduleOnCpu degenerates to Schedule, making the flag a no-op.
+  void set_shard_queue(bool on) { shard_queue_ = on; }
+  bool shard_queue() const { return shard_queue_; }
+
   void TracePhase(const char* tag) {
     if (trace_ != nullptr) {
       trace_->Record(now_, id_, tag);
@@ -263,6 +272,7 @@ class SimCpu {
   ArmedWait* armed_ = nullptr;
   std::vector<ArmedWait*> post_irq_waiters_;
   int scheduled_resumes_ = 0;  // continuations queued for this CPU
+  bool shard_queue_ = false;   // route self-schedules to this CPU's shard
   HwCheckSink* check_sink_ = nullptr;
 
   Stats stats_;

@@ -16,12 +16,28 @@ uint64_t VpnOf(uint64_t va, PageSize s) { return va >> ShiftOf(s); }
 }  // namespace
 
 std::optional<TlbEntry> Tlb::Lookup(uint16_t pcid, uint64_t va) {
+  // Fast path: same page, same PCID, nothing mutated since the arm. The full
+  // scan would restamp exactly the armed slot (uniqueness was established at
+  // arm time and no mutation can have added or killed a match since), so
+  // short-circuit to it. Restamps keep the cache armed: they only raise
+  // stamps, never move flush marks or change which slots match.
+  if (fast_slot_ != nullptr && fast_gen_ == mut_gen_ && pcid == fast_pcid_ &&
+      (va >> fast_shift_) == fast_vpn_) {
+    ++stats_.lookups;
+    ++stats_.hits;
+    ++stats_.fastpath_hits;
+    fast_slot_->stamp = ++clock_;
+    return fast_slot_->entry;
+  }
   ++stats_.lookups;
   auto r = Probe(pcid, va);
   if (r.has_value()) {
     ++stats_.hits;
     // Refresh LRU stamp. A live entry's new stamp is newer than every flush
     // mark by construction, so refreshing never resurrects anything.
+    Slot* match = nullptr;
+    int matches = 0;
+    int match_shift = 0;
     for (PageSize s : {PageSize::k4K, PageSize::k2M}) {
       uint64_t vpn = VpnOf(va, s);
       int set = static_cast<int>(vpn % static_cast<uint64_t>(SetsFor(s)));
@@ -31,11 +47,27 @@ std::optional<TlbEntry> Tlb::Lookup(uint16_t pcid, uint64_t va) {
         if (IsLive(slot) && slot.entry.vpn == vpn && slot.entry.size == s &&
             (slot.entry.global || slot.entry.pcid == pcid)) {
           slot.stamp = ++clock_;
+          match = &slot;
+          ++matches;
+          match_shift = ShiftOf(s);
         }
       }
     }
+    // Arm only on a unique match: with two matches (e.g. a global and a
+    // non-global entry, or a 4K entry under a 2M one) the scan restamps
+    // both, which the one-slot fast hit cannot reproduce.
+    if (matches == 1) {
+      fast_slot_ = match;
+      fast_vpn_ = va >> match_shift;
+      fast_pcid_ = pcid;
+      fast_shift_ = match_shift;
+      fast_gen_ = mut_gen_;
+    } else {
+      fast_slot_ = nullptr;
+    }
   } else {
     ++stats_.misses;
+    fast_slot_ = nullptr;
   }
   return r;
 }
@@ -57,6 +89,7 @@ std::optional<TlbEntry> Tlb::Probe(uint16_t pcid, uint64_t va) const {
 }
 
 void Tlb::Insert(const TlbEntry& e) {
+  ++mut_gen_;  // disarm the fast path: this may evict or shadow the armed entry
   if (observer_ != nullptr) {
     observer_->OnTlbInsert(e);
   }
@@ -130,6 +163,7 @@ int Tlb::DropMatching(PageSize s, uint16_t pcid, uint64_t va, bool match_globals
 }
 
 bool Tlb::InvlPg(uint16_t current_pcid, uint64_t va) {
+  ++mut_gen_;
   ++stats_.selective_flushes;
   if (fractured_resident_ && fracture_degrade_) {
     ++stats_.fracture_forced_full;
@@ -142,6 +176,7 @@ bool Tlb::InvlPg(uint16_t current_pcid, uint64_t va) {
 }
 
 bool Tlb::InvPcidAddr(uint16_t pcid, uint64_t va) {
+  ++mut_gen_;
   ++stats_.selective_flushes;
   if (fractured_resident_ && fracture_degrade_) {
     ++stats_.fracture_forced_full;
@@ -154,11 +189,13 @@ bool Tlb::InvPcidAddr(uint16_t pcid, uint64_t va) {
 }
 
 void Tlb::DropTranslation(uint16_t pcid, uint64_t va) {
+  ++mut_gen_;
   DropMatching(PageSize::k4K, pcid, va, /*match_globals=*/true);
   DropMatching(PageSize::k2M, pcid, va, /*match_globals=*/true);
 }
 
 void Tlb::FlushPcid(uint16_t pcid) {
+  ++mut_gen_;
   ++stats_.full_flushes;
   uint32_t& frac = FracCount(pcid);
   fractured_total_ -= frac;
@@ -168,6 +205,7 @@ void Tlb::FlushPcid(uint16_t pcid) {
 }
 
 void Tlb::FlushAll(bool keep_globals) {
+  ++mut_gen_;
   ++stats_.full_flushes;
   if (keep_globals) {
     mark_nonglobal_ = clock_;

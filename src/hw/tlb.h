@@ -30,6 +30,18 @@
 // semantics: set on insert, recomputed (now from the counters) only at
 // flushes — a fractured entry that merely got evicted still forces the next
 // selective flush to degrade until a full flush clears the flag.
+//
+// Fast-path lookups: workload inner loops hammer the same page, and at 224
+// CPUs the two-page-size way scan (up to ways_4k + ways_2m slots per lookup)
+// dominates simulated-access wall time. Lookup keeps a one-entry hit cache:
+// when the slow path restamps exactly ONE slot, that (pcid, vpn, slot) is
+// armed together with the current mutation generation; a repeat lookup of
+// the same page under the same PCID then short-circuits to a three-compare
+// fast hit. Every mutation — Insert, any flush or drop — bumps the
+// generation, disarming the cache, so the fast hit fires only when the full
+// scan would provably do the same thing: ++lookups, ++hits, restamp that
+// single slot. Stats (bar the new fastpath_hits counter), LRU order and
+// victim choice stay bit-for-bit identical to the scanning path.
 #ifndef TLBSIM_SRC_HW_TLB_H_
 #define TLBSIM_SRC_HW_TLB_H_
 
@@ -80,6 +92,7 @@ class Tlb {
     uint64_t selective_flushes = 0;
     uint64_t full_flushes = 0;
     uint64_t fracture_forced_full = 0;  // selective flushes degraded to full
+    uint64_t fastpath_hits = 0;  // hits served by the one-entry hit cache
   };
 
   explicit Tlb(const TlbGeometry& geo = TlbGeometry{});
@@ -202,6 +215,16 @@ class Tlb {
   bool fracture_degrade_ = true;
   TlbObserver* observer_ = nullptr;
   Stats stats_;
+
+  // One-entry fast-path hit cache (see header comment). Armed iff
+  // fast_slot_ != nullptr && fast_gen_ == mut_gen_. Slot pointers are stable:
+  // the slot arrays never resize after construction.
+  Slot* fast_slot_ = nullptr;
+  uint64_t fast_vpn_ = 0;
+  uint16_t fast_pcid_ = 0;
+  int fast_shift_ = 0;      // page-size shift of the armed entry
+  uint64_t fast_gen_ = 0;   // mut_gen_ at arm time
+  uint64_t mut_gen_ = 1;    // bumped by every insert/flush/drop
 };
 
 // Page-walk cache: caches PD-level lookups (one entry covers a 2MB region of

@@ -1,0 +1,121 @@
+// SocketMask: mm_cpumask partitioned into per-socket words.
+//
+// The flat std::bitset cpumask had two scaling problems on the big-machine
+// presets (224 cpus):
+//   - target computation scanned every cpu id (O(num_cpus) per shootdown,
+//     even for a 2-thread process);
+//   - all sockets' bits shared the same words, so per-socket protocol shards
+//     could not touch the mask concurrently without racing.
+// SocketMask gives each socket its own 64-bit word plus a summary bitmap of
+// non-empty sockets. set()/reset() touch exactly one socket word (the
+// "sharded-or on send / sharded-and-clear on ack" layout: two shards
+// operating on mms homed on different sockets write disjoint memory), and
+// iteration walks only non-empty words with ctz, so the cost of computing
+// shootdown targets follows the process's footprint, not the machine size.
+//
+// The shape (cpus per socket) is fixed at construction. The default shape
+// (64) degrades to plain word-sharding, which is semantically identical for
+// every operation — only OnlySocket() needs the kernel to install the real
+// topology shape (Kernel::CreateProcess does).
+#ifndef TLBSIM_SRC_KERNEL_CPUMASK_H_
+#define TLBSIM_SRC_KERNEL_CPUMASK_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+
+namespace tlbsim {
+
+// Upper bound on simulated CPUs (sizes mm_cpumask and the checker's vector
+// clocks). 256 covers the 8-socket/224-cpu big-machine preset; cpumask walks
+// iterate only non-empty socket words, so small topologies pay nothing.
+inline constexpr int kMaxCpus = 256;
+
+class SocketMask {
+ public:
+  // Sockets with more than 64 logical cpus would need multi-word slices; the
+  // paper-shaped presets top out at 28.
+  static constexpr int kMaxWords = 16;
+
+  explicit SocketMask(int cpus_per_socket = 64)
+      : cpus_per_socket_(cpus_per_socket) {
+    assert(cpus_per_socket >= 1 && cpus_per_socket <= 64);
+  }
+
+  int cpus_per_socket() const { return cpus_per_socket_; }
+
+  void set(size_t cpu) {
+    size_t w = cpu / static_cast<size_t>(cpus_per_socket_);
+    assert(w < kMaxWords);
+    words_[w] |= 1ULL << (cpu % static_cast<size_t>(cpus_per_socket_));
+    summary_ |= 1u << w;
+  }
+
+  void reset(size_t cpu) {
+    size_t w = cpu / static_cast<size_t>(cpus_per_socket_);
+    assert(w < kMaxWords);
+    words_[w] &= ~(1ULL << (cpu % static_cast<size_t>(cpus_per_socket_)));
+    if (words_[w] == 0) {
+      summary_ &= ~(1u << w);
+    }
+  }
+
+  bool test(size_t cpu) const {
+    size_t w = cpu / static_cast<size_t>(cpus_per_socket_);
+    assert(w < kMaxWords);
+    return (words_[w] >> (cpu % static_cast<size_t>(cpus_per_socket_))) & 1;
+  }
+
+  size_t count() const {
+    size_t n = 0;
+    for (uint32_t s = summary_; s != 0; s &= s - 1) {
+      n += static_cast<size_t>(__builtin_popcountll(words_[__builtin_ctz(s)]));
+    }
+    return n;
+  }
+
+  bool any() const { return summary_ != 0; }
+  bool none() const { return summary_ == 0; }
+
+  // The socket word holding `cpu`'s bit (observability / tests).
+  uint64_t SocketWord(int socket) const {
+    assert(socket >= 0 && socket < kMaxWords);
+    return words_[socket];
+  }
+
+  // If every set bit lives in one socket word, that socket; else -1 (also -1
+  // when empty). Meaningful as a *socket* only under the kernel-installed
+  // topology shape; protocol sharding keys off this to decide whether a
+  // shootdown is socket-confined.
+  int OnlySocket() const {
+    if (summary_ == 0 || (summary_ & (summary_ - 1)) != 0) {
+      return -1;
+    }
+    return __builtin_ctz(summary_);
+  }
+
+  // Calls fn(cpu) for every set bit in ascending cpu order — the same order
+  // the flat scan produced, so target lists (and therefore every downstream
+  // event sequence) are unchanged.
+  template <typename Fn>
+  void ForEachSet(Fn&& fn) const {
+    for (uint32_t s = summary_; s != 0; s &= s - 1) {
+      int w = __builtin_ctz(s);
+      uint64_t bits = words_[w];
+      int base = w * cpus_per_socket_;
+      while (bits != 0) {
+        fn(base + __builtin_ctzll(bits));
+        bits &= bits - 1;
+      }
+    }
+  }
+
+ private:
+  uint64_t words_[kMaxWords] = {};
+  uint32_t summary_ = 0;         // bit per non-empty socket word
+  int cpus_per_socket_;
+};
+
+}  // namespace tlbsim
+
+#endif  // TLBSIM_SRC_KERNEL_CPUMASK_H_

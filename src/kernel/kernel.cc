@@ -48,6 +48,28 @@ Kernel::Kernel(Machine* machine, KernelConfig config) : machine_(machine), confi
   c_syscalls_ = &machine_->metrics().percpu("kernel.syscalls");
 }
 
+void Kernel::ConfigureStatBanks(int banks, int cpus_per_bank) {
+  if (banks < 1) banks = 1;
+  if (cpus_per_bank < 1) cpus_per_bank = 1;
+  stat_banks_.resize(static_cast<size_t>(banks));
+  cpus_per_stat_bank_ = cpus_per_bank;
+}
+
+Kernel::Stats Kernel::stats() const {
+  Stats sum;
+  for (const Stats& b : stat_banks_) {
+    sum.syscalls += b.syscalls;
+    sum.page_faults += b.page_faults;
+    sum.cow_faults += b.cow_faults;
+    sum.demand_faults += b.demand_faults;
+    sum.flush_requests += b.flush_requests;
+    sum.context_switches += b.context_switches;
+    sum.lazy_entries += b.lazy_entries;
+    sum.compat_iret_full_flushes += b.compat_iret_full_flushes;
+  }
+  return sum;
+}
+
 void Kernel::SetFlushBackend(TlbFlushBackend* backend) {
   backend_ = backend;
   for (int i = 0; i < machine_->num_cpus(); ++i) {
@@ -77,7 +99,8 @@ void Kernel::SetFlushBackend(TlbFlushBackend* backend) {
 Process* Kernel::CreateProcess() {
   auto p = std::make_unique<Process>();
   p->id = next_process_id_++;
-  p->mm = std::make_unique<MmStruct>(p->id, &machine_->engine(), &machine_->coherence());
+  p->mm = std::make_unique<MmStruct>(p->id, &machine_->engine(), &machine_->coherence(),
+                                     machine_->topo().cpus_per_socket());
   if (machine_->config().numa.enabled() && config_.opts.pt_replication) {
     p->mm->pt.EnableReplication(machine_->config().numa.nodes);
     p->mm->pt.set_skip_replica_propagation(replica_skip_);
@@ -112,7 +135,7 @@ File* Kernel::CreateFile(uint64_t size_bytes) {
 }
 
 Co<void> Kernel::SyscallEnter(Thread& t) {
-  ++stats_.syscalls;
+  ++StatsFor(t.cpu).syscalls;
   c_syscalls_->Inc(t.cpu);
   SimCpu& cpu = machine_->cpu(t.cpu);
   MmStruct& mm = *t.process->mm;
@@ -137,7 +160,7 @@ Co<void> Kernel::SyscallExit(Thread& t) {
   PerCpu& pc = percpu(t.cpu);
   if (config_.pti && t.compat32 && pc.deferred_user.any && !pc.deferred_user.full) {
     pc.deferred_user.MarkFull();
-    ++stats_.compat_iret_full_flushes;
+    ++StatsFor(t.cpu).compat_iret_full_flushes;
   }
   // Deferred user-space flushes run on the way out (§3.4), then the user
   // PCID is live again.
@@ -274,7 +297,7 @@ Co<void> Kernel::SysMunmap(Thread& t, uint64_t addr, uint64_t len) {
   }
 
   if (zr.pages > 0) {
-    ++stats_.flush_requests;
+    ++StatsFor(cpu.id()).flush_requests;
     co_await backend_->FlushRange(cpu, mm, lo, hi, stride_shift, freed_tables);
   }
   if (BatchingEnabled()) {
@@ -305,7 +328,7 @@ Co<void> Kernel::SysMadviseDontneed(Thread& t, uint64_t addr, uint64_t len) {
   int stride_shift = StrideShiftFor(mm, addr);
   ZapResult zr = co_await ZapRange(cpu, mm, addr, len);
   if (zr.pages > 0) {
-    ++stats_.flush_requests;
+    ++StatsFor(cpu.id()).flush_requests;
     co_await backend_->FlushRange(cpu, mm, addr, addr + len, stride_shift,
                                   /*freed_tables=*/false);
   }
@@ -350,7 +373,7 @@ Co<void> Kernel::SysMsyncClean(Thread& t, uint64_t addr, uint64_t len) {
     mm.pt.SetPte(va, pte.WithFlags(0, PteFlags::kWrite | PteFlags::kDirty));
     ChargePteUpdate(cpu, mm, va);
     cpu.AdvanceInline(machine_->costs().zap_per_page);
-    ++stats_.flush_requests;
+    ++StatsFor(cpu.id()).flush_requests;
     co_await backend_->FlushRange(cpu, mm, va, va + kPageSize4K, static_cast<int>(kPageShift),
                                   /*freed_tables=*/false);
     // Write the cleaned page back to the (persistent-memory) backing store:
@@ -397,7 +420,7 @@ Co<void> Kernel::SysMprotect(Thread& t, uint64_t addr, uint64_t len, bool writab
     }
   }
   if (changed > 0) {
-    ++stats_.flush_requests;
+    ++StatsFor(cpu.id()).flush_requests;
     co_await backend_->FlushRange(cpu, mm, addr, addr + len, StrideShiftFor(mm, addr),
                                   /*freed_tables=*/false);
   }
@@ -493,7 +516,7 @@ Co<Process*> Kernel::SysFork(Thread& t, int child_cpu) {
     cpu.AdvanceInline(costs.zap_per_page);
   }
   if (downgraded > 0) {
-    ++stats_.flush_requests;
+    ++StatsFor(cpu.id()).flush_requests;
     co_await backend_->FlushRange(cpu, mm, lo, hi, static_cast<int>(kPageShift),
                                   /*freed_tables=*/false);
   }
@@ -572,7 +595,7 @@ Co<bool> Kernel::UserExec(Thread& t, uint64_t va) {
 }
 
 Co<void> Kernel::HandlePageFault(Thread& t, uint64_t va, bool write, FaultKind kind) {
-  ++stats_.page_faults;
+  ++StatsFor(t.cpu).page_faults;
   SimCpu& cpu = machine_->cpu(t.cpu);
   MmStruct& mm = *t.process->mm;
   const CostModel& costs = machine_->costs();
@@ -597,7 +620,7 @@ Co<void> Kernel::HandlePageFault(Thread& t, uint64_t va, bool write, FaultKind k
   mm.pt.set_alloc_node(node);
 
   if (kind == FaultKind::kNotPresent) {
-    ++stats_.demand_faults;
+    ++StatsFor(cpu.id()).demand_faults;
     uint64_t frames_per_page = BytesOf(vma->page_size) / kPageSize4K;
     uint64_t flags = PteFlags::kPresent | PteFlags::kUser | PteFlags::kAccessed;
     if (!vma->executable) {
@@ -624,7 +647,7 @@ Co<void> Kernel::HandlePageFault(Thread& t, uint64_t va, bool write, FaultKind k
       // Private file mapping.
       if (write) {
         // Write fault on a never-mapped page: allocate the private copy now.
-        ++stats_.cow_faults;
+        ++StatsFor(cpu.id()).cow_faults;
         uint64_t src = vma->file->GetPage(vma->OffsetOf(page_va));
         (void)src;
         co_await cpu.Execute(costs.copy_page);
@@ -647,7 +670,7 @@ Co<void> Kernel::HandlePageFault(Thread& t, uint64_t va, bool write, FaultKind k
     Pte pte = wr.pte;
     PageSize walk_size = wr.size;
     if (pte.cow()) {
-      ++stats_.cow_faults;
+      ++StatsFor(cpu.id()).cow_faults;
       uint64_t old_pfn = pte.pfn();
       if (frames_.RefCount(old_pfn) == 1) {
         // Sole owner: reuse the page; permission upgrade needs no flush.
@@ -685,7 +708,7 @@ Co<void> Kernel::HandlePageFault(Thread& t, uint64_t va, bool write, FaultKind k
 }
 
 Co<void> Kernel::SwitchTo(int cpu_id, MmStruct* mm) {
-  ++stats_.context_switches;
+  ++StatsFor(cpu_id).context_switches;
   SimCpu& cpu = machine_->cpu(cpu_id);
   PerCpu& pc = percpu(cpu_id);
   co_await cpu.Execute(machine_->costs().context_switch);
@@ -717,7 +740,7 @@ Co<void> Kernel::SwitchTo(int cpu_id, MmStruct* mm) {
 }
 
 Co<void> Kernel::EnterLazyMode(int cpu_id) {
-  ++stats_.lazy_entries;
+  ++StatsFor(cpu_id).lazy_entries;
   SimCpu& cpu = machine_->cpu(cpu_id);
   PerCpu& pc = percpu(cpu_id);
   co_await cpu.Execute(machine_->costs().context_switch);

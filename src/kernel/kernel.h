@@ -79,7 +79,12 @@ class Kernel {
   FrameAllocator& frames() { return frames_; }
   PerCpu& percpu(int cpu) { return *percpu_.at(static_cast<size_t>(cpu)); }
   TlbFlushBackend& backend() { return *backend_; }
-  Stats& stats() { return stats_; }
+  // Summed over banks (one bank — the legacy flat counters — by default).
+  Stats stats() const;
+
+  // Protocol sharding: banks the kernel counters by the acting CPU's socket
+  // (see ShootdownEngine::ConfigureBanks). banks <= 1 keeps the flat shape.
+  void ConfigureStatBanks(int banks, int cpus_per_bank);
 
   // --- process / thread management ---
   Process* CreateProcess();
@@ -181,7 +186,13 @@ class Kernel {
   uint64_t next_thread_id_ = 1;
   uint64_t next_file_id_ = 1;
   bool replica_skip_ = false;
-  Stats stats_;
+  Stats& StatsFor(int cpu_id) {
+    if (stat_banks_.size() == 1) return stat_banks_[0];
+    size_t b = static_cast<size_t>(cpu_id) / static_cast<size_t>(cpus_per_stat_bank_);
+    return stat_banks_[b < stat_banks_.size() ? b : stat_banks_.size() - 1];
+  }
+  std::vector<Stats> stat_banks_{1};
+  int cpus_per_stat_bank_ = 1 << 30;
   PerCpuCounter* c_syscalls_ = nullptr;  // live "kernel.syscalls" handle
 };
 

@@ -2,24 +2,22 @@
 #ifndef TLBSIM_SRC_KERNEL_MM_STRUCT_H_
 #define TLBSIM_SRC_KERNEL_MM_STRUCT_H_
 
-#include <bitset>
 #include <cstdint>
 #include <map>
 
 #include "src/cache/coherence.h"
+#include "src/kernel/cpumask.h"
 #include "src/kernel/rwsem.h"
 #include "src/kernel/vma.h"
 #include "src/mm/page_table.h"
 
 namespace tlbsim {
 
-// Upper bound on simulated CPUs (sizes mm_cpumask and the checker's vector
-// clocks). 256 covers the 8-socket/224-cpu big-machine preset; all cpumask
-// walks iterate machine.num_cpus(), so small topologies pay nothing.
-inline constexpr int kMaxCpus = 256;
-
 struct MmStruct {
-  MmStruct(uint64_t id, Engine* engine, CoherenceModel* coherence)
+  // `cpus_per_socket` shapes the per-socket cpumask words; the kernel passes
+  // the machine topology, direct constructions (tests) default to flat
+  // 64-cpu word sharding, which behaves identically.
+  MmStruct(uint64_t id, Engine* engine, CoherenceModel* coherence, int cpus_per_socket = 64)
       : id(id),
         // Root id derived from the kernel-scoped mm id, not the global
         // PageTable counter: the id reaches coherence-line addresses
@@ -30,6 +28,7 @@ struct MmStruct {
         // PCIDs 0/1 are reserved for the init/idle address space.
         kernel_pcid(static_cast<uint16_t>(2 + (id * 2) % 1022)),
         user_pcid(static_cast<uint16_t>(2 + (id * 2 + 1) % 1022)),
+        cpumask(cpus_per_socket),
         mmap_sem(engine, "mmap_sem"),
         // Allocation-free naming: MmStructs are constructed on the bench hot
         // path (one per simulated process per sweep point).
@@ -45,8 +44,9 @@ struct MmStruct {
   uint16_t kernel_pcid;
   uint16_t user_pcid;
 
-  // CPUs on which this mm is loaded (mm_cpumask).
-  std::bitset<kMaxCpus> cpumask;
+  // CPUs on which this mm is loaded (mm_cpumask), sharded into per-socket
+  // words (src/kernel/cpumask.h) so protocol shards touch disjoint memory.
+  SocketMask cpumask;
 
   // Address-space generation (mm->context.tlb_gen): bumped on every PTE
   // change that requires a flush. Responders compare against their local

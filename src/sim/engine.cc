@@ -16,9 +16,11 @@ Engine::Engine() {
 }
 
 void Engine::ConfigureSharding(ShardPlan plan) {
+  // Quiescent, not necessarily fresh: a setup phase may have run serially
+  // (and advanced the clock) as long as no event is pending when the queues
+  // split — new shards inherit the serial clock so causality holds.
   assert(queues_.size() == 1 && main_queue_->heap.empty() &&
-         main_queue_->events_processed == 0 &&
-         "sharding must be configured on a fresh engine");
+         "sharding must be configured on a quiescent engine");
   lookahead_ = std::max<Cycles>(1, plan.lookahead);
   if (plan.shards <= 1) {
     return;  // unsharded: ScheduleOnCpu degenerates to Schedule
@@ -30,6 +32,7 @@ void Engine::ConfigureSharding(ShardPlan plan) {
   for (int i = 1; i < nq; ++i) {
     auto q = std::make_unique<Queue>();
     q->index = i;
+    q->now = main_queue_->now;
     queues_.push_back(std::move(q));
   }
   for (auto& qp : queues_) {
@@ -554,6 +557,7 @@ Engine::ParallelStats Engine::parallel_stats() const {
   }
   for (const auto& mb : mail_) {
     s.mailbox_overflows += mb->overflowed();
+    s.mailbox_high_water = std::max<uint64_t>(s.mailbox_high_water, mb->high_water());
   }
   return s;
 }

@@ -36,11 +36,17 @@
 // conservative: delivery is clamped forward to the receiver's clock and
 // counted in ParallelStats::clamped_deliveries.
 //
-// What is NOT parallel: the shootdown protocol itself (kernel, coherence,
-// APIC handlers) mutates shared machine state directly and therefore runs
-// entirely on the serial timeline, byte-identical at any --sim-threads.
-// Shard queues carry shard-confined work (traffic replay, storms); see
-// docs/ARCHITECTURE.md "Parallel discrete-event core".
+// Protocol sharding (MachineConfig::shard_protocol): the shootdown protocol
+// itself — kernel entry, mm_cpumask scan, coherence directory, APIC delivery
+// and ack — can also run on shard queues, provided every protocol-state
+// object it touches is confined to one socket. The supporting state is
+// banked per socket (SocketMask cpumask words, CoherenceModel banks, per-
+// socket stats/histograms in the shootdown backends), so a storm whose mms
+// and pages never cross sockets executes the entire IPI send -> remote flush
+// -> ack chain inside one shard window with zero cross-shard traffic. Mixed
+// workloads keep working: anything non-confined pays cross-shard mailbox
+// hops, still bit-identical at any --sim-threads. See docs/ARCHITECTURE.md
+// "Sharded protocol state".
 #ifndef TLBSIM_SRC_SIM_ENGINE_H_
 #define TLBSIM_SRC_SIM_ENGINE_H_
 
@@ -99,6 +105,7 @@ class Engine {
     uint64_t horizon_stalls = 0;        // non-empty shard couldn't enter a window
     uint64_t clamped_deliveries = 0;    // contract-violating sends delayed
     uint64_t mailbox_overflows = 0;     // messages that spilled past the ring
+    uint64_t mailbox_high_water = 0;    // peak ring occupancy across mailboxes
   };
 
   Engine();
@@ -106,8 +113,10 @@ class Engine {
   Engine& operator=(const Engine&) = delete;
 
   // Splits the engine into `plan.shards` per-socket queues plus the serial
-  // queue. Must be called before anything is scheduled; a plan with
-  // shards <= 1 leaves the engine in the unsharded (legacy) shape.
+  // queue. Must be called while the engine is quiescent (no pending events);
+  // a serial setup phase may already have run — shards inherit the serial
+  // clock. A plan with shards <= 1 leaves the engine in the unsharded
+  // (legacy) shape.
   void ConfigureSharding(ShardPlan plan);
 
   bool sharded() const { return queues_.size() > 1; }

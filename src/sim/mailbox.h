@@ -40,6 +40,10 @@ class SpscMailbox {
   void Push(T msg) {
     uint32_t h = head_.load(std::memory_order_relaxed);
     uint32_t t = tail_.load(std::memory_order_acquire);
+    uint32_t occ = h - t + 1;
+    if (occ > high_water_) {
+      high_water_ = occ;  // producer-owned; how close windows come to spilling
+    }
     if (h - t >= kCapacity) {
       overflow_.push_back(std::move(msg));
       ++overflowed_;
@@ -81,12 +85,17 @@ class SpscMailbox {
   // Messages that missed the ring and took the overflow path (lifetime total).
   uint64_t overflowed() const { return overflowed_; }
 
+  // Peak ring occupancy ever observed at a push (lifetime; includes the
+  // message being pushed). kCapacity+ means the overflow path was exercised.
+  uint32_t high_water() const { return high_water_; }
+
  private:
   std::vector<T> ring_;
   std::atomic<uint32_t> head_{0};  // producer-owned
   std::atomic<uint32_t> tail_{0};  // consumer-owned
   std::vector<T> overflow_;        // producer-owned between barriers
   uint64_t overflowed_ = 0;        // producer-owned
+  uint32_t high_water_ = 0;        // producer-owned
 };
 
 }  // namespace tlbsim

@@ -85,7 +85,7 @@ TEST(InContextTest, LocalFlushDefersAndFlushesAtExit) {
     // Back in user mode: the deferred flush must already be applied.
     EXPECT_FALSE(k.percpu(0).deferred_user.any);
   });
-  auto& st = rig.sys.shootdown().stats();
+  auto st = rig.sys.shootdown().stats();
   EXPECT_EQ(st.deferred_selective, 4u);
   EXPECT_EQ(st.in_context_invlpg, 4u);
   EXPECT_EQ(st.invpcid_issued, 0u);  // no INVPCID needed at all
@@ -102,7 +102,7 @@ TEST(InContextTest, MunmapDoesNotDeferFreedTables) {
     }
     co_await k.SysMunmap(*rig.t, a, 4 * kPageSize4K);
   });
-  auto& st = rig.sys.shootdown().stats();
+  auto st = rig.sys.shootdown().stats();
   // Page tables were freed: user flushes must be eager INVPCID, not deferred.
   EXPECT_EQ(st.deferred_selective, 0u);
   EXPECT_EQ(st.invpcid_issued, 4u);

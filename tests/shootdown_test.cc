@@ -122,7 +122,7 @@ TEST(ShootdownBasicTest, EarlyAckForbiddenWhenTablesFreed) {
 TEST(ShootdownBasicTest, InContextDefersUserFlushes) {
   Rig rig(OptimizationSet::Cumulative(4));
   rig.RunMadvise(10);
-  auto& st = rig.sys.shootdown().stats();
+  auto st = rig.sys.shootdown().stats();
   EXPECT_GT(st.deferred_selective, 0u);
   EXPECT_GT(st.in_context_invlpg, 0u);
   EXPECT_TRUE(TlbCoherent(rig.sys, *rig.proc->mm));
@@ -138,7 +138,7 @@ TEST(ShootdownBasicTest, InContextKeepsFlushingUntilFirstAck) {
 TEST(ShootdownBasicTest, BaselineFlushesUserEagerlyWithInvpcid) {
   Rig rig(OptimizationSet::None());
   rig.RunMadvise(10);
-  auto& st = rig.sys.shootdown().stats();
+  auto st = rig.sys.shootdown().stats();
   EXPECT_EQ(st.deferred_selective, 0u);
   EXPECT_EQ(st.in_context_invlpg, 0u);
   // initiator 10 + responder 10 pages, both address spaces.
@@ -156,7 +156,7 @@ TEST(ShootdownBasicTest, UnsafeModeHasNoUserFlushWork) {
 TEST(ShootdownBasicTest, ThresholdPromotesToFullFlush) {
   Rig rig(OptimizationSet::None());
   rig.RunMadvise(40);  // above the 33-entry ceiling
-  auto& st = rig.sys.shootdown().stats();
+  auto st = rig.sys.shootdown().stats();
   EXPECT_GE(st.full_local_flushes, 1u);
   EXPECT_EQ(st.invlpg_issued, 0u);  // no selective work at all
   EXPECT_TRUE(TlbCoherent(rig.sys, *rig.proc->mm));
@@ -195,7 +195,7 @@ TEST(ShootdownBasicTest, ResponderSkipsAlreadyFlushedGeneration) {
   sys.machine().engine().Spawn(0, Go([&]() -> Co<void> { co_await worker(t0); }));
   sys.machine().engine().Spawn(0, Go([&]() -> Co<void> { co_await worker(t1); }));
   sys.machine().engine().Run();
-  auto& st = sys.shootdown().stats();
+  auto st = sys.shootdown().stats();
   EXPECT_GT(st.responder_skipped_gen + st.responder_full, 0u);
   EXPECT_TRUE(TlbCoherent(sys, *p->mm));
 }
@@ -220,7 +220,7 @@ TEST(ShootdownBasicTest, BatchingCollapsesMsyncShootdowns) {
       co_await k.SysMsyncClean(*t, a, 16 * kPageSize4K);
     }));
     sys.machine().engine().Run();
-    auto& st = sys.shootdown().stats();
+    auto st = sys.shootdown().stats();
     if (batched) {
       // 16 per-page flushes collapse into ceil(16/4) = 4 shootdowns.
       EXPECT_EQ(st.batched_absorbed, 16u);
@@ -277,7 +277,7 @@ TEST(ShootdownBasicTest, CowAvoidanceSkipsFlushAndStaysCoherent) {
       co_await k.UserAccess(*t, a, false);
     }));
     sys.machine().engine().Run();
-    auto& st = sys.shootdown().stats();
+    auto st = sys.shootdown().stats();
     if (avoid) {
       EXPECT_EQ(st.cow_flush_avoided, 1u);
       EXPECT_EQ(st.cow_flushes, 0u);
