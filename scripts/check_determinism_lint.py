@@ -1,105 +1,24 @@
 #!/usr/bin/env python3
-"""Determinism lint: grep-level gate against host-nondeterminism in the
-simulator sources.
+"""Superseded: the determinism lint now lives in scripts/tlblint.py.
 
-The whole value proposition of tlbsim is bit-reproducible virtual-time runs
-(same seed -> same timeline -> byte-identical stripped JSON, including across
---threads N). Three classes of code silently break that:
-
-  1. Host clocks  — std::chrono::system_clock / steady_clock. Allowed ONLY in
-     the sweep executor (src/exec/, which measures host-side speedup) and the
-     wall-clock self-benchmark plumbing (bench/report.cc, bench/sim_throughput.cc);
-     everything else must live in virtual time.
-  2. Host randomness — rand(), std::random_device. The only sanctioned RNG is
-     the seeded tlbsim::Rng (src/sim/rng.h).
-  3. Unordered-container iteration — range-for over a std::unordered_map/set
-     visits elements in hash order, which varies across libstdc++ versions and
-     ASLR-affected pointer hashes. Any such loop whose body feeds output
-     (JSON, counters with ordering, logs) is a reproducibility bug. The lint
-     flags EVERY range-for over a variable declared as unordered_*; loops that
-     are provably order-independent (sum / zero / unref-all) carry an
-     explanatory `// det-ok: <reason>` suppression on the loop line.
-
-Two-pass per translation-unit scope: pass 1 collects identifiers declared with
-an unordered_* type anywhere in the scanned tree (member names like `refs_`
-are unambiguous in this codebase); pass 2 flags range-fors over them.
-
-Usage: check_determinism_lint.py [repo_root]
-Exits nonzero listing offending file:line occurrences. Stdlib Python only.
+This shim keeps the old entry point working (CI history, muscle memory) by
+delegating to `tlblint.py --rules determinism`, which enforces the same
+contract over a wider tree (src/, bench/, examples/) plus pointer-keyed
+ordered containers, with the same `// det-ok: <reason>` suppressions.
 """
 
 import os
-import re
 import sys
 
-SCAN_ROOTS = ("src", "bench")
-EXTS = (".h", ".cc")
-
-# Paths (relative, '/'-separated) where host clocks are part of the design.
-CLOCK_ALLOWED = ("src/exec/", "bench/report.cc", "bench/sim_throughput.cc")
-
-SUPPRESS = "det-ok:"
-
-CLOCK_RE = re.compile(r"std::chrono::(?:system_clock|steady_clock)|\bsystem_clock\b|\bsteady_clock\b")
-RAND_RE = re.compile(r"\brand\s*\(|std::random_device|\brandom_device\b")
-DECL_RE = re.compile(r"\bunordered_(?:map|set|multimap|multiset)\s*<.*>\s+(\w+)\s*[;={(]")
-RANGE_FOR_RE = re.compile(r"\bfor\s*\(.*?:\s*(?:\w+(?:\.|->))*(\w+)\s*\)")
-
-
-def rel(path, root):
-    return os.path.relpath(path, root).replace(os.sep, "/")
-
-
-def scan_files(root):
-    for sub in SCAN_ROOTS:
-        base = os.path.join(root, sub)
-        for dirpath, _, names in sorted(os.walk(base)):
-            for name in sorted(names):
-                if name.endswith(EXTS):
-                    yield os.path.join(dirpath, name)
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import tlblint  # noqa: E402
 
 
 def main(argv):
-    root = argv[1] if len(argv) > 1 else os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-    files = list(scan_files(root))
-
-    # Pass 1: every identifier declared with an unordered_* type.
-    unordered_vars = set()
-    for path in files:
-        with open(path, encoding="utf-8") as f:
-            for line in f:
-                m = DECL_RE.search(line)
-                if m:
-                    unordered_vars.add(m.group(1))
-
-    problems = []
-    for path in files:
-        r = rel(path, root)
-        clock_ok = any(r.startswith(p) if p.endswith("/") else r == p for p in CLOCK_ALLOWED)
-        with open(path, encoding="utf-8") as f:
-            for lineno, line in enumerate(f, 1):
-                if SUPPRESS in line:
-                    continue
-                if not clock_ok and CLOCK_RE.search(line):
-                    problems.append((r, lineno, "host clock (use virtual time; see src/sim/engine.h)", line))
-                if RAND_RE.search(line):
-                    problems.append((r, lineno, "host randomness (use seeded tlbsim::Rng)", line))
-                m = RANGE_FOR_RE.search(line)
-                if m and m.group(1) in unordered_vars:
-                    problems.append(
-                        (r, lineno,
-                         f"iteration over unordered container '{m.group(1)}' "
-                         "(hash order is not deterministic; sort first, or add "
-                         "'// det-ok: <why order-independent>' if provably so)",
-                         line))
-
-    for r, lineno, why, line in problems:
-        print(f"FAIL {r}:{lineno}: {why}\n     {line.rstrip()}")
-    if problems:
-        print(f"\ndeterminism lint: {len(problems)} problem(s)")
-        return 1
-    print(f"determinism lint: OK ({len(files)} files, {len(unordered_vars)} unordered vars tracked)")
-    return 0
+    args = [argv[0], "--rules", "determinism"]
+    if len(argv) > 1:
+        args += ["--root", argv[1]]
+    return tlblint.main(args)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,94 @@
+// Annotated host-mutex wrappers: the lockable substrate the clang
+// thread-safety analysis actually sees.
+//
+// libstdc++ ships std::mutex / std::lock_guard without capability
+// annotations, so code locking them is invisible to -Wthread-safety. These
+// wrappers are zero-overhead shims (everything inlines to the std calls)
+// that carry the annotations, so GUARDED_BY(mu_) members in ThreadPool and
+// SweepRunner are statically checked on every clang build.
+//
+// Condition waits deliberately take explicit loops, not predicate lambdas:
+// the analysis checks a lambda body as a separate function with no
+// capabilities held, so `cv.wait(lk, [&]{ return guarded_; })` would warn.
+// `while (!guarded_) cv.Wait(lk);` reads the guarded member where the lock
+// is visibly held and means the same thing.
+//
+// These are *host*-side primitives (the sweep executor and the parallel
+// engine's worker pool). Simulated synchronization stays in virtual time
+// (RwSem, SimFlag); a host clock or mutex inside the simulation proper is a
+// determinism bug, which scripts/tlblint.py flags.
+#ifndef TLBSIM_SRC_BASE_MUTEX_H_
+#define TLBSIM_SRC_BASE_MUTEX_H_
+
+#include <chrono>              // det-ok: durations only; no clock reads
+#include <condition_variable>
+#include <mutex>
+
+#include "src/base/thread_annotations.h"
+
+namespace tlbsim {
+
+class CondVar;
+
+// A std::mutex with the capability annotation attached.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  // Declares (for the analysis only) that the calling context holds this
+  // mutex. Used where ownership was transferred rather than acquired here.
+  void AssertHeld() const ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class MutexLock;
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+// RAII lock, annotated as a scoped capability; also the handle CondVar
+// waits on (it owns the std::unique_lock a condition_variable needs).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~MutexLock() RELEASE() = default;
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+// Condition variable bound to MutexLock. Waits release the lock while
+// blocked and reacquire before returning, exactly like the std type; the
+// analysis (which does not model the release window) keeps treating the
+// capability as held, which is what guarded accesses around the wait want.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  template <class Rep, class Period>
+  void WaitFor(MutexLock& lock, std::chrono::duration<Rep, Period> timeout) {
+    cv_.wait_for(lock.lock_, timeout);
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace tlbsim
+
+#endif  // TLBSIM_SRC_BASE_MUTEX_H_

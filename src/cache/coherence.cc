@@ -69,6 +69,7 @@ Cycles CoherenceModel::TransferCost(Topology::Distance d) const {
   return costs_.memory_fill;
 }
 
+// tlblint: setup — single-threaded Machine construction
 void CoherenceModel::ConfigureBanks(int banks, int cpus_per_bank) {
   if (banks < 1) banks = 1;
   if (cpus_per_bank < 1) cpus_per_bank = 1;
@@ -93,6 +94,7 @@ void CoherenceModel::ConfigureBanks(int banks, int cpus_per_bank) {
   }
 }
 
+// tlblint: setup — aggregation between runs, engine quiescent
 CoherenceModel::GlobalStats CoherenceModel::global_stats() const {
   GlobalStats sum;
   for (const Bank& b : banks_) {
@@ -201,6 +203,7 @@ Cycles CoherenceModel::Access(int cpu, LineId line, AccessType type) {
   return cost;
 }
 
+// tlblint: setup — between runs, engine quiescent
 void CoherenceModel::ResetStats() {
   for (Bank& b : banks_) {
     b.stats = GlobalStats{};
@@ -210,6 +213,7 @@ void CoherenceModel::ResetStats() {
   }
 }
 
+// tlblint: setup — observability between runs, engine quiescent
 CoherenceModel::LineStats CoherenceModel::StatsFor(LineId line) const {
   // A line normally resides in exactly one bank; summing tolerates the
   // (contract-violating) case of copies in several.

@@ -92,7 +92,7 @@ class CoherenceModel {
   Cycles Access(int cpu, LineId line, AccessType type);
 
   // Drops a line from every cache (e.g. clflush); free for accounting.
-  void EvictAll(LineId line) {
+  void EvictAll(LineId line) {  // tlblint: shard-local — line is socket-confined
     for (Bank& b : banks_) {
       b.line_map.erase(line);
     }
@@ -106,7 +106,7 @@ class CoherenceModel {
   // called before any Access (typically by Machine construction); banks <= 1
   // keeps the legacy single-directory shape.
   void ConfigureBanks(int banks, int cpus_per_bank);
-  int banks() const { return static_cast<int>(banks_.size()); }
+  int banks() const { return static_cast<int>(banks_.size()); }  // tlblint: setup
 
   // Summed over banks (one bank — the legacy single directory — by default).
   GlobalStats global_stats() const;
@@ -146,17 +146,18 @@ class CoherenceModel {
   Topology::Distance NearestHolder(int cpu, const LineState& s) const;
   Cycles TransferCost(Topology::Distance d) const;
 
+  // tlblint: shard-local — resolves into the accessing cpu's own bank
   size_t BankIndexFor(int cpu) const {
     if (banks_.size() == 1) return 0;
     size_t b = static_cast<size_t>(cpu) / static_cast<size_t>(cpus_per_bank_);
     return b < banks_.size() ? b : banks_.size() - 1;
   }
-  Bank& BankFor(int cpu) { return banks_[BankIndexFor(cpu)]; }
+  Bank& BankFor(int cpu) { return banks_[BankIndexFor(cpu)]; }  // tlblint: shard-local
   static void AccumulateStats(GlobalStats& into, const GlobalStats& from);
 
   const Topology topo_;
   const CacheCosts costs_;
-  std::vector<Bank> banks_{1};  // single legacy directory until ConfigureBanks
+  std::vector<Bank> banks_{1};  // tlblint: banked(socket) single legacy directory until ConfigureBanks
   int cpus_per_bank_ = 1 << 30;
   std::vector<NameRec> named_;  // indexed by LineId - 1 (named ids are dense)
   LineId next_named_ = 1;

@@ -7,6 +7,7 @@
 
 namespace tlbsim {
 
+// tlblint: setup — single-threaded construction
 QueueFlushBackend::QueueFlushBackend(Kernel* kernel) : kernel_(kernel) {
   Machine& machine = kernel_->machine();
   CoherenceModel& coherence = machine.coherence();
@@ -28,6 +29,7 @@ QueueFlushBackend::QueueFlushBackend(Kernel* kernel) : kernel_(kernel) {
   c_drains_ = &m.percpu("queue.drains");
 }
 
+// tlblint: setup — single-threaded Machine construction
 void QueueFlushBackend::ConfigureBanks(int banks, int cpus_per_bank) {
   if (banks < 1) banks = 1;
   if (cpus_per_bank < 1) cpus_per_bank = 1;
@@ -57,6 +59,7 @@ void QueueFlushBackend::ConfigureBanks(int banks, int cpus_per_bank) {
   }
 }
 
+// tlblint: setup — aggregation between runs, engine quiescent
 QueueFlushBackend::Stats QueueFlushBackend::stats() const {
   Stats sum;
   for (const Stats& b : banks_) {
@@ -168,6 +171,7 @@ Co<void> QueueFlushBackend::LocalFlush(SimCpu& cpu, MmStruct& mm, const FlushTlb
   }
 }
 
+// tlblint: shard-local — runs on the initiating cpu's timeline
 void QueueFlushBackend::EnqueueForTarget(SimCpu& cpu, MmStruct& mm, int target,
                                          const FlushTlbInfo& info, uint64_t queue_gen,
                                          bool wants_full) {
@@ -230,6 +234,7 @@ bool QueueFlushBackend::AllAcked(SimCpu& cpu, const std::vector<int>& targets,
   return true;
 }
 
+// tlblint: shard-local — runs on the initiating cpu's timeline
 Co<void> QueueFlushBackend::FlushRange(SimCpu& cpu, MmStruct& mm, uint64_t start, uint64_t end,
                                        int stride_shift, bool freed_tables) {
   // Socket-confinement contract (protocol-shard storms): see ShootdownEngine.
@@ -379,6 +384,7 @@ Co<void> QueueFlushBackend::FlushRange(SimCpu& cpu, MmStruct& mm, uint64_t start
   }
 }
 
+// tlblint: shard-local — runs on the draining cpu's timeline
 Co<void> QueueFlushBackend::HandleFlushIrq(SimCpu& cpu) {
   ScopedCycleTimer timer(HistFor(hb_drain_cycles_, h_drain_cycles_, cpu.id()), &cpu);
   ++StatsFor(cpu).drains;

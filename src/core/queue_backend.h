@@ -87,7 +87,7 @@ class QueueFlushBackend final : public TlbFlushBackend {
   // Summed over banks (max for max_ring_occupancy); one bank — the legacy
   // flat counters — by default.
   Stats stats() const;
-  void ResetStats() {
+  void ResetStats() {  // tlblint: setup — between runs, engine quiescent
     for (Stats& b : banks_) {
       b = Stats{};
     }
@@ -116,7 +116,7 @@ class QueueFlushBackend final : public TlbFlushBackend {
   // Tickets issued so far: the per-socket streams overlap numerically after
   // ConfigureBanks, so report the count (bank deltas summed), which equals
   // the serial counter value.
-  uint64_t next_tlb_gen() const {
+  uint64_t next_tlb_gen() const {  // tlblint: setup — tests/snapshots, quiescent
     uint64_t n = ticket_banks_[0];
     for (size_t b = 1; b < ticket_banks_.size(); ++b) {
       n += ticket_banks_[b] - ticket_seed_;
@@ -167,14 +167,16 @@ class QueueFlushBackend final : public TlbFlushBackend {
   // True when every target's ack_gen has reached `queue_gen`.
   bool AllAcked(SimCpu& cpu, const std::vector<int>& targets, uint64_t queue_gen);
 
+  // tlblint: shard-local — resolves into the acting cpu's own bank
   size_t BankIndexFor(int cpu_id) const {
     if (banks_.size() == 1) return 0;
     size_t b = static_cast<size_t>(cpu_id) / static_cast<size_t>(cpus_per_bank_);
     return b < banks_.size() ? b : banks_.size() - 1;
   }
-  Stats& StatsFor(const SimCpu& cpu) { return banks_[BankIndexFor(cpu.id())]; }
-  uint64_t& TicketFor(int cpu_id) { return ticket_banks_[BankIndexFor(cpu_id)]; }
-  LineId GenLineFor(int cpu_id) const { return gen_lines_[BankIndexFor(cpu_id)]; }
+  Stats& StatsFor(const SimCpu& cpu) { return banks_[BankIndexFor(cpu.id())]; }  // tlblint: shard-local
+  uint64_t& TicketFor(int cpu_id) { return ticket_banks_[BankIndexFor(cpu_id)]; }  // tlblint: shard-local
+  LineId GenLineFor(int cpu_id) const { return gen_lines_[BankIndexFor(cpu_id)]; }  // tlblint: shard-local
+  // tlblint: shard-local — resolves into the acting cpu's own bank
   Histogram* HistFor(const std::vector<Histogram*>& banked, Histogram* flat, int cpu_id) const {
     if (banked.empty()) return flat;
     return banked[BankIndexFor(cpu_id)];
@@ -182,10 +184,10 @@ class QueueFlushBackend final : public TlbFlushBackend {
 
   Kernel* kernel_;
   std::vector<std::unique_ptr<CpuQueue>> queues_;
-  std::vector<uint64_t> ticket_banks_{0};  // per-socket ticket counters
+  std::vector<uint64_t> ticket_banks_{0};  // tlblint: banked(socket) per-socket ticket counters
   uint64_t ticket_seed_ = 0;               // global value when banks split
-  std::vector<LineId> gen_lines_;          // per-bank ticket cachelines
-  std::vector<Stats> banks_{1};
+  std::vector<LineId> gen_lines_;          // tlblint: banked(socket) per-bank ticket cachelines
+  std::vector<Stats> banks_{1};            // tlblint: banked(socket)
   int cpus_per_bank_ = 1 << 30;
   bool require_confined_ = false;
   FaultInjection inject_;
@@ -198,9 +200,9 @@ class QueueFlushBackend final : public TlbFlushBackend {
   PerCpuCounter* c_initiated_ = nullptr;    // queue.initiated
   PerCpuCounter* c_drains_ = nullptr;       // queue.drains
   // Per-socket variants ("<name>.socket<k>"), protocol-shard mode only.
-  std::vector<Histogram*> hb_ring_occupancy_;
-  std::vector<Histogram*> hb_ack_wait_cycles_;
-  std::vector<Histogram*> hb_drain_cycles_;
+  std::vector<Histogram*> hb_ring_occupancy_;   // tlblint: banked(socket)
+  std::vector<Histogram*> hb_ack_wait_cycles_;  // tlblint: banked(socket)
+  std::vector<Histogram*> hb_drain_cycles_;     // tlblint: banked(socket)
 };
 
 }  // namespace tlbsim

@@ -17,6 +17,7 @@ ShootdownEngine::ShootdownEngine(Kernel* kernel) : kernel_(kernel) {
   c_flush_irqs_ = &m.percpu("shootdown.flush_irqs");
 }
 
+// tlblint: setup — single-threaded Machine construction
 void ShootdownEngine::ConfigureBanks(int banks, int cpus_per_bank) {
   if (banks < 1) banks = 1;
   if (cpus_per_bank < 1) cpus_per_bank = 1;
@@ -36,6 +37,7 @@ void ShootdownEngine::ConfigureBanks(int banks, int cpus_per_bank) {
   }
 }
 
+// tlblint: setup — aggregation between runs, engine quiescent
 ShootdownEngine::Stats ShootdownEngine::stats() const {
   Stats sum;
   for (const Stats& b : banks_) {
@@ -206,6 +208,7 @@ Co<void> ShootdownEngine::LocalFlushAll(SimCpu& cpu, MmStruct& mm,
   }
 }
 
+// tlblint: shard-local — runs on the initiating cpu's timeline
 Co<void> ShootdownEngine::DoShootdown(SimCpu& cpu, MmStruct& mm, std::vector<FlushTlbInfo> infos) {
   assert(!infos.empty());
   ScopedCycleTimer timer(HistFor(hb_initiator_cycles_, h_initiator_cycles_, cpu.id()), &cpu);
@@ -507,6 +510,7 @@ Co<void> ShootdownEngine::OnSwitchIn(SimCpu& cpu, MmStruct& mm) {
   }
 }
 
+// tlblint: shard-local — runs on the target cpu's timeline
 Co<void> ShootdownEngine::HandleFlushIrq(SimCpu& cpu) {
   ScopedCycleTimer timer(HistFor(hb_flush_irq_cycles_, h_flush_irq_cycles_, cpu.id()), &cpu);
   c_flush_irqs_->Inc(cpu.id());

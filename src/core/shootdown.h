@@ -78,7 +78,7 @@ class ShootdownEngine final : public TlbFlushBackend {
 
   // Summed over banks (one bank — the legacy flat counters — by default).
   Stats stats() const;
-  void ResetStats() {
+  void ResetStats() {  // tlblint: setup — between runs, engine quiescent
     for (Stats& b : banks_) {
       b = Stats{};
     }
@@ -138,11 +138,13 @@ class ShootdownEngine final : public TlbFlushBackend {
   // tlbcheck sink (null when checking is off); shared with the kernel.
   ProtocolCheckSink* chk() const { return kernel_->check_sink(); }
 
+  // tlblint: shard-local — resolves into the acting cpu's own bank
   Stats& StatsFor(const SimCpu& cpu) {
     if (banks_.size() == 1) return banks_[0];
     size_t b = static_cast<size_t>(cpu.id()) / static_cast<size_t>(cpus_per_bank_);
     return banks_[b < banks_.size() ? b : banks_.size() - 1];
   }
+  // tlblint: shard-local — resolves into the acting cpu's own bank
   Histogram* HistFor(const std::vector<Histogram*>& banked, Histogram* flat, int cpu_id) const {
     if (banked.empty()) return flat;
     size_t b = static_cast<size_t>(cpu_id) / static_cast<size_t>(cpus_per_bank_);
@@ -150,7 +152,7 @@ class ShootdownEngine final : public TlbFlushBackend {
   }
 
   Kernel* kernel_;
-  std::vector<Stats> banks_{1};
+  std::vector<Stats> banks_{1};  // tlblint: banked(socket)
   int cpus_per_bank_ = 1 << 30;
   bool require_confined_ = false;
   FaultInjection inject_;
@@ -165,9 +167,9 @@ class ShootdownEngine final : public TlbFlushBackend {
   PerCpuCounter* c_initiated_ = nullptr;     // shootdown.initiated
   PerCpuCounter* c_flush_irqs_ = nullptr;    // shootdown.flush_irqs
   // Per-socket variants ("<name>.socket<k>"), protocol-shard mode only.
-  std::vector<Histogram*> hb_initiator_cycles_;
-  std::vector<Histogram*> hb_flush_irq_cycles_;
-  std::vector<Histogram*> hb_targets_;
+  std::vector<Histogram*> hb_initiator_cycles_;  // tlblint: banked(socket)
+  std::vector<Histogram*> hb_flush_irq_cycles_;  // tlblint: banked(socket)
+  std::vector<Histogram*> hb_targets_;           // tlblint: banked(socket)
 };
 
 }  // namespace tlbsim

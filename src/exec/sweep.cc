@@ -21,12 +21,13 @@ void SweepRunner::AwaitAll(Fanin* fanin, size_t n) {
     // on this thread instead of blocking — the no-deadlock guarantee.
     while (pool_->RunOneTask()) {
     }
-    std::unique_lock<std::mutex> lk(fanin->mu);
+    MutexLock lk(fanin->mu);
     if (fanin->done == n) {
       return;
     }
-    fanin->cv.wait_for(lk, std::chrono::milliseconds(1),
-                       [fanin, n] { return fanin->done == n; });
+    // Wake on completions, or after 1ms to go help with queued jobs again
+    // (a spurious wakeup just reaches the helping loop early — harmless).
+    fanin->cv.WaitFor(lk, std::chrono::milliseconds(1));
     if (fanin->done == n) {
       return;
     }
@@ -34,7 +35,7 @@ void SweepRunner::AwaitAll(Fanin* fanin, size_t n) {
 }
 
 void SweepRunner::Account(size_t jobs, double wall_seconds, double job_seconds) {
-  std::lock_guard<std::mutex> lk(stats_mu_);
+  MutexLock lk(stats_mu_);
   stats_.threads = threads_;
   stats_.jobs += jobs;
   stats_.wall_seconds += wall_seconds;
@@ -42,11 +43,7 @@ void SweepRunner::Account(size_t jobs, double wall_seconds, double job_seconds) 
 }
 
 Json SweepRunner::HostJson() const {
-  SweepStats s;
-  {
-    std::lock_guard<std::mutex> lk(stats_mu_);
-    s = stats_;
-  }
+  SweepStats s = stats();
   Json h = Json::Object();
   h["threads"] = s.threads;
   h["jobs"] = s.jobs;

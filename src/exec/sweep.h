@@ -30,16 +30,16 @@
 #define TLBSIM_SRC_EXEC_SWEEP_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <utility>
 #include <vector>
 
+#include "src/base/mutex.h"
+#include "src/base/thread_annotations.h"
 #include "src/exec/thread_pool.h"
 #include "src/sim/json.h"
 
@@ -75,8 +75,12 @@ class SweepRunner {
   template <typename R>
   std::vector<R> Run(std::vector<std::function<R()>> jobs);
 
-  // Stats accumulated across every Run() on this runner.
-  const SweepStats& stats() const { return stats_; }
+  // Stats accumulated across every Run() on this runner (copied out under
+  // the lock: concurrent nested Run() calls may be accounting).
+  SweepStats stats() const {
+    MutexLock lk(stats_mu_);
+    return stats_;
+  }
 
   // {"threads": N, "jobs": J, "wall_seconds": W, "job_seconds": S,
   //  "parallel_speedup": S/W} — the report-layer "host" section.
@@ -86,10 +90,10 @@ class SweepRunner {
   using Clock = std::chrono::steady_clock;
 
   struct Fanin {  // one per Run() call; jobs signal completion here
-    std::mutex mu;
-    std::condition_variable cv;
-    size_t done = 0;
-    double job_seconds = 0.0;
+    Mutex mu;
+    CondVar cv;
+    size_t done GUARDED_BY(mu) = 0;
+    double job_seconds GUARDED_BY(mu) = 0.0;
   };
 
   ThreadPool* EnsurePool();
@@ -102,8 +106,8 @@ class SweepRunner {
 
   int threads_;
   std::unique_ptr<ThreadPool> pool_;  // created on first parallel Run()
-  mutable std::mutex stats_mu_;       // Run() may be entered from a job
-  SweepStats stats_;
+  mutable Mutex stats_mu_;            // Run() may be entered from a job
+  SweepStats stats_ GUARDED_BY(stats_mu_);
 };
 
 template <typename R>
@@ -139,10 +143,10 @@ std::vector<R> SweepRunner::Run(std::vector<std::function<R()>> jobs) {
           *error = std::current_exception();
         }
         double secs = Seconds(j0, Clock::now());
-        std::lock_guard<std::mutex> lk(fi->mu);
+        MutexLock lk(fi->mu);
         fi->job_seconds += secs;
         ++fi->done;
-        fi->cv.notify_all();
+        fi->cv.NotifyAll();
       });
     }
     AwaitAll(&fanin, n);

@@ -1,6 +1,6 @@
 #include "src/exec/thread_pool.h"
 
-#include <chrono>
+#include <chrono>  // det-ok: wait timeout duration only; no clock reads
 #include <memory>
 #include <utility>
 
@@ -38,10 +38,10 @@ ThreadPool::ThreadPool(int workers) {
 ThreadPool::~ThreadPool() {
   Drain();
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     stop_ = true;
   }
-  work_ready_.notify_all();
+  work_ready_.NotifyAll();
   for (std::thread& t : threads_) {
     t.join();
   }
@@ -54,20 +54,26 @@ void ThreadPool::Submit(InlineFn task) {
   } else if (threads_.empty()) {
     qi = 0;  // no workers: everything lands in the overflow slot
   } else {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     qi = next_submit_++ % threads_.size();
   }
   {
-    Queue& q = *queues_[qi];
-    std::lock_guard<std::mutex> lk(q.mu);
-    q.tasks.push_back(std::move(task));
-  }
-  {
-    std::lock_guard<std::mutex> lk(mu_);
+    // Account BEFORE publishing: the moment the task is visible in a deque,
+    // an already-awake worker may steal and complete it. Publishing first
+    // let that worker's decrements race ahead of these increments,
+    // transiently wrapping queued_/unfinished_ to SIZE_MAX — a busy-wait
+    // burst in WorkerLoop (whose idle predicate reads queued_ > 0) and a
+    // spurious non-zero pending() until the counts caught back up.
+    MutexLock lk(mu_);
     ++unfinished_;
     ++queued_;
   }
-  work_ready_.notify_one();
+  {
+    Queue& q = *queues_[qi];
+    MutexLock lk(q.mu);
+    q.tasks.push_back(std::move(task));
+  }
+  work_ready_.NotifyOne();
 }
 
 bool ThreadPool::PopTask(int self, InlineFn* out) {
@@ -75,7 +81,7 @@ bool ThreadPool::PopTask(int self, InlineFn* out) {
   {
     // Own deque first, oldest task first.
     Queue& q = *queues_[static_cast<size_t>(self)];
-    std::lock_guard<std::mutex> lk(q.mu);
+    MutexLock lk(q.mu);
     if (!q.tasks.empty()) {
       *out = std::move(q.tasks.front());
       q.tasks.pop_front();
@@ -85,7 +91,7 @@ bool ThreadPool::PopTask(int self, InlineFn* out) {
   for (size_t i = 1; !found && i < queues_.size(); ++i) {
     // Steal from the opposite end of a victim's deque.
     Queue& q = *queues_[(static_cast<size_t>(self) + i) % queues_.size()];
-    std::lock_guard<std::mutex> lk(q.mu);
+    MutexLock lk(q.mu);
     if (!q.tasks.empty()) {
       *out = std::move(q.tasks.back());
       q.tasks.pop_back();
@@ -95,7 +101,7 @@ bool ThreadPool::PopTask(int self, InlineFn* out) {
   if (!found) {
     return false;
   }
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   --queued_;
   return true;
 }
@@ -104,9 +110,9 @@ void ThreadPool::RunTask(InlineFn task) {
   // Contract: tasks do not throw. SweepRunner wraps every job in a
   // catch-all; a throwing raw Submit() task would strand unfinished_.
   task();
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   if (--unfinished_ == 0) {
-    all_done_.notify_all();
+    all_done_.NotifyAll();
   }
 }
 
@@ -119,8 +125,10 @@ void ThreadPool::WorkerLoop(int self) {
       RunTask(std::move(task));
       continue;
     }
-    std::unique_lock<std::mutex> lk(mu_);
-    work_ready_.wait(lk, [this] { return stop_ || queued_ > 0; });
+    MutexLock lk(mu_);
+    while (!stop_ && queued_ == 0) {
+      work_ready_.Wait(lk);
+    }
     if (stop_ && queued_ == 0) {
       return;
     }
@@ -138,7 +146,7 @@ bool ThreadPool::RunOneTask() {
 }
 
 size_t ThreadPool::pending() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return unfinished_;
 }
 
@@ -146,13 +154,14 @@ void ThreadPool::Drain() {
   for (;;) {
     while (RunOneTask()) {
     }
-    std::unique_lock<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     if (unfinished_ == 0) {
       return;
     }
     // In-flight tasks may submit more work; wake periodically to help.
-    all_done_.wait_for(lk, std::chrono::milliseconds(1),
-                       [this] { return unfinished_ == 0 || queued_ > 0; });
+    while (unfinished_ != 0 && queued_ == 0) {
+      all_done_.WaitFor(lk, std::chrono::milliseconds(1));
+    }
     if (unfinished_ == 0) {
       return;
     }

@@ -21,14 +21,14 @@
 #ifndef TLBSIM_SRC_EXEC_THREAD_POOL_H_
 #define TLBSIM_SRC_EXEC_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "src/base/mutex.h"
+#include "src/base/thread_annotations.h"
 #include "src/sim/engine.h"
 #include "src/sim/inline_fn.h"
 
@@ -70,10 +70,12 @@ class ThreadPool {
  private:
   // One deque per worker slot plus one overflow slot for external submitters
   // (index workers()). The owner pops the front of its own deque; everyone
-  // else steals from the back.
+  // else steals from the back. Every slot — the overflow queue included —
+  // follows the same statically-checked discipline: `tasks` is only touched
+  // under `mu`.
   struct Queue {
-    mutable std::mutex mu;
-    std::deque<InlineFn> tasks;
+    mutable Mutex mu;
+    std::deque<InlineFn> tasks GUARDED_BY(mu);
   };
 
   void WorkerLoop(int self);
@@ -83,13 +85,13 @@ class ThreadPool {
   std::vector<std::unique_ptr<Queue>> queues_;
   std::vector<std::thread> threads_;
 
-  mutable std::mutex mu_;                // guards unfinished_ + stop_
-  std::condition_variable work_ready_;   // workers sleep here when idle
-  std::condition_variable all_done_;     // ~ThreadPool/Drain wait here
-  size_t unfinished_ = 0;                // submitted but not yet completed
-  size_t queued_ = 0;                    // sitting in a deque right now
-  size_t next_submit_ = 0;               // round-robin cursor for Submit()
-  bool stop_ = false;
+  mutable Mutex mu_;            // guards the counters + stop_ below
+  CondVar work_ready_;          // workers sleep here when idle
+  CondVar all_done_;            // ~ThreadPool/Drain wait here
+  size_t unfinished_ GUARDED_BY(mu_) = 0;  // submitted, not yet completed
+  size_t queued_ GUARDED_BY(mu_) = 0;      // sitting in a deque right now
+  size_t next_submit_ GUARDED_BY(mu_) = 0; // round-robin cursor for Submit()
+  bool stop_ GUARDED_BY(mu_) = false;
 };
 
 // Adapts ThreadPool to the engine's host-parallelism hook. The sim layer

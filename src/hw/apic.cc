@@ -18,6 +18,7 @@ Cycles Apic::WireLatency(int from, int to) const {
   return costs_->ipi_wire_cross_socket;
 }
 
+// tlblint: setup — single-threaded Machine construction
 void Apic::ConfigureBanks(int banks, int cpus_per_bank) {
   if (banks < 1) banks = 1;
   if (cpus_per_bank < 1) cpus_per_bank = 1;
@@ -33,6 +34,7 @@ void Apic::ConfigureBanks(int banks, int cpus_per_bank) {
   }
 }
 
+// tlblint: setup — aggregation between runs, engine quiescent
 Apic::Stats Apic::stats() const {
   Stats sum;
   for (const Stats& b : banks_) {

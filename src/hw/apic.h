@@ -58,7 +58,7 @@ class Apic {
   };
   // Summed over banks (one bank — the legacy flat counters — by default).
   Stats stats() const;
-  void ResetStats() {
+  void ResetStats() {  // tlblint: setup — between runs, engine quiescent
     for (Stats& b : banks_) {
       b = Stats{};
     }
@@ -73,11 +73,13 @@ class Apic {
  private:
   Cycles WireLatency(int from, int to) const;
   void Deliver(SimCpu& sender, int target, int vector);
+  // tlblint: shard-local — resolves into the sending cpu's own bank
   Stats& BankFor(int cpu) {
     if (banks_.size() == 1) return banks_[0];
     size_t b = static_cast<size_t>(cpu) / static_cast<size_t>(cpus_per_bank_);
     return banks_[b < banks_.size() ? b : banks_.size() - 1];
   }
+  // tlblint: shard-local — resolves into the sending cpu's own bank
   Histogram* WireHistFor(int cpu) {
     if (wire_hists_.empty()) return wire_hist_;
     size_t b = static_cast<size_t>(cpu) / static_cast<size_t>(cpus_per_bank_);
@@ -90,11 +92,11 @@ class Apic {
   std::vector<SimCpu*> cpus_;
   bool use_multicast_ = true;
   bool shard_delivery_ = false;
-  std::vector<Stats> banks_{1};
+  std::vector<Stats> banks_{1};         // tlblint: banked(socket)
   int cpus_per_bank_ = 1 << 30;
   MetricsRegistry* metrics_ = nullptr;
   Histogram* wire_hist_ = nullptr;
-  std::vector<Histogram*> wire_hists_;  // per-socket, protocol-shard mode only
+  std::vector<Histogram*> wire_hists_;  // tlblint: banked(socket) per-socket, shard mode only
 };
 
 }  // namespace tlbsim

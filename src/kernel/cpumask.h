@@ -44,6 +44,7 @@ class SocketMask {
 
   int cpus_per_socket() const { return cpus_per_socket_; }
 
+  // tlblint: shard-local — or-in runs inside the owning mm's shard window
   void set(size_t cpu) {
     size_t w = cpu / static_cast<size_t>(cpus_per_socket_);
     assert(w < kMaxWords);
@@ -51,6 +52,7 @@ class SocketMask {
     summary_ |= 1u << w;
   }
 
+  // tlblint: shard-local — and-clear runs inside the acking cpu's shard window
   void reset(size_t cpu) {
     size_t w = cpu / static_cast<size_t>(cpus_per_socket_);
     assert(w < kMaxWords);
@@ -60,12 +62,14 @@ class SocketMask {
     }
   }
 
+  // tlblint: shard-local
   bool test(size_t cpu) const {
     size_t w = cpu / static_cast<size_t>(cpus_per_socket_);
     assert(w < kMaxWords);
     return (words_[w] >> (cpu % static_cast<size_t>(cpus_per_socket_))) & 1;
   }
 
+  // tlblint: shard-local
   size_t count() const {
     size_t n = 0;
     for (uint32_t s = summary_; s != 0; s &= s - 1) {
@@ -74,11 +78,11 @@ class SocketMask {
     return n;
   }
 
-  bool any() const { return summary_ != 0; }
-  bool none() const { return summary_ == 0; }
+  bool any() const { return summary_ != 0; }    // tlblint: shard-local
+  bool none() const { return summary_ == 0; }   // tlblint: shard-local
 
   // The socket word holding `cpu`'s bit (observability / tests).
-  uint64_t SocketWord(int socket) const {
+  uint64_t SocketWord(int socket) const {  // tlblint: setup — tests/snapshots only
     assert(socket >= 0 && socket < kMaxWords);
     return words_[socket];
   }
@@ -87,6 +91,7 @@ class SocketMask {
   // when empty). Meaningful as a *socket* only under the kernel-installed
   // topology shape; protocol sharding keys off this to decide whether a
   // shootdown is socket-confined.
+  // tlblint: shard-local — sharding decision made by the initiating window
   int OnlySocket() const {
     if (summary_ == 0 || (summary_ & (summary_ - 1)) != 0) {
       return -1;
@@ -98,7 +103,7 @@ class SocketMask {
   // the flat scan produced, so target lists (and therefore every downstream
   // event sequence) are unchanged.
   template <typename Fn>
-  void ForEachSet(Fn&& fn) const {
+  void ForEachSet(Fn&& fn) const {  // tlblint: shard-local
     for (uint32_t s = summary_; s != 0; s &= s - 1) {
       int w = __builtin_ctz(s);
       uint64_t bits = words_[w];
@@ -111,8 +116,8 @@ class SocketMask {
   }
 
  private:
-  uint64_t words_[kMaxWords] = {};
-  uint32_t summary_ = 0;         // bit per non-empty socket word
+  uint64_t words_[kMaxWords] = {};  // tlblint: banked(socket)
+  uint32_t summary_ = 0;            // tlblint: banked(socket) bit per non-empty socket word
   int cpus_per_socket_;
 };
 

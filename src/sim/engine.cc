@@ -16,6 +16,9 @@ Engine::Engine() {
 }
 
 void Engine::ConfigureSharding(ShardPlan plan) {
+  // Single-threaded setup: no windows have run, so the caller's thread is
+  // the coordinator and owns every queue it is about to create.
+  main_queue_->cap.AssertHeld();
   // Quiescent, not necessarily fresh: a setup phase may have run serially
   // (and advanced the clock) as long as no event is pending when the queues
   // split — new shards inherit the serial clock so causality holds.
@@ -31,11 +34,13 @@ void Engine::ConfigureSharding(ShardPlan plan) {
   queues_.reserve(static_cast<size_t>(nq));
   for (int i = 1; i < nq; ++i) {
     auto q = std::make_unique<Queue>();
+    q->cap.AssertHeld();  // freshly built, visible only to this thread
     q->index = i;
     q->now = main_queue_->now;
     queues_.push_back(std::move(q));
   }
   for (auto& qp : queues_) {
+    qp->cap.AssertHeld();  // still single-threaded setup
     qp->track_mailed = true;
     qp->next_pair_seq.assign(static_cast<size_t>(nq), 1);
     qp->drained_seq.assign(static_cast<size_t>(nq), 0);
@@ -53,6 +58,9 @@ void Engine::ConfigureSharding(ShardPlan plan) {
 
 Engine::EventId Engine::Schedule(Cycles at, InlineFn fn) {
   Queue& q = CurrentQueue();
+  // The current timeline's window belongs to this thread: RunWindow's tls
+  // hand-off inside windows, coordinator ownership outside them.
+  q.cap.AssertHeld();
   uint32_t slot = AllocSlot(q);
   FnAt(q, slot) = std::move(fn);
   return Enqueue(q, at, slot);
@@ -61,7 +69,11 @@ Engine::EventId Engine::Schedule(Cycles at, InlineFn fn) {
 Engine::EventId Engine::ScheduleOnCpu(int cpu, Cycles at, InlineFn fn) {
   Queue& dst = QueueForCpu(cpu);
   Queue& cur = CurrentQueue();
+  // Window ownership as in Schedule(); see the template overload.
+  cur.cap.AssertHeld();
   if (&dst == &cur || !in_parallel_phase_) {
+    // Outside a parallel phase the coordinator owns every queue's window.
+    dst.cap.AssertHeld();
     if (&dst != &cur && at < dst.now) {
       at = dst.now;  // lookahead-contract violator: clamp, never time-travel
       ++dst.clamped;
@@ -122,7 +134,11 @@ Engine::EventId Engine::MailSchedule(Queue& src, Queue& dst, Cycles at, InlineFn
   m.at = at;
   m.seq = seq;
   m.fn = std::move(fn);
-  MailboxFor(src.index, dst.index).Push(std::move(m));
+  SpscMailbox<CrossMsg>& mb = MailboxFor(src.index, dst.index);
+  // The window barrier hands every mailbox out of src to the host thread
+  // running src's window (this one — the caller holds src.cap).
+  mb.producer_side().AssertHeld();
+  mb.Push(std::move(m));
   return MakeMailedId(src.index, dst.index, seq);
 }
 
@@ -130,7 +146,10 @@ void Engine::MailCancel(Queue& src, Queue& dst, EventId victim) {
   ++src.cross_cancels;
   CrossMsg m;
   m.cancel_id = victim;
-  MailboxFor(src.index, dst.index).Push(std::move(m));
+  SpscMailbox<CrossMsg>& mb = MailboxFor(src.index, dst.index);
+  // Producer end owned by src's window thread, as in MailSchedule.
+  mb.producer_side().AssertHeld();
+  mb.Push(std::move(m));
 }
 
 void Engine::Cancel(EventId id) {
@@ -144,7 +163,11 @@ void Engine::Cancel(EventId id) {
     }
     Queue& qd = *queues_[static_cast<size_t>(dst)];
     Queue& cur = CurrentQueue();
+    // Window ownership as in Schedule(); the caller's timeline is ours.
+    cur.cap.AssertHeld();
     if (!in_parallel_phase_ || &qd == &cur) {
+      // Same timeline, or coordinator context owning every queue.
+      qd.cap.AssertHeld();
       ApplyCancel(qd, id);
     } else {
       MailCancel(cur, qd, id);
@@ -157,7 +180,11 @@ void Engine::Cancel(EventId id) {
   }
   Queue& q = *queues_[static_cast<size_t>(qi)];
   Queue& cur = CurrentQueue();
+  // Window ownership as in Schedule(); the caller's timeline is ours.
+  cur.cap.AssertHeld();
   if (!in_parallel_phase_ || &q == &cur) {
+    // Same timeline, or coordinator context owning every queue.
+    q.cap.AssertHeld();
     CancelLocal(q, id);
   } else {
     MailCancel(cur, q, id);
@@ -282,6 +309,11 @@ void Engine::Step(Queue& q) {
 void Engine::RunWindow(Queue& q, Cycles bound) {
   Queue* prev = tls_queue_;
   tls_queue_ = &q;
+  // Barrier-transferred ownership: between the Submit that scheduled this
+  // call and the executor Drain that follows it, this host thread is the
+  // only one touching q (RunParallelPhase hands each queue to exactly one
+  // task per round; inline callers are the coordinator itself).
+  q.cap.Acquire();
   q.window_first_send = kNever;
   // The dynamic limit: once this queue performs a cross-shard send at
   // virtual time f, it must not run past f + lookahead — a contract-
@@ -299,6 +331,7 @@ void Engine::RunWindow(Queue& q, Cycles bound) {
       }
     }
   }
+  q.cap.Release();
   tls_queue_ = prev;
 }
 
@@ -313,6 +346,9 @@ bool Engine::RunParallelPhase(Cycles deadline) {
     Cycles m1 = kNever;
     Cycles m2 = kNever;
     for (const auto& qp : queues_) {
+      // Between barriers every worker is parked in the executor, so the
+      // coordinator owns every queue's window.
+      qp->cap.AssertHeld();
       if (qp->heap.empty()) {
         continue;
       }
@@ -340,6 +376,10 @@ bool Engine::RunParallelPhase(Cycles deadline) {
     int shard_jobs = 0;
     for (size_t i = 1; i < nq; ++i) {
       Queue& q = *queues_[i];
+      // Safe pre-submit read: q's own window task has not been handed out
+      // yet this round, and other queues' windows never touch q (cross-
+      // shard traffic rides the mailboxes).
+      q.cap.AssertHeld();
       if (q.heap.empty()) {
         continue;
       }
@@ -357,6 +397,7 @@ bool Engine::RunParallelPhase(Cycles deadline) {
       }
     }
     Queue& q0 = *main_queue_;
+    q0.cap.AssertHeld();  // q0's window only ever runs on the coordinator
     if (!q0.heap.empty() && q0.heap[0].at < bound) {
       RunWindow(q0, bound);  // the coordinator participates
     }
@@ -367,6 +408,7 @@ bool Engine::RunParallelPhase(Cycles deadline) {
     DrainMailboxes();
     size_t pending = 0;
     for (size_t i = 1; i < nq; ++i) {
+      queues_[i]->cap.AssertHeld();  // post-Drain: coordinator owns all
       pending += queues_[i]->heap.size();
     }
     parallel_pending_ = pending;
@@ -377,6 +419,7 @@ bool Engine::RunParallelPhase(Cycles deadline) {
   }
   size_t pending = 0;
   for (size_t i = 1; i < nq; ++i) {
+    queues_[i]->cap.AssertHeld();  // post-Drain: coordinator owns all
     pending += queues_[i]->heap.size();
   }
   parallel_pending_ = pending;
@@ -388,12 +431,19 @@ void Engine::DrainMailboxes() {
   const size_t nq = queues_.size();
   for (size_t dst = 0; dst < nq; ++dst) {
     Queue& qd = *queues_[dst];
+    // Runs only at the window barrier (after executor Drain): the
+    // coordinator owns every queue and both ends of every mailbox.
+    qd.cap.AssertHeld();
     bool any = false;
     for (size_t src = 0; src < nq; ++src) {
       if (src == dst) {
         continue;
       }
-      MailboxFor(static_cast<int>(src), static_cast<int>(dst)).Drain([&](CrossMsg m) {
+      SpscMailbox<CrossMsg>& mb = MailboxFor(static_cast<int>(src), static_cast<int>(dst));
+      mb.producer_side().AssertHeld();  // producers parked at the barrier
+      mb.consumer_side().AssertHeld();  // draining is the coordinator's job
+      mb.Drain([&](CrossMsg m) {
+        qd.cap.AssertHeld();  // lambda body runs inline under the barrier
         any = true;
         if (m.cancel_id != kInvalidEvent) {
           ApplyCancel(qd, m.cancel_id);
@@ -462,6 +512,9 @@ void Engine::ApplyCancel(Queue& dst, EventId victim) {
 
 Cycles Engine::Run() {
   Queue& q0 = *main_queue_;
+  // Outside parallel phases the calling thread is the only one running the
+  // engine, so it owns every queue's window.
+  q0.cap.AssertHeld();
   if (!sharded()) {
     while (!q0.heap.empty()) {
       Step(q0);
@@ -479,6 +532,7 @@ Cycles Engine::Run() {
   }
   Cycles end = q0.now;
   for (const auto& qp : queues_) {
+    qp->cap.AssertHeld();  // quiescent engine: coordinator owns all
     end = std::max(end, qp->now);
   }
   return end;
@@ -486,6 +540,9 @@ Cycles Engine::Run() {
 
 bool Engine::RunUntil(Cycles deadline) {
   Queue& q0 = *main_queue_;
+  // Outside parallel phases the calling thread is the only one running the
+  // engine, so it owns every queue's window.
+  q0.cap.AssertHeld();
   if (!sharded()) {
     while (!q0.heap.empty() && q0.heap[0].at <= deadline) {
       Step(q0);
@@ -511,6 +568,7 @@ bool Engine::RunUntil(Cycles deadline) {
     return true;
   }
   for (const auto& qp : queues_) {
+    qp->cap.AssertHeld();  // between phases: coordinator owns all
     qp->now = std::max(qp->now, deadline);
   }
   return false;
@@ -519,6 +577,7 @@ bool Engine::RunUntil(Cycles deadline) {
 uint64_t Engine::events_processed() const {
   uint64_t total = 0;
   for (const auto& qp : queues_) {
+    qp->cap.AssertHeld();  // called between runs: coordinator owns all
     total += qp->events_processed;
   }
   return total;
@@ -526,6 +585,7 @@ uint64_t Engine::events_processed() const {
 
 bool Engine::empty() const {
   for (const auto& qp : queues_) {
+    qp->cap.AssertHeld();  // called between phases: coordinator owns all
     if (!qp->heap.empty()) {
       return false;
     }
@@ -536,6 +596,7 @@ bool Engine::empty() const {
 size_t Engine::size() const {
   size_t n = 0;
   for (const auto& qp : queues_) {
+    qp->cap.AssertHeld();  // called between phases: coordinator owns all
     n += qp->heap.size();
   }
   return n;
@@ -548,6 +609,7 @@ Engine::ParallelStats Engine::parallel_stats() const {
   s.horizon_stalls = stat_horizon_stalls_;
   for (size_t i = 0; i < queues_.size(); ++i) {
     const Queue& q = *queues_[i];
+    q.cap.AssertHeld();  // called between runs: coordinator owns all
     if (i != 0) {
       s.parallel_events += q.events_processed;
     }
@@ -556,6 +618,7 @@ Engine::ParallelStats Engine::parallel_stats() const {
     s.clamped_deliveries += q.clamped;
   }
   for (const auto& mb : mail_) {
+    mb->producer_side().AssertHeld();  // quiescent engine: no producer active
     s.mailbox_overflows += mb->overflowed();
     s.mailbox_high_water = std::max<uint64_t>(s.mailbox_high_water, mb->high_water());
   }

@@ -60,12 +60,29 @@
 #include <utility>
 #include <vector>
 
+#include "src/base/thread_annotations.h"
 #include "src/sim/inline_fn.h"
 #include "src/sim/mailbox.h"
 #include "src/sim/task.h"
 #include "src/sim/time.h"
 
 namespace tlbsim {
+
+// Ownership token for one event queue's window: the right to run, mutate
+// and read that queue's event state. Zero runtime cost. Exactly one host
+// thread holds a given queue's token at any instant — either the thread
+// RunWindow() assigned the queue to (the ThreadPool::Drain barrier is the
+// hand-off edge), or the coordinator, which owns every queue outside
+// parallel phases. Engine functions that touch per-queue state carry
+// REQUIRES(q.cap); contexts whose ownership comes from a barrier rather
+// than a call chain re-establish it with AssertHeld() plus a comment naming
+// the barrier. See docs/CHECKING.md § Static analysis.
+class CAPABILITY("engine queue window") WindowCap {
+ public:
+  void Acquire() const ACQUIRE(this) {}
+  void Release() const RELEASE(this) {}
+  void AssertHeld() const ASSERT_CAPABILITY(this) {}
+};
 
 class Engine {
  public:
@@ -137,6 +154,9 @@ class Engine {
             typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, InlineFn>>>
   EventId Schedule(Cycles at, F&& f) {
     Queue& q = CurrentQueue();
+    // The current timeline's window belongs to this thread: RunWindow's tls
+    // hand-off inside windows, coordinator ownership outside them.
+    q.cap.AssertHeld();
     uint32_t slot = AllocSlot(q);
     FnAt(q, slot).Emplace(std::forward<F>(f));
     return Enqueue(q, at, slot);
@@ -163,11 +183,16 @@ class Engine {
   EventId ScheduleOnCpu(int cpu, Cycles at, F&& f) {
     Queue& dst = QueueForCpu(cpu);
     Queue& cur = CurrentQueue();
+    // The current timeline's window belongs to this thread (tls hand-off in
+    // RunWindow; the coordinator owns queue 0 outside parallel phases).
+    cur.cap.AssertHeld();
     if (&dst == &cur || !in_parallel_phase_) {
       // Direct insert (same timeline, or coordinator context with every
       // other thread parked). A foreign queue's clock may already sit past
       // `at` — possible only for lookahead-contract violators — so clamp
       // forward rather than scheduling into its past.
+      // Outside a parallel phase the coordinator owns every queue's window.
+      dst.cap.AssertHeld();
       if (&dst != &cur && at < dst.now) {
         at = dst.now;
         ++dst.clamped;
@@ -202,7 +227,13 @@ class Engine {
   // the running queue's clock from inside an event.
   Cycles now() const {
     const Queue* q = tls_queue_;
-    return (q != nullptr ? q : main_queue_)->now;
+    if (q == nullptr) {
+      q = main_queue_;
+    }
+    // Reading one's own window's clock (tls hand-off in RunWindow), or the
+    // serial clock from the coordinator, which owns it outside windows.
+    q->cap.AssertHeld();
+    return q->now;
   }
 
   uint64_t events_processed() const;
@@ -252,41 +283,44 @@ class Engine {
 
   // One event queue: the serial timeline (index 0) or a shard. Everything a
   // window touches is confined here, so shard windows share no mutable
-  // engine state with each other.
+  // engine state with each other — and every mutable member below is
+  // GUARDED_BY(cap), so clang rejects new code that reaches into a queue
+  // without owning its window.
   struct Queue {
-    int index = 0;
-    std::vector<HeapItem> heap;  // 4-ary min-heap by (at, seq)
+    WindowCap cap;               // the window ownership token (zero-size)
+    int index = 0;               // fixed at ConfigureSharding; never racy
+    std::vector<HeapItem> heap GUARDED_BY(cap);  // 4-ary min-heap by (at, seq)
     // Callbacks, slot-indexed, in fixed-size chunks: addresses are stable
     // across pool growth, so Step() runs a callback directly from its slot
     // (no copy out) even if the callback schedules new events. The sift-path
     // bookkeeping lives in flat dense arrays instead, keeping heap
     // maintenance free of chunk chasing:
-    std::vector<std::unique_ptr<InlineFn[]>> chunks;
-    std::vector<int32_t> pos;    // slot -> heap index; -1: free or fired
-    std::vector<uint32_t> gen;   // slot -> generation; stale ids fail this
-    uint32_t pool_size = 0;      // slots handed out so far
-    std::vector<uint32_t> free;  // recycled pool slots (LIFO)
-    Cycles now = 0;
-    uint64_t next_seq = 1;
-    uint64_t events_processed = 0;
+    std::vector<std::unique_ptr<InlineFn[]>> chunks GUARDED_BY(cap);
+    std::vector<int32_t> pos GUARDED_BY(cap);    // slot -> heap index; -1: free or fired
+    std::vector<uint32_t> gen GUARDED_BY(cap);   // slot -> generation; stale ids fail this
+    uint32_t pool_size GUARDED_BY(cap) = 0;      // slots handed out so far
+    std::vector<uint32_t> free GUARDED_BY(cap);  // recycled pool slots (LIFO)
+    Cycles now GUARDED_BY(cap) = 0;
+    uint64_t next_seq GUARDED_BY(cap) = 1;
+    uint64_t events_processed GUARDED_BY(cap) = 0;
 
     // --- cross-shard bookkeeping (sharded mode only) ---
     // Set on every queue by ConfigureSharding; keeps the unsharded hot path
     // free of mailed-id maintenance.
     bool track_mailed = false;
     // Producer side: per-destination pair sequence counters and counters.
-    std::vector<uint64_t> next_pair_seq;  // dst queue -> next seq (1-based)
-    uint64_t cross_msgs = 0;
-    uint64_t cross_cancels = 0;
+    std::vector<uint64_t> next_pair_seq GUARDED_BY(cap);  // dst queue -> next seq (1-based)
+    uint64_t cross_msgs GUARDED_BY(cap) = 0;
+    uint64_t cross_cancels GUARDED_BY(cap) = 0;
     // Consumer side, all touched only under the window barrier:
-    std::vector<uint64_t> mailed_tag;     // slot -> mailed id (0: none)
-    std::unordered_map<uint64_t, EventId> mailed;  // mailed id -> direct id
-    std::unordered_set<uint64_t> pending_cancels;  // cancels that beat their victim
-    std::vector<uint64_t> drained_seq;    // src queue -> highest seq drained
-    uint64_t clamped = 0;                 // contract-violating sends delayed
+    std::vector<uint64_t> mailed_tag GUARDED_BY(cap);     // slot -> mailed id (0: none)
+    std::unordered_map<uint64_t, EventId> mailed GUARDED_BY(cap);  // mailed id -> direct id
+    std::unordered_set<uint64_t> pending_cancels GUARDED_BY(cap);  // cancels that beat their victim
+    std::vector<uint64_t> drained_seq GUARDED_BY(cap);    // src queue -> highest seq drained
+    uint64_t clamped GUARDED_BY(cap) = 0;                 // contract-violating sends delayed
     // Dynamic window limit support: virtual time of this queue's first
     // cross-shard send in the current window (kNever: none yet).
-    Cycles window_first_send = kNever;
+    Cycles window_first_send GUARDED_BY(cap) = kNever;
   };
 
   // Packed (at, seq) ordering key. A single 128-bit compare lets the sift
@@ -311,7 +345,7 @@ class Engine {
            (static_cast<EventId>(dst) << kPairSeqBits) | seq;
   }
 
-  static InlineFn& FnAt(Queue& q, uint32_t slot) {
+  static InlineFn& FnAt(Queue& q, uint32_t slot) REQUIRES(q.cap) {
     return q.chunks[slot >> kChunkShift][slot & (kChunkSize - 1)];
   }
 
@@ -334,21 +368,21 @@ class Engine {
 
   // Slot allocation and heap insertion, shared by the Schedule overloads.
   // The callable is filled into FnAt(q, slot) between the two calls.
-  static uint32_t AllocSlot(Queue& q);
-  EventId Enqueue(Queue& q, Cycles at, uint32_t slot);
+  static uint32_t AllocSlot(Queue& q) REQUIRES(q.cap);
+  EventId Enqueue(Queue& q, Cycles at, uint32_t slot) REQUIRES(q.cap);
 
   // Producer side of a cross-shard send/cancel (runs on src's host thread).
-  EventId MailSchedule(Queue& src, Queue& dst, Cycles at, InlineFn fn);
-  void MailCancel(Queue& src, Queue& dst, EventId victim);
+  EventId MailSchedule(Queue& src, Queue& dst, Cycles at, InlineFn fn) REQUIRES(src.cap);
+  void MailCancel(Queue& src, Queue& dst, EventId victim) REQUIRES(src.cap);
 
-  static void SiftUp(Queue& q, size_t i);
-  static void SiftDown(Queue& q, size_t i);
-  static void FreeSlot(Queue& q, uint32_t slot);
-  void RemoveAt(Queue& q, size_t i);
-  void CancelLocal(Queue& q, EventId id);
+  static void SiftUp(Queue& q, size_t i) REQUIRES(q.cap);
+  static void SiftDown(Queue& q, size_t i) REQUIRES(q.cap);
+  static void FreeSlot(Queue& q, uint32_t slot) REQUIRES(q.cap);
+  void RemoveAt(Queue& q, size_t i) REQUIRES(q.cap);
+  void CancelLocal(Queue& q, EventId id) REQUIRES(q.cap);
 
   // Pops and runs the next event. Precondition: q.heap non-empty.
-  void Step(Queue& q);
+  void Step(Queue& q) REQUIRES(q.cap);
 
   // Runs q's events with `at < bound`, shrinking the bound to
   // first_cross_send + lookahead so replies can never land in q's past.
@@ -362,8 +396,8 @@ class Engine {
 
   // Barrier-side message application (coordinator thread only).
   void DrainMailboxes();
-  void ApplyCrossSchedule(Queue& dst, int src, CrossMsg msg);
-  void ApplyCancel(Queue& dst, EventId victim);
+  void ApplyCrossSchedule(Queue& dst, int src, CrossMsg msg) REQUIRES(dst.cap);
+  void ApplyCancel(Queue& dst, EventId victim) REQUIRES(dst.cap);
 
   std::vector<std::unique_ptr<Queue>> queues_;  // [0]: serial; [1..]: shards
   Queue* main_queue_ = nullptr;                 // == queues_[0].get()

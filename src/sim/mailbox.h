@@ -13,6 +13,14 @@
 // producer. Because the ring is only drained at barriers, a full ring stays
 // full for the rest of the window, so spilled messages strictly follow the
 // ring's contents in send order — Drain() preserves global per-pair FIFO.
+//
+// The two roles are modeled as static capabilities (producer_side /
+// consumer_side): Push requires the producer side, Drain requires both —
+// the overflow spill and the drained-watermark bookkeeping it feeds are
+// producer-owned state that only a barrier makes safe to read, which is
+// exactly what "holds both sides" says. The tokens have no runtime cost;
+// the engine acquires them where the barrier transfers ownership (see
+// Engine::MailSchedule / Engine::DrainMailboxes).
 #ifndef TLBSIM_SRC_SIM_MAILBOX_H_
 #define TLBSIM_SRC_SIM_MAILBOX_H_
 
@@ -22,7 +30,21 @@
 #include <utility>
 #include <vector>
 
+#include "src/base/thread_annotations.h"
+
 namespace tlbsim {
+
+// Zero-size ownership token for one side of an SPSC channel. Acquire() /
+// Release() / AssertHeld() compile to nothing; they exist so the clang
+// thread-safety analysis can check that only the owning role touches that
+// side's state. Ownership is conferred by the window barrier, not a lock,
+// so acquisition sites carry the runtime justification in a comment.
+class CAPABILITY("spsc side") SpscSide {
+ public:
+  void Acquire() const ACQUIRE(this) {}
+  void Release() const RELEASE(this) {}
+  void AssertHeld() const ASSERT_CAPABILITY(this) {}
+};
 
 template <typename T>
 class SpscMailbox {
@@ -36,8 +58,15 @@ class SpscMailbox {
   SpscMailbox(const SpscMailbox&) = delete;
   SpscMailbox& operator=(const SpscMailbox&) = delete;
 
+  // The role tokens. The producer side covers Push and the overflow spill;
+  // the consumer side covers the ring drain. RETURN_CAPABILITY canonicalizes
+  // `mb.producer_side()` to the member itself in the analysis, so an
+  // AssertHeld() through the accessor satisfies the REQUIRES below.
+  const SpscSide& producer_side() const RETURN_CAPABILITY(producer_) { return producer_; }
+  const SpscSide& consumer_side() const RETURN_CAPABILITY(consumer_) { return consumer_; }
+
   // Producer side. Never blocks: a full ring spills to the overflow vector.
-  void Push(T msg) {
+  void Push(T msg) REQUIRES(producer_) {
     uint32_t h = head_.load(std::memory_order_relaxed);
     uint32_t t = tail_.load(std::memory_order_acquire);
     uint32_t occ = h - t + 1;
@@ -54,11 +83,12 @@ class SpscMailbox {
   }
 
   // Consumer side: applies `fn` to every message visible at entry, in send
-  // order, and returns how many were delivered. The overflow spill is only
-  // touched here under the window barrier (producer quiescent); a future
-  // concurrent drain must skip it until its own barrier.
+  // order, and returns how many were delivered. Requires BOTH sides: the
+  // overflow spill is producer-owned state, safe to move from only under
+  // the window barrier (producer quiescent). A future concurrent drain must
+  // drop to REQUIRES(consumer_) and skip the overflow until its own barrier.
   template <typename Fn>
-  size_t Drain(Fn&& fn) {
+  size_t Drain(Fn&& fn) REQUIRES(consumer_, producer_) {
     size_t n = 0;
     uint32_t h = head_.load(std::memory_order_acquire);
     uint32_t t = tail_.load(std::memory_order_relaxed);
@@ -76,26 +106,30 @@ class SpscMailbox {
     return n;
   }
 
-  // True when no message is buffered (barrier-synchronized callers only).
-  bool empty() const {
+  // True when no message is buffered. Reads the producer-owned overflow
+  // vector, so like Drain it is sound only with both sides held (barrier-
+  // synchronized callers) — previously an unstated convention, now checked.
+  bool empty() const REQUIRES(consumer_, producer_) {
     return head_.load(std::memory_order_acquire) == tail_.load(std::memory_order_acquire) &&
            overflow_.empty();
   }
 
   // Messages that missed the ring and took the overflow path (lifetime total).
-  uint64_t overflowed() const { return overflowed_; }
+  uint64_t overflowed() const REQUIRES(producer_) { return overflowed_; }
 
   // Peak ring occupancy ever observed at a push (lifetime; includes the
   // message being pushed). kCapacity+ means the overflow path was exercised.
-  uint32_t high_water() const { return high_water_; }
+  uint32_t high_water() const REQUIRES(producer_) { return high_water_; }
 
  private:
-  std::vector<T> ring_;
+  SpscSide producer_;
+  SpscSide consumer_;
+  std::vector<T> ring_;            // slots handed off head->tail; see Push/Drain
   std::atomic<uint32_t> head_{0};  // producer-owned
   std::atomic<uint32_t> tail_{0};  // consumer-owned
-  std::vector<T> overflow_;        // producer-owned between barriers
-  uint64_t overflowed_ = 0;        // producer-owned
-  uint32_t high_water_ = 0;        // producer-owned
+  std::vector<T> overflow_ GUARDED_BY(producer_);  // spill between barriers
+  uint64_t overflowed_ GUARDED_BY(producer_) = 0;
+  uint32_t high_water_ GUARDED_BY(producer_) = 0;
 };
 
 }  // namespace tlbsim

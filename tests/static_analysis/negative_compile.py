@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Negative-compile harness for the clang thread-safety annotations.
+
+Compiles each ts_*.cc snippet in this directory with the project compiler:
+
+  - clang: bad snippets (ts_* except ts_clean) MUST fail to compile with
+    -Wthread-safety -Werror=thread-safety, and the diagnostic must be a
+    thread-safety one (not some unrelated error); ts_clean.cc must compile.
+  - gcc (or any non-clang compiler): EVERY snippet must compile cleanly,
+    proving the annotation macros degrade to no-ops outside clang.
+
+Each bad snippet is one negative test: it must fire exactly one diagnostic
+class, so a regression that silently disables the analysis (or an macro
+change that breaks non-clang builds) turns the suite red.
+
+Usage: negative_compile.py --compiler CXX --compiler-id ID --src REPO_ROOT
+"""
+
+import argparse
+import os
+import subprocess
+import sys
+
+BAD = {
+    "ts_guarded_no_lock.cc": "requires holding mutex",
+    "ts_double_acquire.cc": "that is already held",
+    "ts_unlock_not_held.cc": "that was not held",
+}
+CLEAN = ("ts_clean.cc",)
+
+
+def compile_snippet(compiler, is_clang, src_root, path):
+    cmd = [compiler, "-std=c++20", "-I", src_root, "-fsyntax-only", path]
+    if is_clang:
+        cmd += ["-Wthread-safety", "-Werror=thread-safety"]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    return proc.returncode, proc.stderr
+
+
+def main(argv):
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--compiler", required=True)
+    ap.add_argument("--compiler-id", required=True)
+    ap.add_argument("--src", required=True, help="repo root (include path)")
+    args = ap.parse_args(argv[1:])
+
+    here = os.path.dirname(os.path.abspath(__file__))
+    is_clang = "clang" in args.compiler_id.lower()
+    failures = []
+
+    for name in sorted(BAD) + list(CLEAN):
+        path = os.path.join(here, name)
+        rc, err = compile_snippet(args.compiler, is_clang, args.src, path)
+        if name in CLEAN or not is_clang:
+            if rc != 0:
+                failures.append(f"{name}: expected clean compile "
+                                f"({args.compiler_id}), got rc={rc}:\n{err}")
+            else:
+                print(f"PASS {name}: compiles cleanly ({args.compiler_id})")
+            continue
+        # clang + bad snippet: must fail, with the right diagnostic.
+        if rc == 0:
+            failures.append(f"{name}: expected a thread-safety error under "
+                            "clang -Werror=thread-safety, but it compiled")
+        elif "thread-safety" not in err and BAD[name] not in err:
+            failures.append(f"{name}: failed for the wrong reason:\n{err}")
+        elif BAD[name] not in err:
+            failures.append(f"{name}: thread-safety error, but not the "
+                            f"expected one ('{BAD[name]}'):\n{err}")
+        else:
+            print(f"PASS {name}: rejected with expected diagnostic "
+                  f"('{BAD[name]}')")
+
+    if failures:
+        print("\n".join(f"FAIL {f}" for f in failures), file=sys.stderr)
+        return 1
+    print(f"negative-compile: OK ({len(BAD) + len(CLEAN)} snippets, "
+          f"compiler={args.compiler_id})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,55 @@
+// Positive-compile snippet: the annotated idioms the tree actually uses —
+// MutexLock over GUARDED_BY state, a zero-size capability token with
+// Acquire/Release for barrier-transferred ownership, and AssertHeld as the
+// documented escape for ownership the analysis cannot see. Must compile
+// cleanly under BOTH gcc (annotations are no-ops) and clang with
+// -Wthread-safety -Werror=thread-safety.
+#include "src/base/mutex.h"
+#include "src/base/thread_annotations.h"
+
+namespace {
+
+class CAPABILITY("token") Token {
+ public:
+  void Acquire() const ACQUIRE(this) {}
+  void Release() const RELEASE(this) {}
+  void AssertHeld() const ASSERT_CAPABILITY(this) {}
+};
+
+class Counter {
+ public:
+  void Inc() {
+    tlbsim::MutexLock lk(mu_);
+    ++value_;
+  }
+  int Get() const {
+    tlbsim::MutexLock lk(mu_);
+    return value_;
+  }
+  void WindowWrite() {
+    tok_.Acquire();
+    ++banked_;
+    tok_.Release();
+  }
+  void BarrierWrite() {
+    // Ownership established by an external barrier, not a lock.
+    tok_.AssertHeld();
+    ++banked_;
+  }
+
+ private:
+  mutable tlbsim::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+  Token tok_;
+  int banked_ GUARDED_BY(tok_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Inc();
+  c.WindowWrite();
+  c.BarrierWrite();
+  return c.Get();
+}

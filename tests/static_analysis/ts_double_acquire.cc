@@ -1,0 +1,14 @@
+// Negative-compile snippet: acquiring a capability that is already held
+// (self-deadlock). Clang: "acquiring mutex 'mu' that is already held".
+// Gcc must compile it cleanly (annotations are no-ops); the program is
+// never executed.
+#include "src/base/mutex.h"
+
+int main() {
+  tlbsim::Mutex mu;
+  mu.Lock();
+  mu.Lock();  // BAD: double acquire
+  mu.Unlock();
+  mu.Unlock();
+  return 0;
+}

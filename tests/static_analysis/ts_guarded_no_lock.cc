@@ -1,0 +1,31 @@
+// Negative-compile snippet: reading a GUARDED_BY member without holding its
+// mutex. Under clang -Wthread-safety -Werror=thread-safety this must NOT
+// compile ("reading variable 'value_' requires holding mutex 'mu_'"); under
+// gcc the annotations are no-ops and the snippet must compile cleanly —
+// both directions are asserted by negative_compile.py.
+#include "src/base/mutex.h"
+#include "src/base/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Inc() {
+    tlbsim::MutexLock lk(mu_);
+    ++value_;
+  }
+  // BAD: reads value_ with no lock held.
+  int Get() const { return value_; }
+
+ private:
+  mutable tlbsim::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Inc();
+  return c.Get();
+}

@@ -1,0 +1,10 @@
+// Negative-compile snippet: releasing a capability that is not held.
+// Clang: "releasing mutex 'mu' that was not held". Gcc must compile it
+// cleanly (annotations are no-ops); the program is never executed.
+#include "src/base/mutex.h"
+
+int main() {
+  tlbsim::Mutex mu;
+  mu.Unlock();  // BAD: release without acquire
+  return 0;
+}
