@@ -14,6 +14,7 @@
 #include "bench/report.h"
 #include "src/core/snapshot.h"
 #include "src/exec/sweep.h"
+#include "src/workloads/churn.h"
 #include "src/workloads/microbench.h"
 #include "src/workloads/sysbench.h"
 
@@ -421,6 +422,100 @@ void QueueCrossoverAblation(SweepRunner* runner, BenchReport* report) {
   std::printf("\n");
 }
 
+// Ablation 6: reuse-aware flush elision (Optimization #7). The two high-churn
+// workloads from src/workloads/churn.h run with the flag off and on; the on
+// rows surface how many zap-time shootdowns were elided and how the deferred
+// obligations closed (benign refault / forced flush / allocator hand-off).
+struct ReuseElisionResult {
+  double off_rounds_per_mcycle = 0.0;
+  double on_rounds_per_mcycle = 0.0;
+  uint64_t off_flush_requests = 0;
+  uint64_t on_flush_requests = 0;
+  uint64_t elided_flushes = 0;
+  uint64_t benign_closes = 0;
+  uint64_t forced_flushes = 0;
+  uint64_t frame_handoffs = 0;
+};
+
+ReuseElisionResult MeasureReuseElision(bool pagecache, FlushBackendKind backend) {
+  ReuseElisionResult r;
+  for (bool elision : {false, true}) {
+    ChurnConfig cfg;
+    cfg.threads = 4;
+    cfg.opts = OptimizationSet::AllGeneral();
+    cfg.opts.reuse_elision = elision;
+    cfg.seed = 21;
+    cfg.backend = backend;
+    ChurnResult cr = pagecache ? RunChurnPagecache(cfg) : RunChurnArena(cfg);
+    if (elision) {
+      r.on_rounds_per_mcycle = cr.rounds_per_mcycle;
+      r.on_flush_requests = cr.flush_requests;
+      r.elided_flushes = cr.elided_flushes;
+      r.benign_closes = cr.benign_closes;
+      r.forced_flushes = cr.forced_flushes;
+      r.frame_handoffs = cr.frame_handoffs;
+    } else {
+      r.off_rounds_per_mcycle = cr.rounds_per_mcycle;
+      r.off_flush_requests = cr.flush_requests;
+    }
+  }
+  return r;
+}
+
+void ReuseElisionAblation(SweepRunner* runner, BenchReport* report, bool run_ipi,
+                          bool run_queue) {
+  std::vector<std::pair<bool, FlushBackendKind>> points;
+  for (FlushBackendKind backend : {FlushBackendKind::kIpi, FlushBackendKind::kQueue}) {
+    if ((backend == FlushBackendKind::kIpi && !run_ipi) ||
+        (backend == FlushBackendKind::kQueue && !run_queue)) {
+      continue;
+    }
+    for (bool pagecache : {false, true}) {
+      points.emplace_back(pagecache, backend);
+    }
+  }
+  std::vector<std::function<ReuseElisionResult()>> jobs;
+  for (auto& [pagecache, backend] : points) {
+    bool pc = pagecache;
+    FlushBackendKind b = backend;
+    jobs.emplace_back([pc, b] { return MeasureReuseElision(pc, b); });
+  }
+  std::vector<ReuseElisionResult> results = runner->Run(std::move(jobs));
+
+  std::printf("== Ablation 6: reuse-aware flush elision (Optimization #7) ==\n");
+  std::printf("  high-churn workloads, 4 threads, all-general opts, safe mode\n");
+  for (size_t i = 0; i < points.size(); ++i) {
+    auto& [pagecache, backend] = points[i];
+    ReuseElisionResult& r = results[i];
+    double speedup = r.off_rounds_per_mcycle > 0.0
+                         ? r.on_rounds_per_mcycle / r.off_rounds_per_mcycle
+                         : 0.0;
+    std::printf("  %-5s %-9s off %8.2f on %8.2f rnd/Mcyc (%.2fx), elided %llu,"
+                " benign %llu, forced %llu, handoffs %llu\n",
+                FlushBackendName(backend), pagecache ? "pagecache" : "arena",
+                r.off_rounds_per_mcycle, r.on_rounds_per_mcycle, speedup,
+                static_cast<unsigned long long>(r.elided_flushes),
+                static_cast<unsigned long long>(r.benign_closes),
+                static_cast<unsigned long long>(r.forced_flushes),
+                static_cast<unsigned long long>(r.frame_handoffs));
+    Json row = Json::Object();
+    row["ablation"] = "reuse_elision_churn";
+    row["backend"] = FlushBackendName(backend);
+    row["workload"] = pagecache ? "pagecache" : "arena";
+    row["off_rounds_per_mcycle"] = r.off_rounds_per_mcycle;
+    row["on_rounds_per_mcycle"] = r.on_rounds_per_mcycle;
+    row["speedup"] = speedup;
+    row["off_flush_requests"] = r.off_flush_requests;
+    row["on_flush_requests"] = r.on_flush_requests;
+    row["elided_flushes"] = r.elided_flushes;
+    row["benign_closes"] = r.benign_closes;
+    row["forced_flushes"] = r.forced_flushes;
+    row["frame_handoffs"] = r.frame_handoffs;
+    report->AddRow(std::move(row));
+  }
+  std::printf("\n");
+}
+
 }  // namespace
 }  // namespace tlbsim
 
@@ -456,6 +551,9 @@ int main(int argc, char** argv) {
     // with the queue protocol side by side, so it rides the queue axis.
     QueueCrossoverAblation(&runner, &report);
   }
+  // Runs on whichever backends this invocation requested (the elision is
+  // backend-independent, so each axis gets its own off/on pair).
+  ReuseElisionAblation(&runner, &report, run_ipi, run_queue);
   report.SetHost(runner);
   return report.Finish(0);
 }

@@ -51,7 +51,23 @@ REQUIRED_NONZERO = {
         "shootdown.shootdowns",
         "engine.events_processed",
     ],
+    # The churn bench's snapshots come from an elision-on run: the reuse
+    # machinery must actually have elided shootdowns and closed records
+    # benignly, and real shootdown traffic (scratch munmaps, msync cleaning)
+    # must still flow around the elisions.
+    "churn": [
+        "kernel.reuse_elided_flushes",
+        "kernel.reuse_elided_pages",
+        "kernel.reuse_benign_closes",
+        "shootdown.shootdowns",
+        "engine.events_processed",
+    ],
 }
+
+# kernel.reuse_* counters are registered only when reuse_elision is on; every
+# bench except churn runs with it off, so their presence anywhere else means
+# the flag leaked into a paper configuration (breaking byte-identity).
+REUSE_COUNTER_PREFIX = "kernel.reuse_"
 
 # Counters that must be strictly positive in the queue backend's snapshot
 # ("metrics_queue" -> "counters"), present whenever a bench ran with
@@ -100,6 +116,12 @@ QUEUE_REQUIRED_NONZERO = {
         "queue.flush_all_fallbacks",
         "queue.ipi_resends",
         "queue.spin_cycles",
+    ],
+    "churn": [
+        "kernel.reuse_elided_flushes",
+        "kernel.reuse_elided_pages",
+        "kernel.reuse_benign_closes",
+        "queue.shootdowns",
     ],
 }
 
@@ -235,6 +257,37 @@ def check_sim_throughput(path, doc):
     return rc
 
 
+def check_churn_rows(path, doc):
+    """Churn sweep gate: every (backend, workload, threads) cell's elision-on
+    run must actually elide shootdowns and close records benignly, and the
+    elision must strictly reduce FlushRange traffic vs its own off baseline —
+    the optimization's entire claim, checked per cell rather than on the one
+    cell the snapshot happens to come from.
+    """
+    rc = 0
+    rows = doc.get("rows", [])
+    if not rows:
+        return fail(path, "churn: no sweep rows")
+    for row in rows:
+        label = (
+            f'{row.get("backend", "ipi")}/{row.get("workload")}'
+            f'/t{row.get("threads")}'
+        )
+        if row.get("elided_flushes", 0) <= 0:
+            rc |= fail(path, f"churn {label}: elision-on run elided nothing")
+        if row.get("benign_closes", 0) <= 0:
+            rc |= fail(path, f"churn {label}: no benign closes")
+        if row.get("off_flush_requests", 0) <= row.get("on_flush_requests", 0):
+            rc |= fail(
+                path,
+                f'churn {label}: elision did not reduce flush requests '
+                f'({row.get("off_flush_requests")} -> {row.get("on_flush_requests")})',
+            )
+        if row.get("speedup", 0) <= 0:
+            rc |= fail(path, f"churn {label}: speedup not positive")
+    return rc
+
+
 def check_ablation_crossover(path, doc):
     """Queue cost-knob crossover gate: the sweep must carry an IPI baseline
     plus the full knob grid, every point must have actually run the storm
@@ -325,6 +378,17 @@ def check(path):
         checked += len(required)
         if name == "ablations":
             rc |= check_ablation_crossover(path, doc)
+    if name == "churn":
+        rc |= check_churn_rows(path, doc)
+    else:
+        for section in ("metrics", "metrics_queue"):
+            for key in doc.get(section, {}).get("counters", {}):
+                if key.startswith(REUSE_COUNTER_PREFIX):
+                    rc |= fail(
+                        path,
+                        f"{section}.counters.{key} present: reuse_elision leaked "
+                        "into a paper configuration",
+                    )
 
     # table3 carries the per-optimization ablation gate: every enabled
     # optimization must strictly reduce its targeted counter.

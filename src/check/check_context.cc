@@ -259,6 +259,19 @@ void CheckContext::OnTlbGenBump(SimCpu& cpu, MmStruct& mm, uint64_t new_gen, uin
     }
     it = ms->pending.erase(it);
   }
+
+  // A real flush covering a licensed page hands responsibility back to the
+  // generation protocol: this bump's shootdown retires the stale entries and
+  // (via the pending assignment above) dates the elided zap's write records,
+  // so the generic lost-flush rule takes over from here.
+  auto lit = ms->reuse_licenses.begin();
+  while (lit != ms->reuse_licenses.end()) {
+    if (covered(lit->first)) {
+      lit = ms->reuse_licenses.erase(lit);
+    } else {
+      ++lit;
+    }
+  }
 }
 
 void CheckContext::OnIpiSent(SimCpu& cpu, MmStruct& mm, uint64_t gen,
@@ -446,6 +459,49 @@ void CheckContext::OnQueueAckTimeout(SimCpu& cpu, MmStruct& mm, int target, uint
   Report(std::move(v));
 }
 
+void CheckContext::OnReuseElided(SimCpu& cpu, MmStruct& mm, uint64_t va, uint64_t pfn) {
+  (void)cpu;
+  MmState* ms = StateForRoot(mm.pt.root_id());
+  if (ms == nullptr) {
+    return;
+  }
+  ms->reuse_licenses[PageAlignDown(va)] = ReuseLicense{pfn, ReuseLicense::State::kActive};
+}
+
+void CheckContext::OnReuseBenignClose(SimCpu& cpu, MmStruct& mm, uint64_t va, uint64_t pfn) {
+  (void)cpu;
+  MmState* ms = StateForRoot(mm.pt.root_id());
+  if (ms == nullptr) {
+    return;
+  }
+  auto it = ms->reuse_licenses.find(PageAlignDown(va));
+  if (it == ms->reuse_licenses.end() || it->second.pfn != pfn) {
+    return;
+  }
+  it->second.state = ReuseLicense::State::kBenignClosed;
+}
+
+void CheckContext::OnReuseFlushClose(MmStruct& mm, uint64_t va, bool stale_dropped) {
+  MmState* ms = StateForRoot(mm.pt.root_id());
+  if (ms == nullptr) {
+    return;
+  }
+  auto it = ms->reuse_licenses.find(PageAlignDown(va));
+  if (it == ms->reuse_licenses.end()) {
+    return;
+  }
+  if (stale_dropped) {
+    // The kernel purged (or is about to flush) the stale translations; from
+    // here the normal generation protocol carries the proof.
+    ms->reuse_licenses.erase(it);
+  } else {
+    // reuse_elide_unsafe fault knob: the purge was skipped while the frame
+    // went to a new owner. Any later consumption of this translation is the
+    // exact bug the elision's safety check exists to prevent.
+    it->second.state = ReuseLicense::State::kUnsafe;
+  }
+}
+
 // --- oracle ---
 
 void CheckContext::OnTlbInsertTap(int cpu, bool itlb, const TlbEntry& e) {
@@ -499,6 +555,31 @@ void CheckContext::OnTlbHit(SimCpu& cpu, bool itlb, uint16_t pcid, uint64_t va,
                     (!cached.executable() || ground.pte.executable());
   if (consistent) {
     return;
+  }
+
+  // Reuse-elision license (Optimization #7): an elided zap's revoking write
+  // stays pending forever, so licensed pages answer here instead of through
+  // the generic rule. Active / benign-closed licenses are the proved-benign
+  // window; an unsafe license means the frame was handed to a new owner with
+  // the purge skipped — consuming the translation is a hard violation.
+  if (entry.size == PageSize::k4K) {
+    auto lic = ms->reuse_licenses.find(PageAlignDown(va));
+    if (lic != ms->reuse_licenses.end() && lic->second.pfn == entry.pfn) {
+      if (lic->second.state == ReuseLicense::State::kUnsafe) {
+        Violation v;
+        v.kind = ViolationKind::kReuseElideUnsafe;
+        v.time = cpu.now();
+        v.cpu = cpu.id();
+        v.mm_id = ms->mm->id;
+        v.va = va;
+        v.pcid = pcid;
+        v.applied_gen = pc.loaded_mm_tlb_gen;
+        v.detail = std::string(itlb ? "ITLB" : "DTLB") +
+                   " consumed an elided-flush translation after its frame moved to a new owner";
+        Report(std::move(v));
+      }
+      return;
+    }
   }
 
   // The entry is stale. Benign unless a covering write's flush generation

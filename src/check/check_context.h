@@ -88,6 +88,9 @@ class CheckContext final : public SystemChecker,
   void OnQueueOverflow(SimCpu& cpu, MmStruct& mm, int target, uint64_t gen,
                        bool fallback_set) override;
   void OnQueueAckTimeout(SimCpu& cpu, MmStruct& mm, int target, uint64_t gen) override;
+  void OnReuseElided(SimCpu& cpu, MmStruct& mm, uint64_t va, uint64_t pfn) override;
+  void OnReuseBenignClose(SimCpu& cpu, MmStruct& mm, uint64_t va, uint64_t pfn) override;
+  void OnReuseFlushClose(MmStruct& mm, uint64_t va, bool stale_dropped) override;
 
   // HwCheckSink:
   void OnTlbHit(SimCpu& cpu, bool itlb, uint16_t pcid, uint64_t va, const TlbEntry& entry,
@@ -126,11 +129,25 @@ class CheckContext final : public SystemChecker,
     }
   };
 
+  // Reuse-elision benign window (Optimization #7). An elided zap's revoking
+  // write stays pending (gen 0) forever, which the generic oracle treats as
+  // benign — so licensed pages get their own, STRICTER rule: staleness for
+  // the licensed (va -> pfn) is benign while the license is active (the
+  // frame provably has no new owner) or benign-closed (the same translation
+  // was reinstalled), and a hard violation once the frame was handed off
+  // without the forced close purging the stale entries (kUnsafe).
+  struct ReuseLicense {
+    enum class State { kActive, kBenignClosed, kUnsafe };
+    uint64_t pfn = 0;
+    State state = State::kActive;
+  };
+
   struct MmState {
     MmStruct* mm = nullptr;
     uint64_t last_gen = 1;                  // monotonicity watermark
     std::map<uint64_t, PageState> pages;    // keyed by size-aligned page va
     std::vector<std::pair<uint64_t, uint64_t>> pending;  // (page_va, seq)
+    std::map<uint64_t, ReuseLicense> reuse_licenses;  // keyed by 4K page va
     VectorClock gen_vc;  // join of every bumping CPU's clock
   };
 

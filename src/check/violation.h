@@ -45,6 +45,10 @@ enum class ViolationKind {
   // retry budget and abandoned a responder that never published its ack — the
   // shootdown "completed" with that CPU's queued flushes still pending.
   kQueueAckTimeout,
+  // Reuse elision (Optimization #7): a CPU consumed a stale translation whose
+  // elided flush was licensed, after the licensed frame was handed to a new
+  // owner without the forced close purging the stale entries.
+  kReuseElideUnsafe,
 };
 
 inline const char* ViolationKindName(ViolationKind k) {
@@ -73,6 +77,8 @@ inline const char* ViolationKindName(ViolationKind k) {
       return "queue_overflow_lost";
     case ViolationKind::kQueueAckTimeout:
       return "queue_ack_timeout";
+    case ViolationKind::kReuseElideUnsafe:
+      return "reuse_elide_unsafe";
   }
   return "unknown";
 }

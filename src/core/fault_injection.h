@@ -48,6 +48,12 @@ struct FaultInjection {
   // never fan out to the per-node replicas — remote walkers keep translating
   // through stale replica entries (the coherence bug Mitosis must avoid).
   bool skip_replica_propagation = false;
+
+  // With reuse_elision on, the allocator's foreign-reuse close skips purging
+  // the stale translations the elided zap left behind — the recycled frame's
+  // new owner is exposed to the old mapping (the safety check arXiv
+  // 2409.10946's elision must not skip).
+  bool reuse_elide_unsafe = false;
 };
 
 }  // namespace tlbsim

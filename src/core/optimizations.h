@@ -21,6 +21,13 @@ struct OptimizationSet {
   // walkers read a node-local replica; every PTE store pays a propagation tax.
   // Not part of the paper's six — excluded from All()/Cumulative().
   bool pt_replication = false;
+  // Optimization #7 (arXiv 2409.10946, "Skip TLB flushes for reused pages
+  // within mmap's"): zap-time shootdowns on high-churn 4K ranges are elided;
+  // the unmapped translations are tracked in a bounded per-mm reuse table and
+  // forced out later only if the frame leaves the benign window (foreign
+  // reuse, permission widening, table eviction).
+  // Not part of the paper's six — excluded from All()/Cumulative().
+  bool reuse_elision = false;
 
   static OptimizationSet None() { return OptimizationSet{}; }
   static OptimizationSet All() {
@@ -64,6 +71,7 @@ struct OptimizationSet {
     add(cow_avoidance, "cow");
     add(userspace_batching, "batching");
     add(pt_replication, "pt-replication");
+    add(reuse_elision, "reuse-elision");
     return out.empty() ? "baseline" : out;
   }
 };

@@ -108,6 +108,7 @@ class QueueFlushBackend final : public TlbFlushBackend {
   void set_fault_injection(const FaultInjection& fi) {
     inject_ = fi;
     kernel_->SetReplicaSkip(fi.skip_replica_propagation);
+    kernel_->SetReuseElideUnsafe(fi.reuse_elide_unsafe);
   }
 
   // Current occupancy of `cpu`'s ring (tests).

@@ -102,6 +102,8 @@ class ShootdownEngine final : public TlbFlushBackend {
     // The replica knob lives on the page tables themselves; the kernel
     // fans it out to every process (existing and future).
     kernel_->SetReplicaSkip(fi.skip_replica_propagation);
+    // The reuse knob lives on the kernel's elision close path.
+    kernel_->SetReuseElideUnsafe(fi.reuse_elide_unsafe);
   }
 
  private:

@@ -96,6 +96,17 @@ void CollectKernelMetrics(Kernel& kernel) {
   m.counter("kernel.context_switches").Set(s.context_switches);
   m.counter("kernel.lazy_entries").Set(s.lazy_entries);
   m.counter("kernel.compat_iret_full_flushes").Set(s.compat_iret_full_flushes);
+  if (kernel.config().opts.reuse_elision) {
+    // Optimization #7 counters. Guarded like the numa/protocol-shard gauges:
+    // a report produced with the flag off must never see these names, so the
+    // existing figure/table documents stay byte-identical.
+    m.counter("kernel.reuse_elided_flushes").Set(s.reuse_elided_flushes);
+    m.counter("kernel.reuse_elided_pages").Set(s.reuse_elided_pages);
+    m.counter("kernel.reuse_benign_closes").Set(s.reuse_benign_closes);
+    m.counter("kernel.reuse_forced_flushes").Set(s.reuse_forced_flushes);
+    m.counter("kernel.reuse_evictions").Set(s.reuse_evictions);
+    m.counter("kernel.reuse_frame_handoffs").Set(s.reuse_frame_handoffs);
+  }
 }
 
 void CollectShootdownMetrics(const ShootdownEngine& engine, MetricsRegistry& m) {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <optional>
+#include <utility>
 
 #include "src/kernel/protocol_check.h"
 
@@ -46,6 +48,11 @@ Kernel::Kernel(Machine* machine, KernelConfig config) : machine_(machine), confi
                                                machine_->num_cpus()));
   }
   c_syscalls_ = &machine_->metrics().percpu("kernel.syscalls");
+  // Optimization #7: watch the allocator recycle frames. Registered
+  // unconditionally (the observer body no-ops while no reuse records are
+  // open) so experiment harnesses that flip opts via mutable_config()
+  // between runs still get the foreign-handoff safety close.
+  frames_.set_reuse_observer([this](uint64_t pfn) { OnFrameReuse(pfn); });
 }
 
 void Kernel::ConfigureStatBanks(int banks, int cpus_per_bank) {
@@ -66,6 +73,12 @@ Kernel::Stats Kernel::stats() const {
     sum.context_switches += b.context_switches;
     sum.lazy_entries += b.lazy_entries;
     sum.compat_iret_full_flushes += b.compat_iret_full_flushes;
+    sum.reuse_elided_flushes += b.reuse_elided_flushes;
+    sum.reuse_elided_pages += b.reuse_elided_pages;
+    sum.reuse_benign_closes += b.reuse_benign_closes;
+    sum.reuse_forced_flushes += b.reuse_forced_flushes;
+    sum.reuse_evictions += b.reuse_evictions;
+    sum.reuse_frame_handoffs += b.reuse_frame_handoffs;
   }
   return sum;
 }
@@ -206,6 +219,162 @@ void Kernel::SetReplicaSkip(bool skip) {
   }
 }
 
+// --- Optimization #7: reuse-aware flush elision (arXiv 2409.10946) ---
+
+void Kernel::EraseReuseRecord(MmStruct& mm, uint64_t va, uint64_t pfn) {
+  mm.reuse.Erase(va);
+  auto range = reuse_by_pfn_.equal_range(pfn);
+  for (auto it = range.first; it != range.second;) {
+    if (it->second.first == &mm && it->second.second == va) {
+      it = reuse_by_pfn_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Co<bool> Kernel::TryReuseElide(SimCpu& cpu, MmStruct& mm, const ZapResult& zr) {
+  // The paper's safety argument only covers small non-executable pages (a
+  // stale ITLB entry cannot self-correct), and a zap batch larger than the
+  // table could never be fully tracked — flush those normally.
+  if (zr.pages == 0 || zr.pages > ReuseTable::kCapacity) {
+    co_return false;
+  }
+  for (const ZappedLeaf& l : zr.leaves) {
+    if (l.size != PageSize::k4K || l.pte.executable()) {
+      co_return false;
+    }
+  }
+  const CostModel& costs = machine_->costs();
+  for (const ZappedLeaf& l : zr.leaves) {
+    std::optional<ReuseRecord> evicted =
+        mm.reuse.Insert(ReuseRecord{l.va, l.pte.pfn(), l.pte.raw() & ~kPfnMask, mm.tlb_gen});
+    reuse_by_pfn_.emplace(l.pte.pfn(), std::make_pair(&mm, l.va));
+    if (evicted.has_value()) {
+      // Eviction forces the flush the evicted record's elision deferred
+      // (before its frame can travel any further).
+      ++StatsFor(cpu.id()).reuse_evictions;
+      if (check_ != nullptr) {
+        check_->OnReuseFlushClose(mm, evicted->va, /*stale_dropped=*/true);
+      }
+      EraseReuseRecord(mm, evicted->va, evicted->pfn);
+      ++StatsFor(cpu.id()).flush_requests;
+      co_await backend_->FlushRange(cpu, mm, evicted->va, evicted->va + kPageSize4K,
+                                    static_cast<int>(kPageShift), /*freed_tables=*/false);
+    }
+  }
+  // Skip the shootdown: only the zapping CPU invalidates locally (both PCID
+  // halves under PTI, like a selective flush); remote CPUs keep their
+  // entries until the record closes.
+  Cycles local = 0;
+  for (const ZappedLeaf& l : zr.leaves) {
+    cpu.ArchInvlPg(mm.kernel_pcid, l.va);
+    local += costs.invlpg;
+    if (config_.pti) {
+      cpu.ArchInvPcidAddr(mm.user_pcid, l.va);
+      local += costs.invpcid_addr;
+    }
+    if (check_ != nullptr) {
+      check_->OnReuseElided(cpu, mm, l.va, l.pte.pfn());
+    }
+  }
+  ++StatsFor(cpu.id()).reuse_elided_flushes;
+  StatsFor(cpu.id()).reuse_elided_pages += zr.pages;
+  co_await cpu.Execute(local);
+  co_return true;
+}
+
+Co<void> Kernel::ConsultReuseOnFault(SimCpu& cpu, MmStruct& mm, uint64_t page_va, uint64_t pfn,
+                                     uint64_t flags, PageSize size) {
+  const ReuseRecord* rec = mm.reuse.Lookup(page_va);
+  if (rec == nullptr) {
+    co_return;
+  }
+  uint64_t rec_pfn = rec->pfn;
+  Pte npte(flags);
+  Pte opte(rec->flags);
+  // Benign reuse: the same frame comes back at the same va under
+  // same-or-stricter permissions (a widening would leave remote CPUs with
+  // under-granting entries that spurious-fault forever) and stays
+  // non-executable. The stale entries then describe the new translation and
+  // the elided flush is never needed.
+  bool benign =
+      size == PageSize::k4K && rec_pfn == pfn && !npte.executable() &&
+      (!npte.writable() || opte.writable());
+  if (benign) {
+    ++StatsFor(cpu.id()).reuse_benign_closes;
+    if (check_ != nullptr) {
+      check_->OnReuseBenignClose(cpu, mm, page_va, pfn);
+    }
+    EraseReuseRecord(mm, page_va, rec_pfn);
+    // No invalidation anywhere: every surviving stale copy of this
+    // translation now describes the mapping being reinstalled (or a stricter
+    // view of it), which is the optimization's whole payoff.
+  } else {
+    // Mismatching re-population: the elided flush must happen now, before
+    // the new translation goes live under the old one's stale entries.
+    ++StatsFor(cpu.id()).reuse_forced_flushes;
+    if (check_ != nullptr) {
+      check_->OnReuseFlushClose(mm, page_va, /*stale_dropped=*/true);
+    }
+    EraseReuseRecord(mm, page_va, rec_pfn);
+    ++StatsFor(cpu.id()).flush_requests;
+    co_await backend_->FlushRange(cpu, mm, page_va, page_va + kPageSize4K,
+                                  static_cast<int>(kPageShift), /*freed_tables=*/false);
+  }
+}
+
+void Kernel::OnFrameReuse(uint64_t pfn) {
+  if (reuse_by_pfn_.empty()) {
+    return;
+  }
+  auto range = reuse_by_pfn_.equal_range(pfn);
+  if (range.first == range.second) {
+    return;
+  }
+  // Snapshot the owners first: closing a record mutates the index.
+  std::vector<std::pair<MmStruct*, uint64_t>> owners;
+  for (auto it = range.first; it != range.second; ++it) {
+    owners.push_back(it->second);
+  }
+  for (auto& [mm, va] : owners) {
+    if (mm == reuse_consult_mm_ && va == reuse_consult_va_) {
+      continue;  // the fault path is about to consult (and close) this record
+    }
+    // The frame is leaving the benign window: a new owner gets it while the
+    // old mapping may still be cached. Purge the stale translations on every
+    // CPU of the recording mm — a real kernel folds this into the reuse
+    // path's shootdown; the model drops the entries directly and charges the
+    // allocating CPU one invalidation per CPU and PCID half.
+    ++StatsFor(reuse_alloc_cpu_ != nullptr ? reuse_alloc_cpu_->id() : 0).reuse_frame_handoffs;
+    if (check_ != nullptr) {
+      check_->OnReuseFlushClose(*mm, va, /*stale_dropped=*/!reuse_elide_unsafe_);
+    }
+    EraseReuseRecord(*mm, va, pfn);
+    if (reuse_elide_unsafe_) {
+      continue;  // fault knob: leave the stale entries live (tests only)
+    }
+    const CostModel& costs = machine_->costs();
+    Cycles c = 0;
+    uint64_t drop_va = va;
+    MmStruct* drop_mm = mm;
+    drop_mm->cpumask.ForEachSet([&](int t) {
+      SimCpu& other = machine_->cpu(t);
+      other.tlb().DropTranslation(drop_mm->kernel_pcid, drop_va);
+      other.itlb().DropTranslation(drop_mm->kernel_pcid, drop_va);
+      c += costs.invlpg;
+      if (config_.pti) {
+        other.tlb().DropTranslation(drop_mm->user_pcid, drop_va);
+        other.itlb().DropTranslation(drop_mm->user_pcid, drop_va);
+        c += costs.invpcid_addr;
+      }
+    });
+    if (reuse_alloc_cpu_ != nullptr) {
+      reuse_alloc_cpu_->AdvanceInline(c);
+    }
+  }
+}
+
 Co<uint64_t> Kernel::SysMmap(Thread& t, uint64_t len, bool writable, bool shared, File* file,
                              uint64_t file_offset, PageSize page_size) {
   co_await SyscallEnter(t);
@@ -246,7 +415,10 @@ Co<Kernel::ZapResult> Kernel::ZapRange(SimCpu& cpu, MmStruct& mm, uint64_t addr,
     Pte old = mm.pt.Unmap(va);
     ChargePteUpdate(cpu, mm, va);
     cpu.AdvanceInline(machine_->costs().zap_per_page);
-    zr.frames.push_back(old.pfn());
+    int shift =
+        size == PageSize::k2M ? static_cast<int>(kHugeShift) : static_cast<int>(kPageShift);
+    zr.min_stride_shift = std::min(zr.min_stride_shift, shift);
+    zr.leaves.push_back(ZappedLeaf{va, old, size});
     ++zr.pages;
   }
   co_return zr;
@@ -265,8 +437,12 @@ Co<void> Kernel::SysMunmap(Thread& t, uint64_t addr, uint64_t len) {
     backend_->BeginBatch(cpu, mm);
   }
 
-  int stride_shift = StrideShiftFor(mm, addr);
+  int vma_stride_shift = StrideShiftFor(mm, addr);
   ZapResult zr = co_await ZapRange(cpu, mm, addr, len);
+  // A range spanning VMAs of different page sizes must flush at the smallest
+  // stride actually unmapped (tlb-gather style), not the stride of the VMA
+  // that happens to cover `addr`.
+  int stride_shift = zr.pages > 0 ? zr.min_stride_shift : vma_stride_shift;
   bool freed_tables = mm.pt.PruneEmpty(addr, addr + len);
 
   // Trim / split / remove affected VMAs.
@@ -296,7 +472,14 @@ Co<void> Kernel::SysMunmap(Thread& t, uint64_t addr, uint64_t len) {
     mm.vmas.emplace(v.start, v);
   }
 
-  if (zr.pages > 0) {
+  bool elided = false;
+  if (config_.opts.reuse_elision && !freed_tables && zr.pages > 0) {
+    elided = co_await TryReuseElide(cpu, mm, zr);
+  }
+  // Even with zero present pages, freeing page tables demands a flush:
+  // paging-structure caches hold entries for the freed tables and
+  // freed_tables=true is what forces responders to drop them.
+  if (!elided && (freed_tables || zr.pages > 0)) {
     ++StatsFor(cpu.id()).flush_requests;
     co_await backend_->FlushRange(cpu, mm, lo, hi, stride_shift, freed_tables);
   }
@@ -305,8 +488,8 @@ Co<void> Kernel::SysMunmap(Thread& t, uint64_t addr, uint64_t len) {
     percpu(t.cpu).ipi_defer_mode = false;
   }
   // Pages are released only after every TLB is clean (tlb_finish_mmu order).
-  for (uint64_t pfn : zr.frames) {
-    frames_.Unref(pfn);
+  for (const ZappedLeaf& l : zr.leaves) {
+    frames_.Unref(l.pte.pfn());
   }
 
   mm.mmap_sem.Unlock(cpu, /*write=*/true);
@@ -325,18 +508,21 @@ Co<void> Kernel::SysMadviseDontneed(Thread& t, uint64_t addr, uint64_t len) {
   if (BatchingEnabled()) {
     backend_->BeginBatch(cpu, mm);
   }
-  int stride_shift = StrideShiftFor(mm, addr);
   ZapResult zr = co_await ZapRange(cpu, mm, addr, len);
-  if (zr.pages > 0) {
+  bool elided = false;
+  if (config_.opts.reuse_elision && zr.pages > 0) {
+    elided = co_await TryReuseElide(cpu, mm, zr);
+  }
+  if (!elided && zr.pages > 0) {
     ++StatsFor(cpu.id()).flush_requests;
-    co_await backend_->FlushRange(cpu, mm, addr, addr + len, stride_shift,
+    co_await backend_->FlushRange(cpu, mm, addr, addr + len, zr.min_stride_shift,
                                   /*freed_tables=*/false);
   }
   if (BatchingEnabled()) {
     co_await backend_->EndBatch(cpu, mm);
   }
-  for (uint64_t pfn : zr.frames) {
-    frames_.Unref(pfn);
+  for (const ZappedLeaf& l : zr.leaves) {
+    frames_.Unref(l.pte.pfn());
   }
 
   mm.mmap_sem.Unlock(cpu, /*write=*/false);
@@ -407,21 +593,28 @@ Co<void> Kernel::SysMprotect(Thread& t, uint64_t addr, uint64_t len, bool writab
     }
   }
   uint64_t changed = 0;
-  std::vector<uint64_t> vas;
-  mm.pt.ForEachPresent(addr, addr + len, [&](uint64_t va, Pte, PageSize) { vas.push_back(va); });
-  for (uint64_t va : vas) {
+  int min_stride_shift = static_cast<int>(kHugeShift);
+  std::vector<std::pair<uint64_t, PageSize>> vas;
+  mm.pt.ForEachPresent(addr, addr + len,
+                       [&](uint64_t va, Pte, PageSize size) { vas.emplace_back(va, size); });
+  for (auto& [va, size] : vas) {
     Pte pte = mm.pt.Walk(va).pte;
     Pte npte = writable ? pte.WithFlags(PteFlags::kWrite) : pte.WithFlags(0, PteFlags::kWrite);
     if (!(npte == pte)) {
       mm.pt.SetPte(va, npte);
       ChargePteUpdate(cpu, mm, va);
       cpu.AdvanceInline(machine_->costs().zap_per_page);
+      // Same tlb-gather rule as the zap paths: the flush stride is the
+      // smallest page size whose PTE actually changed.
+      int shift =
+          size == PageSize::k2M ? static_cast<int>(kHugeShift) : static_cast<int>(kPageShift);
+      min_stride_shift = std::min(min_stride_shift, shift);
       ++changed;
     }
   }
   if (changed > 0) {
     ++StatsFor(cpu.id()).flush_requests;
-    co_await backend_->FlushRange(cpu, mm, addr, addr + len, StrideShiftFor(mm, addr),
+    co_await backend_->FlushRange(cpu, mm, addr, addr + len, min_stride_shift,
                                   /*freed_tables=*/false);
   }
 
@@ -627,9 +820,38 @@ Co<void> Kernel::HandlePageFault(Thread& t, uint64_t va, bool write, FaultKind k
       flags |= PteFlags::kNx;
     }
     uint64_t pfn;
+    // Reuse-elision consult scope: while the allocator runs for THIS (mm,
+    // va), OnFrameReuse must leave a matching record open for the fault-path
+    // consult below instead of force-closing it. Set only around the
+    // synchronous AllocOn calls — never across a suspension point.
+    auto consult_scope_begin = [&] {
+      reuse_consult_mm_ = &mm;
+      reuse_consult_va_ = page_va;
+      reuse_alloc_cpu_ = &cpu;
+    };
+    auto consult_scope_end = [&] {
+      reuse_consult_mm_ = nullptr;
+      reuse_alloc_cpu_ = nullptr;
+    };
     if (vma->file == nullptr) {
-      // Anonymous: allocate zeroed frame(s), writable per the VMA.
-      pfn = frames_.AllocOn(node, frames_per_page);
+      // Anonymous: allocate zeroed frame(s), writable per the VMA. With
+      // reuse elision on, ask the allocator for the exact frame the open
+      // reuse record promises (per-CPU-cache affinity): the consult below
+      // then closes the record benignly with no flush at all.
+      bool got_specific = false;
+      if (config_.opts.reuse_elision && frames_per_page == 1) {
+        if (const ReuseRecord* rec = mm.reuse.Lookup(page_va)) {
+          got_specific = frames_.TryAllocSpecific(rec->pfn);
+          if (got_specific) {
+            pfn = rec->pfn;
+          }
+        }
+      }
+      if (!got_specific) {
+        consult_scope_begin();
+        pfn = frames_.AllocOn(node, frames_per_page);
+        consult_scope_end();
+      }
       if (vma->writable) {
         flags |= PteFlags::kWrite;
       }
@@ -651,7 +873,9 @@ Co<void> Kernel::HandlePageFault(Thread& t, uint64_t va, bool write, FaultKind k
         uint64_t src = vma->file->GetPage(vma->OffsetOf(page_va));
         (void)src;
         co_await cpu.Execute(costs.copy_page);
+        consult_scope_begin();
         pfn = frames_.AllocOn(node, frames_per_page);
+        consult_scope_end();
         flags |= PteFlags::kWrite | PteFlags::kDirty;
       } else {
         pfn = vma->file->GetPage(vma->OffsetOf(page_va));
@@ -660,6 +884,9 @@ Co<void> Kernel::HandlePageFault(Thread& t, uint64_t va, bool write, FaultKind k
           flags |= PteFlags::kCow;  // break on first write
         }
       }
+    }
+    if (config_.opts.reuse_elision) {
+      co_await ConsultReuseOnFault(cpu, mm, page_va, pfn, flags, vma->page_size);
     }
     mm.pt.Map(page_va, pfn, flags, vma->page_size);
     ChargePteUpdate(cpu, mm, page_va);
@@ -679,7 +906,9 @@ Co<void> Kernel::HandlePageFault(Thread& t, uint64_t va, bool write, FaultKind k
       } else {
         uint64_t copy_frames = BytesOf(walk_size) / kPageSize4K;
         co_await cpu.Execute(static_cast<Cycles>(copy_frames) * costs.copy_page);
+        reuse_alloc_cpu_ = &cpu;  // attribute a foreign-handoff purge, if any
         uint64_t pfn = frames_.AllocOn(node, copy_frames);
+        reuse_alloc_cpu_ = nullptr;
         frames_.Unref(old_pfn);
         mm.pt.SetPte(page_va, pte.WithPfn(pfn).WithFlags(
                                   PteFlags::kWrite | PteFlags::kDirty, PteFlags::kCow));

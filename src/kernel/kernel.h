@@ -9,7 +9,9 @@
 #define TLBSIM_SRC_KERNEL_KERNEL_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "src/core/optimizations.h"
@@ -62,6 +64,13 @@ class Kernel {
     uint64_t context_switches = 0;
     uint64_t lazy_entries = 0;
     uint64_t compat_iret_full_flushes = 0;  // §3.4 IRET caveat promotions
+    // Optimization #7 (reuse_elision); all zero when the flag is off.
+    uint64_t reuse_elided_flushes = 0;  // zap-time shootdowns skipped
+    uint64_t reuse_elided_pages = 0;    // pages covered by those skips
+    uint64_t reuse_benign_closes = 0;   // same-frame refault, no flush ever
+    uint64_t reuse_forced_flushes = 0;  // mismatching refault forced the flush
+    uint64_t reuse_evictions = 0;       // table eviction forced the flush
+    uint64_t reuse_frame_handoffs = 0;  // allocator recycled a recorded frame
   };
 
   Kernel(Machine* machine, KernelConfig config);
@@ -151,19 +160,51 @@ class Kernel {
   // engine's set_fault_injection so test rigs need no extra plumbing.
   void SetReplicaSkip(bool skip);
 
+  // Applies the reuse_elide_unsafe fault knob (tests only): the foreign-
+  // handoff close stops purging stale translations, recreating the unsafe
+  // reuse the elision's safety check exists to prevent. Forwarded like
+  // SetReplicaSkip by both flush backends' set_fault_injection.
+  void SetReuseElideUnsafe(bool on) { reuse_elide_unsafe_ = on; }
+
   // tlbcheck protocol sink (src/check/); null when checking is off. Shared
   // with the ShootdownEngine through this accessor.
   void set_check_sink(ProtocolCheckSink* sink) { check_ = sink; }
   ProtocolCheckSink* check_sink() const { return check_; }
 
  private:
-  // Zaps present PTEs in [addr, addr+len): clears them, collects frames to
-  // release after the flush completes. Returns [#pages zapped].
+  // Zaps present PTEs in [addr, addr+len): clears them, collects the old
+  // leaves so frames are released only after the flush completes and the
+  // reuse-elision path can record what was revoked.
+  struct ZappedLeaf {
+    uint64_t va = 0;
+    Pte pte;  // pre-zap leaf
+    PageSize size = PageSize::k4K;
+  };
   struct ZapResult {
     uint64_t pages = 0;
-    std::vector<uint64_t> frames;
+    // Minimum flush stride over the zapped leaves (Linux tlb-gather tracks
+    // the smallest page size it unmaps); meaningful only when pages > 0.
+    int min_stride_shift = static_cast<int>(kHugeShift);
+    std::vector<ZappedLeaf> leaves;
   };
   Co<ZapResult> ZapRange(SimCpu& cpu, MmStruct& mm, uint64_t addr, uint64_t len);
+
+  // --- Optimization #7 (reuse_elision) ---
+  // Zap-time decision: when every zapped leaf is a non-executable 4K page and
+  // the batch fits the reuse table, record the revoked translations, charge
+  // only a local invalidation and skip the shootdown. Returns whether the
+  // flush was elided. Table evictions force the deferred flush inline.
+  Co<bool> TryReuseElide(SimCpu& cpu, MmStruct& mm, const ZapResult& zr);
+  // Fault-time consult: a record for `page_va` closes either benignly (same
+  // frame back, same-or-stricter permissions — no flush at all) or with the
+  // deferred FlushRange the elision skipped.
+  Co<void> ConsultReuseOnFault(SimCpu& cpu, MmStruct& mm, uint64_t page_va, uint64_t pfn,
+                               uint64_t flags, PageSize size);
+  // FrameAllocator reuse observer: a recorded frame is being handed to a new
+  // owner; purge the stale translations the elided zap left behind (unless
+  // the reuse_elide_unsafe fault knob deliberately skips the purge).
+  void OnFrameReuse(uint64_t pfn);
+  void EraseReuseRecord(MmStruct& mm, uint64_t va, uint64_t pfn);
 
   Co<void> HandlePageFault(Thread& t, uint64_t va, bool write, FaultKind kind);
 
@@ -186,6 +227,15 @@ class Kernel {
   uint64_t next_thread_id_ = 1;
   uint64_t next_file_id_ = 1;
   bool replica_skip_ = false;
+  bool reuse_elide_unsafe_ = false;
+  // Optimization #7: global index of open reuse records by frame (multimap:
+  // one shared file page can be recorded by several mms). The fault path
+  // marks the (mm, va) it is about to consult so OnFrameReuse leaves that
+  // record for ConsultReuseOnFault instead of force-closing it.
+  std::multimap<uint64_t, std::pair<MmStruct*, uint64_t>> reuse_by_pfn_;
+  MmStruct* reuse_consult_mm_ = nullptr;
+  uint64_t reuse_consult_va_ = 0;
+  SimCpu* reuse_alloc_cpu_ = nullptr;
   Stats& StatsFor(int cpu_id) {
     if (stat_banks_.size() == 1) return stat_banks_[0];
     size_t b = static_cast<size_t>(cpu_id) / static_cast<size_t>(cpus_per_stat_bank_);

@@ -7,6 +7,7 @@
 
 #include "src/cache/coherence.h"
 #include "src/kernel/cpumask.h"
+#include "src/kernel/reuse_table.h"
 #include "src/kernel/rwsem.h"
 #include "src/kernel/vma.h"
 #include "src/mm/page_table.h"
@@ -60,6 +61,11 @@ struct MmStruct {
 
   // Simple bump allocator for mmap placement.
   uint64_t next_map = 0x500000000000ULL;
+
+  // Optimization #7 bookkeeping: translations whose zap-time shootdown was
+  // elided and may still be cached stale somewhere (kernel.cc owns the
+  // record/consult/close logic).
+  ReuseTable reuse;
 
   // Cacheline holding the mm's TLB bookkeeping (contended during storms).
   LineId gen_line;

@@ -77,6 +77,34 @@ class ProtocolCheckSink {
   virtual void OnQueueAckTimeout(SimCpu& cpu, MmStruct& mm, int target, uint64_t gen) {
     (void)cpu; (void)mm; (void)target; (void)gen;
   }
+
+  // --- reuse elision, Optimization #7 (default no-op so the paper's
+  // protocol sinks need not care) ---
+
+  // A zap of (va -> pfn) in `mm` skipped its shootdown: stale translations
+  // may stay cached until one of the two close events below. The oracle opens
+  // a license that REPLACES the generic pending-flush leniency for this page:
+  // from here on staleness is benign only while the record provably is.
+  virtual void OnReuseElided(SimCpu& cpu, MmStruct& mm, uint64_t va, uint64_t pfn) {
+    (void)cpu; (void)mm; (void)va; (void)pfn;
+  }
+
+  // The same mm faulted `va` back in over the same frame under
+  // same-or-stricter permissions: the stale entries now describe a live
+  // translation (possibly over-granting a revoked write bit — the licensed
+  // benign window) and no flush is ever needed.
+  virtual void OnReuseBenignClose(SimCpu& cpu, MmStruct& mm, uint64_t va, uint64_t pfn) {
+    (void)cpu; (void)mm; (void)va; (void)pfn;
+  }
+
+  // The record was closed by force: eviction, mismatching re-population, or
+  // the allocator handing the frame to a new owner. `stale_dropped` reports
+  // whether the kernel actually purged the stale translations (flush or
+  // direct drop); false — only under the reuse_elide_unsafe fault knob —
+  // leaves them live, and any later consumption is a real violation.
+  virtual void OnReuseFlushClose(MmStruct& mm, uint64_t va, bool stale_dropped) {
+    (void)mm; (void)va; (void)stale_dropped;
+  }
 };
 
 }  // namespace tlbsim

@@ -1,0 +1,75 @@
+// Bounded per-mm table of recently-unmapped translations whose shootdown was
+// elided (OptimizationSet::reuse_elision, arXiv 2409.10946).
+//
+// Each record remembers what a zap revoked without flushing: the page va, the
+// frame it mapped, the pre-zap PTE flags and the mm's tlb_gen at elision
+// time. The record stays open while stale TLB entries for (va -> pfn) may be
+// cached anywhere; it is closed by exactly one of:
+//   - a benign reuse: the same mm faults the same va back in with the same
+//     frame under same-or-stricter permissions (no flush needed at all),
+//   - a forced flush: the va is re-populated differently, the table evicts
+//     at capacity, or the frame is handed to another owner by the allocator.
+//
+// FIFO eviction with lazy deletion: Erase() leaves its key in the queue; the
+// queue is skipped past dead keys when an eviction is actually needed.
+#ifndef TLBSIM_SRC_KERNEL_REUSE_TABLE_H_
+#define TLBSIM_SRC_KERNEL_REUSE_TABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+
+namespace tlbsim {
+
+struct ReuseRecord {
+  uint64_t va = 0;
+  uint64_t pfn = 0;
+  uint64_t flags = 0;    // pre-zap leaf PTE flags
+  uint64_t tlb_gen = 0;  // mm->context.tlb_gen when the flush was elided
+};
+
+class ReuseTable {
+ public:
+  static constexpr size_t kCapacity = 64;
+
+  // Inserts (replacing any record for the same va). When the table is at
+  // capacity, the oldest record is evicted and returned: the caller owns
+  // issuing the flush that the evicted record's elision deferred.
+  std::optional<ReuseRecord> Insert(const ReuseRecord& r) {
+    Erase(r.va);
+    std::optional<ReuseRecord> evicted;
+    if (by_va_.size() >= kCapacity) {
+      while (!fifo_.empty()) {
+        auto it = by_va_.find(fifo_.front());
+        fifo_.pop_front();
+        if (it != by_va_.end()) {
+          evicted = it->second;
+          by_va_.erase(it);
+          break;
+        }
+      }
+    }
+    by_va_[r.va] = r;
+    fifo_.push_back(r.va);
+    return evicted;
+  }
+
+  const ReuseRecord* Lookup(uint64_t va) const {
+    auto it = by_va_.find(va);
+    return it == by_va_.end() ? nullptr : &it->second;
+  }
+
+  bool Erase(uint64_t va) { return by_va_.erase(va) != 0; }
+
+  size_t size() const { return by_va_.size(); }
+
+ private:
+  std::map<uint64_t, ReuseRecord> by_va_;
+  std::deque<uint64_t> fifo_;  // insertion order; may hold erased keys
+};
+
+}  // namespace tlbsim
+
+#endif  // TLBSIM_SRC_KERNEL_REUSE_TABLE_H_

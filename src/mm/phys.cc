@@ -92,6 +92,9 @@ uint64_t FrameAllocator::AllocOn(int node_hint, uint64_t count) {
   if (it != free_index_.end()) {
     uint64_t pfn = TakeFreeAt(*it->second.begin());
     refs_.emplace(pfn, Record{1, count});
+    if (reuse_observer_) {
+      reuse_observer_(pfn);
+    }
     return pfn;
   }
   uint64_t pfn = node_next_[static_cast<size_t>(node)];
@@ -99,6 +102,19 @@ uint64_t FrameAllocator::AllocOn(int node_hint, uint64_t count) {
   assert(nodes() == 1 || node_next_[static_cast<size_t>(node)] <= NodeBase(node) + kNodeSpan);
   refs_.emplace(pfn, Record{1, count});
   return pfn;
+}
+
+bool FrameAllocator::TryAllocSpecific(uint64_t pfn) {
+  for (uint32_t i = 0; i < static_cast<uint32_t>(free_.size()); ++i) {
+    if (free_[i].first == pfn && free_[i].second == 1) {
+      ++total_allocs_;
+      ++node_allocs_[static_cast<size_t>(NodeOf(pfn))];
+      TakeFreeAt(i);
+      refs_.emplace(pfn, Record{1, 1});
+      return true;
+    }
+  }
+  return false;
 }
 
 void FrameAllocator::Ref(uint64_t pfn) {

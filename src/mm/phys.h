@@ -15,6 +15,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <set>
 #include <utility>
@@ -45,6 +46,14 @@ class FrameAllocator {
   // placement policy decides the actual node (kInterleave ignores the hint).
   uint64_t AllocOn(int node_hint, uint64_t count = 1);
 
+  // Claims one specific free single-frame allocation (Optimization #7: the
+  // fault path asks for the exact frame a reuse record promises, the
+  // per-CPU-cache affinity real allocators give such refaults). Returns
+  // false when `pfn` is not free as a single frame; on success the frame is
+  // allocated with refcount 1. Never fires the reuse observer — the caller
+  // IS the reuse consult.
+  bool TryAllocSpecific(uint64_t pfn);
+
   // Increments the sharing count (fork/CoW). Interior pfns of a multi-frame
   // allocation resolve to the head record.
   void Ref(uint64_t pfn);
@@ -58,6 +67,12 @@ class FrameAllocator {
 
   // Memory node holding `pfn` (0 when NUMA-flat).
   int NodeOf(uint64_t pfn) const;
+
+  // Reuse hook (Optimization #7): invoked with the head pfn whenever a
+  // previously-freed allocation is handed out again from the free list.
+  // Fresh bump-pointer frames never fire it — only recycled ones can carry
+  // stale TLB state. Unset (the default) costs nothing on the alloc path.
+  void set_reuse_observer(std::function<void(uint64_t)> cb) { reuse_observer_ = std::move(cb); }
 
   int nodes() const { return static_cast<int>(node_next_.size()); }
   uint64_t allocated_frames() const;
@@ -91,6 +106,7 @@ class FrameAllocator {
   uint64_t TakeFreeAt(uint32_t idx);
 
   RefMap refs_;
+  std::function<void(uint64_t)> reuse_observer_;
   std::vector<std::pair<uint64_t, uint64_t>> free_;  // (pfn, count) free list
   std::map<std::pair<int, uint64_t>, std::set<uint32_t>> free_index_;
   uint64_t first_pfn_;

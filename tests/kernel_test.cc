@@ -390,5 +390,68 @@ TEST_F(KernelTest, HugePageMmapAndFault) {
   EXPECT_EQ(walk.size, PageSize::k2M);
 }
 
+TEST(KernelRangeFlushTest, MunmapSpanningPageSizesFlushesAtMinStride) {
+  // Regression: a munmap whose range starts in a 2M VMA but also unmaps 4K
+  // pages of the next VMA must flush at the 4K stride actually zapped. The
+  // old code took the stride of the VMA covering `addr` (2M), which skipped
+  // over the 4K translations and left them live on remote CPUs.
+  System sys(TestConfig(OptimizationSet::None()));
+  Kernel& k = sys.kernel();
+  Process* p = k.CreateProcess();
+  Thread* t0 = k.CreateThread(p, 0);
+  Thread* t1 = k.CreateThread(p, 2);
+
+  uint64_t huge = 0;
+  uint64_t small = 0;
+  bool warmed = false;
+  sys.machine().engine().Spawn(0, Go([&]() -> Co<void> {
+    huge = co_await k.SysMmap(*t0, kPageSize2M, true, false, nullptr, 0, PageSize::k2M);
+    small = co_await k.SysMmap(*t0, 4 * kPageSize4K, true, false);
+    co_await k.UserAccess(*t0, huge, true);
+    for (int i = 0; i < 4; ++i) {
+      co_await k.UserAccess(*t0, small + static_cast<uint64_t>(i) * kPageSize4K, true);
+    }
+    while (!warmed) {
+      co_await sys.machine().cpu(0).Execute(200);
+    }
+    // Spans the whole 2M leaf plus three 4K pages; the fourth 4K page stays
+    // mapped so no page table empties (the flush is purely stride-driven).
+    co_await k.SysMunmap(*t0, huge, (small + 3 * kPageSize4K) - huge);
+  }));
+  sys.machine().engine().Spawn(0, Go([&]() -> Co<void> {
+    while (small == 0) {
+      co_await sys.machine().cpu(2).Execute(200);
+    }
+    co_await k.UserAccess(*t1, small + 2 * kPageSize4K, false);  // warm a 4K entry
+    warmed = true;
+  }));
+  sys.machine().engine().Run();
+
+  // The victim's 4K translation fell inside the spanning zap: no TLB on any
+  // CPU may still cache it (TlbCoherent fails on exactly the stale entry the
+  // 2M-stride bug used to leave behind).
+  EXPECT_TRUE(TlbCoherent(sys, *p->mm));
+  EXPECT_TRUE(p->mm->pt.Walk(small + 3 * kPageSize4K).present);  // survivor
+  EXPECT_FALSE(p->mm->pt.Walk(huge).present);
+}
+
+TEST_F(KernelTest, MunmapOfZappedRangeStillFlushesFreedTables) {
+  // Regression: munmap of a range whose pages were already reclaimed by
+  // MADV_DONTNEED zaps nothing (zr.pages == 0) but still frees the now-empty
+  // page table — paging-structure caches hold entries for that table, so a
+  // flush must go out anyway.
+  uint64_t addr = 0;
+  RunProgram([&]() -> Co<void> {
+    Kernel& k = sys_.kernel();
+    addr = co_await k.SysMmap(*thread_, 8 * kPageSize4K, true, false);
+    co_await k.UserAccess(*thread_, addr, true);  // builds the page table
+    co_await k.SysMadviseDontneed(*thread_, addr, 8 * kPageSize4K);
+    EXPECT_EQ(k.stats().flush_requests, 1u);
+    co_await k.SysMunmap(*thread_, addr, 8 * kPageSize4K);
+  });
+  // The munmap found zero present pages yet issued the freed-tables flush.
+  EXPECT_EQ(sys_.kernel().stats().flush_requests, 2u);
+}
+
 }  // namespace
 }  // namespace tlbsim

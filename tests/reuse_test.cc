@@ -1,0 +1,226 @@
+// Optimization #7 (reuse-aware flush elision): the ReuseTable container, the
+// kernel's elide/close paths (benign refault, permission widening, capacity
+// eviction, cross-mm frame hand-off) and the allocator affinity hint.
+#include "src/kernel/reuse_table.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/system.h"
+#include "tests/testutil.h"
+
+namespace tlbsim {
+namespace {
+
+OptimizationSet ReuseOpts() {
+  OptimizationSet o;
+  o.reuse_elision = true;
+  return o;
+}
+
+// --- ReuseTable container ---
+
+TEST(ReuseTableTest, InsertLookupErase) {
+  ReuseTable t;
+  EXPECT_FALSE(t.Insert(ReuseRecord{0x1000, 7, 0, 3}).has_value());
+  ASSERT_NE(t.Lookup(0x1000), nullptr);
+  EXPECT_EQ(t.Lookup(0x1000)->pfn, 7u);
+  EXPECT_EQ(t.Lookup(0x1000)->tlb_gen, 3u);
+  EXPECT_EQ(t.Lookup(0x2000), nullptr);
+  EXPECT_TRUE(t.Erase(0x1000));
+  EXPECT_FALSE(t.Erase(0x1000));
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(ReuseTableTest, ReinsertSameVaReplacesWithoutEviction) {
+  ReuseTable t;
+  for (size_t i = 0; i < ReuseTable::kCapacity; ++i) {
+    EXPECT_FALSE(t.Insert(ReuseRecord{0x1000 * (i + 1), i, 0, 0}).has_value());
+  }
+  // Same va again: replaces in place, no capacity pressure.
+  EXPECT_FALSE(t.Insert(ReuseRecord{0x1000, 99, 0, 0}).has_value());
+  EXPECT_EQ(t.size(), ReuseTable::kCapacity);
+  EXPECT_EQ(t.Lookup(0x1000)->pfn, 99u);
+}
+
+TEST(ReuseTableTest, EvictsOldestAtCapacity) {
+  ReuseTable t;
+  for (size_t i = 0; i < ReuseTable::kCapacity; ++i) {
+    t.Insert(ReuseRecord{0x1000 * (i + 1), i, 0, 0});
+  }
+  std::optional<ReuseRecord> evicted = t.Insert(ReuseRecord{0xdead000, 1234, 0, 0});
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->va, 0x1000u);  // FIFO: the first insert goes
+  EXPECT_EQ(t.size(), ReuseTable::kCapacity);
+  EXPECT_EQ(t.Lookup(0x1000), nullptr);
+}
+
+TEST(ReuseTableTest, LazyDeletionSkipsErasedQueueEntries) {
+  ReuseTable t;
+  for (size_t i = 0; i < ReuseTable::kCapacity; ++i) {
+    t.Insert(ReuseRecord{0x1000 * (i + 1), i, 0, 0});
+  }
+  t.Erase(0x1000);  // oldest key dies in place; its queue slot is stale
+  t.Insert(ReuseRecord{0xa000000, 1, 0, 0});  // refill to capacity
+  std::optional<ReuseRecord> evicted = t.Insert(ReuseRecord{0xb000000, 2, 0, 0});
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->va, 0x2000u);  // skipped the erased 0x1000 entry
+}
+
+// --- Kernel elide/close paths (single CPU unless stated otherwise) ---
+
+class ReuseElisionTest : public ::testing::Test {
+ protected:
+  ReuseElisionTest() : sys_(TestConfig(ReuseOpts())) {
+    proc_ = sys_.kernel().CreateProcess();
+    thread_ = sys_.kernel().CreateThread(proc_, 0);
+  }
+
+  void RunProgram(std::function<Co<void>()> body) {
+    sys_.machine().engine().Spawn(0, Go(std::move(body)));
+    sys_.machine().engine().Run();
+  }
+
+  System sys_;
+  Process* proc_;
+  Thread* thread_;
+};
+
+TEST_F(ReuseElisionTest, MadviseElidesAndRefaultClosesBenign) {
+  constexpr int kPages = 4;
+  uint64_t addr = 0;
+  uint64_t pfn_before[kPages] = {};
+  RunProgram([&]() -> Co<void> {
+    Kernel& k = sys_.kernel();
+    addr = co_await k.SysMmap(*thread_, kPages * kPageSize4K, true, false);
+    for (int i = 0; i < kPages; ++i) {
+      uint64_t va = addr + static_cast<uint64_t>(i) * kPageSize4K;
+      co_await k.UserAccess(*thread_, va, true);
+      pfn_before[i] = proc_->mm->pt.Walk(va).pte.pfn();
+    }
+    co_await k.SysMadviseDontneed(*thread_, addr, kPages * kPageSize4K);
+    EXPECT_EQ(k.stats().reuse_elided_flushes, 1u);
+    EXPECT_EQ(k.stats().reuse_elided_pages, static_cast<uint64_t>(kPages));
+    EXPECT_EQ(k.stats().flush_requests, 0u);  // the shootdown was skipped
+    for (int i = 0; i < kPages; ++i) {
+      co_await k.UserAccess(*thread_, addr + static_cast<uint64_t>(i) * kPageSize4K, true);
+    }
+  });
+  const Kernel::Stats s = sys_.kernel().stats();
+  EXPECT_EQ(s.reuse_benign_closes, static_cast<uint64_t>(kPages));
+  EXPECT_EQ(s.reuse_forced_flushes, 0u);
+  EXPECT_EQ(s.flush_requests, 0u);  // never flushed at all
+  // The allocator affinity hint hands the identical frames back, which is
+  // what makes the closes benign in the first place.
+  for (int i = 0; i < kPages; ++i) {
+    uint64_t va = addr + static_cast<uint64_t>(i) * kPageSize4K;
+    EXPECT_EQ(proc_->mm->pt.Walk(va).pte.pfn(), pfn_before[i]) << "page " << i;
+  }
+  EXPECT_TRUE(TlbCoherent(sys_, *proc_->mm));
+}
+
+TEST_F(ReuseElisionTest, PartialMunmapWithLiveTablesElides) {
+  uint64_t addr = 0;
+  RunProgram([&]() -> Co<void> {
+    Kernel& k = sys_.kernel();
+    addr = co_await k.SysMmap(*thread_, 8 * kPageSize4K, true, false);
+    for (int i = 0; i < 8; ++i) {
+      co_await k.UserAccess(*thread_, addr + static_cast<uint64_t>(i) * kPageSize4K, true);
+    }
+    // Unmapping a head sub-range leaves the VMA's page table populated
+    // (no freed_tables), so the zap qualifies for elision.
+    co_await k.SysMunmap(*thread_, addr, 2 * kPageSize4K);
+  });
+  const Kernel::Stats s = sys_.kernel().stats();
+  EXPECT_EQ(s.reuse_elided_flushes, 1u);
+  EXPECT_EQ(s.reuse_elided_pages, 2u);
+  EXPECT_EQ(s.flush_requests, 0u);
+}
+
+TEST_F(ReuseElisionTest, PermissionWideningForcesTheDeferredFlush) {
+  uint64_t addr = 0;
+  RunProgram([&]() -> Co<void> {
+    Kernel& k = sys_.kernel();
+    addr = co_await k.SysMmap(*thread_, kPageSize4K, /*writable=*/false, false);
+    co_await k.UserAccess(*thread_, addr, false);  // read-only PTE
+    co_await k.SysMadviseDontneed(*thread_, addr, kPageSize4K);
+    EXPECT_EQ(k.stats().reuse_elided_flushes, 1u);
+    // Widen the mapping RO -> RW, then refault: the same frame comes back
+    // but a benign close would leave under-granting stale entries remote.
+    proc_->mm->FindVma(addr)->writable = true;
+    co_await k.UserAccess(*thread_, addr, true);
+  });
+  const Kernel::Stats s = sys_.kernel().stats();
+  EXPECT_EQ(s.reuse_benign_closes, 0u);
+  EXPECT_EQ(s.reuse_forced_flushes, 1u);
+  EXPECT_EQ(s.flush_requests, 1u);  // the deferred flush finally happened
+  EXPECT_TRUE(TlbCoherent(sys_, *proc_->mm));
+}
+
+TEST_F(ReuseElisionTest, EvictionAtCapacityFlushesTheOldestRecords) {
+  // Two elided zap batches that together overflow the table: the overflow
+  // count must surface as evictions, each paying its deferred flush.
+  constexpr int kPages = static_cast<int>(ReuseTable::kCapacity) + 16;
+  constexpr int kHalf = kPages / 2;
+  uint64_t addr = 0;
+  RunProgram([&]() -> Co<void> {
+    Kernel& k = sys_.kernel();
+    addr = co_await k.SysMmap(*thread_, kPages * kPageSize4K, true, false);
+    for (int i = 0; i < kPages; ++i) {
+      co_await k.UserAccess(*thread_, addr + static_cast<uint64_t>(i) * kPageSize4K, true);
+    }
+    co_await k.SysMadviseDontneed(*thread_, addr, kHalf * kPageSize4K);
+    co_await k.SysMadviseDontneed(*thread_, addr + kHalf * kPageSize4K,
+                                  (kPages - kHalf) * kPageSize4K);
+  });
+  const Kernel::Stats s = sys_.kernel().stats();
+  constexpr uint64_t kOverflow = kPages - ReuseTable::kCapacity;
+  EXPECT_EQ(s.reuse_elided_flushes, 2u);
+  EXPECT_EQ(s.reuse_elided_pages, static_cast<uint64_t>(kPages));
+  EXPECT_EQ(s.reuse_evictions, kOverflow);
+  EXPECT_EQ(s.flush_requests, kOverflow);  // one deferred flush per eviction
+}
+
+TEST(ReuseElisionCrossMmTest, FrameHandoffToAnotherMmForcesClose) {
+  System sys(TestConfig(ReuseOpts()));
+  Kernel& k = sys.kernel();
+  Process* pa = k.CreateProcess();
+  Thread* ta = k.CreateThread(pa, 0);
+  Process* pb = k.CreateProcess();
+  Thread* tb = k.CreateThread(pb, 1);
+
+  uint64_t a_addr = 0;
+  bool a_zapped = false;
+  bool b_done = false;
+  sys.machine().engine().Spawn(0, Go([&]() -> Co<void> {
+    a_addr = co_await k.SysMmap(*ta, kPageSize4K, true, false);
+    co_await k.UserAccess(*ta, a_addr, true);
+    co_await k.SysMadviseDontneed(*ta, a_addr, kPageSize4K);
+    a_zapped = true;
+    while (!b_done) {
+      co_await sys.machine().cpu(0).Execute(200);
+    }
+    // The record was force-closed by the hand-off: this refault allocates a
+    // fresh frame and must NOT count as a benign close.
+    co_await k.UserAccess(*ta, a_addr, true);
+  }));
+  sys.machine().engine().Spawn(0, Go([&]() -> Co<void> {
+    while (!a_zapped) {
+      co_await sys.machine().cpu(1).Execute(200);
+    }
+    // B's demand fault drains the free list, taking A's just-freed frame.
+    uint64_t b_addr = co_await k.SysMmap(*tb, kPageSize4K, true, false);
+    co_await k.UserAccess(*tb, b_addr, true);
+    b_done = true;
+  }));
+  sys.machine().engine().Run();
+
+  const Kernel::Stats s = k.stats();
+  EXPECT_EQ(s.reuse_elided_flushes, 1u);
+  EXPECT_GE(s.reuse_frame_handoffs, 1u);
+  EXPECT_EQ(s.reuse_benign_closes, 0u);
+  EXPECT_TRUE(TlbCoherent(sys, *pa->mm));
+  EXPECT_TRUE(TlbCoherent(sys, *pb->mm));
+}
+
+}  // namespace
+}  // namespace tlbsim

@@ -327,5 +327,104 @@ TEST(TlbCheckTest, ViolationJsonIsDeterministicallyShaped) {
   EXPECT_TRUE(r.Find("detail")->is_string());
 }
 
+// --- Optimization #7 (reuse_elision) ---
+
+OptimizationSet ReuseOpts() {
+  OptimizationSet o;
+  o.reuse_elision = true;
+  return o;
+}
+
+TEST(TlbCheckTest, CleanReuseElisionRunReportsNothing) {
+  // The elided zap leaves the victim's entry live and the benign refault
+  // re-legitimizes it: the checker's reuse license must keep both the stale
+  // hit and the never-bumped write record out of the violation report.
+  TwoCpuRig rig(ReuseOpts());
+  rig.Run(/*victim_touches_after=*/true);
+  EXPECT_EQ(rig.chk.violation_count(), 0u) << rig.chk.Summary();
+  EXPECT_EQ(rig.sys.kernel().stats().reuse_elided_flushes, 1u);
+}
+
+// Rig for the frame hand-off path: process A (initiator cpu0, victim cpu2)
+// elides a zap; process B on cpu1 then faults an anonymous page and the
+// allocator hands it A's just-freed frame, force-closing the license. The
+// victim touches the zapped va once more after the hand-off.
+struct ReuseHandoffRig {
+  System sys;
+  CheckContext chk;
+  Process* pa = nullptr;
+  Thread* a0 = nullptr;
+  Thread* a1 = nullptr;
+  Process* pb = nullptr;
+  Thread* b0 = nullptr;
+  uint64_t addr = 0;
+  bool warmed = false;
+  bool zapped = false;
+  bool handed = false;
+
+  ReuseHandoffRig() : sys(TestConfig(ReuseOpts())) {
+    chk.Attach(sys);
+    pa = sys.kernel().CreateProcess();
+    a0 = sys.kernel().CreateThread(pa, 0);
+    a1 = sys.kernel().CreateThread(pa, 2);
+    pb = sys.kernel().CreateProcess();
+    b0 = sys.kernel().CreateThread(pb, 1);
+  }
+
+  void Run() {
+    Kernel& k = sys.kernel();
+    sys.machine().engine().Spawn(0, Go([this, &k]() -> Co<void> {
+      addr = co_await k.SysMmap(*a0, 8 * kPageSize4K, true, false);
+      co_await k.UserAccess(*a0, addr, true);
+      while (!warmed) {
+        co_await sys.machine().cpu(0).Execute(200);
+      }
+      co_await k.SysMadviseDontneed(*a0, addr, kPageSize4K);  // elided
+      zapped = true;
+    }));
+    sys.machine().engine().Spawn(0, Go([this, &k]() -> Co<void> {
+      while (!zapped) {
+        co_await sys.machine().cpu(1).Execute(200);
+      }
+      uint64_t b_addr = co_await k.SysMmap(*b0, kPageSize4K, true, false);
+      co_await k.UserAccess(*b0, b_addr, true);  // takes A's freed frame
+      handed = true;
+    }));
+    sys.machine().engine().Spawn(0, Go([this, &k]() -> Co<void> {
+      while (addr == 0) {
+        co_await sys.machine().cpu(2).Execute(200);
+      }
+      co_await k.UserAccess(*a1, addr, false);  // warm the victim's TLB
+      warmed = true;
+      while (!handed) {
+        co_await sys.machine().cpu(2).Execute(200);
+      }
+      co_await k.UserAccess(*a1, addr, false);
+    }));
+    sys.machine().engine().Run();
+  }
+};
+
+TEST(TlbCheckTest, ReuseFrameHandoffPurgeKeepsVictimClean) {
+  ReuseHandoffRig rig;
+  rig.Run();
+  EXPECT_GE(rig.sys.kernel().stats().reuse_frame_handoffs, 1u);
+  EXPECT_EQ(rig.chk.violation_count(), 0u) << rig.chk.Summary();
+}
+
+TEST(TlbCheckTest, ReuseElideUnsafeKnobIsExactlyOneViolation) {
+  ReuseHandoffRig rig;
+  FaultInjection fi;
+  fi.reuse_elide_unsafe = true;  // hand-off skips the stale-entry purge
+  rig.sys.shootdown().set_fault_injection(fi);
+  rig.Run();
+
+  ASSERT_EQ(rig.chk.violation_count(), 1u) << rig.chk.Summary();
+  EXPECT_EQ(rig.chk.CountOf(ViolationKind::kReuseElideUnsafe), 1u) << rig.chk.Summary();
+  const Violation& v = rig.chk.violations()[0];
+  EXPECT_EQ(v.cpu, 2);  // the victim consumed the orphaned translation
+  EXPECT_EQ(v.va, rig.addr);
+}
+
 }  // namespace
 }  // namespace tlbsim

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "src/workloads/apache.h"
+#include "src/workloads/churn.h"
 #include "src/workloads/fracture.h"
 #include "src/workloads/microbench.h"
 #include "src/workloads/sysbench.h"
@@ -196,6 +197,62 @@ TEST(FractureTest, HugePagesReduceMissCounts) {
   cfg.host_size = PageSize::k2M;
   uint64_t huge = RunFractureWorkload(cfg).dtlb_misses;
   EXPECT_LT(huge * 10, small);
+}
+
+ChurnResult Churn(bool pagecache, int threads, FlushBackendKind backend, int sim_threads) {
+  ChurnConfig cfg;
+  cfg.opts = OptimizationSet::AllGeneral();
+  cfg.opts.reuse_elision = true;
+  cfg.threads = threads;
+  cfg.iters = 8;
+  cfg.backend = backend;
+  cfg.sim_threads = sim_threads;
+  return pagecache ? RunChurnPagecache(cfg) : RunChurnArena(cfg);
+}
+
+TEST(ChurnTest, SeededStormDeterministicAcrossSimThreads) {
+  // Replaying the seeded storm must be cycle-identical, including under the
+  // sharded engine — for every workload shape, backend and thread count.
+  for (bool pagecache : {false, true}) {
+    for (FlushBackendKind backend : {FlushBackendKind::kIpi, FlushBackendKind::kQueue}) {
+      for (int threads : {1, 4}) {
+        SCOPED_TRACE((pagecache ? std::string("pagecache") : std::string("arena")) + "/" +
+                     FlushBackendName(backend) + "/t" + std::to_string(threads));
+        ChurnResult a = Churn(pagecache, threads, backend, /*sim_threads=*/1);
+        ChurnResult replay = Churn(pagecache, threads, backend, /*sim_threads=*/1);
+        ChurnResult sharded = Churn(pagecache, threads, backend, /*sim_threads=*/4);
+        for (const ChurnResult* r : {&replay, &sharded}) {
+          EXPECT_EQ(a.total_cycles, r->total_cycles);
+          EXPECT_EQ(a.flush_requests, r->flush_requests);
+          EXPECT_EQ(a.shootdowns, r->shootdowns);
+          EXPECT_EQ(a.elided_flushes, r->elided_flushes);
+          EXPECT_EQ(a.elided_pages, r->elided_pages);
+          EXPECT_EQ(a.benign_closes, r->benign_closes);
+          EXPECT_EQ(a.forced_flushes, r->forced_flushes);
+          EXPECT_EQ(a.evictions, r->evictions);
+          EXPECT_EQ(a.frame_handoffs, r->frame_handoffs);
+        }
+      }
+    }
+  }
+}
+
+TEST(ChurnTest, ElisionMovesFlushesOffTheShootdownPath) {
+  for (bool pagecache : {false, true}) {
+    SCOPED_TRACE(pagecache ? "pagecache" : "arena");
+    ChurnConfig cfg;
+    cfg.opts = OptimizationSet::AllGeneral();
+    cfg.threads = 4;
+    cfg.iters = 8;
+    ChurnResult off = pagecache ? RunChurnPagecache(cfg) : RunChurnArena(cfg);
+    cfg.opts.reuse_elision = true;
+    ChurnResult on = pagecache ? RunChurnPagecache(cfg) : RunChurnArena(cfg);
+    EXPECT_EQ(off.elided_flushes, 0u);
+    EXPECT_EQ(off.benign_closes, 0u);
+    EXPECT_GT(on.elided_flushes, 0u);
+    EXPECT_GT(on.benign_closes, 0u);
+    EXPECT_LT(on.flush_requests, off.flush_requests);
+  }
 }
 
 }  // namespace
